@@ -1,0 +1,121 @@
+// Command mqr-bench regenerates the paper's evaluation figures from the
+// command line (the same harness backs the go-test benchmarks).
+//
+// Usage:
+//
+//	mqr-bench -fig 10        # Figure 10: Normal vs Re-Optimized
+//	mqr-bench -fig 11        # Figure 11: memory-only vs plan-only
+//	mqr-bench -fig 12        # Figure 12: skew z=0.3 and z=0.6
+//	mqr-bench -fig mu        # μ-overhead guarantee
+//	mqr-bench -fig sens      # θ₂ sensitivity sweep
+//	mqr-bench -fig abl       # design-choice ablations
+//	mqr-bench -fig hist      # catalog histogram families
+//	mqr-bench -fig hybrid    # parametric/dynamic hybrid (paper §4)
+//	mqr-bench -fig all       # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "which figure to regenerate: 10|11|12|mu|sens|abl|hist|all")
+		sf    = flag.Float64("sf", 0.01, "TPC-D scale factor")
+		pool  = flag.Int("pool", 256, "buffer pool pages")
+		mem   = flag.Float64("mem", 2<<20, "per-query memory budget in bytes")
+		stale = flag.Float64("stale", 0.5, "fraction of data loaded when ANALYZE ran")
+		seed  = flag.Int64("seed", 0, "data generator seed")
+	)
+	flag.Parse()
+
+	cfg := bench.Default()
+	cfg.SF = *sf
+	cfg.PoolPages = *pool
+	cfg.MemBudget = *mem
+	cfg.StaleFrac = *stale
+	cfg.Seed = *seed
+
+	run := func(name string) {
+		switch name {
+		case "10":
+			rows, err := bench.Figure10(cfg)
+			check(err)
+			fmt.Println(bench.FormatRows("Figure 10: Normal vs Re-Optimized", rows))
+		case "11":
+			rows, err := bench.Figure11(cfg)
+			check(err)
+			fmt.Println(bench.FormatRows("Figure 11: memory-only vs plan-only", rows))
+		case "12":
+			for _, z := range []float64{0.3, 0.6} {
+				rows, err := bench.Figure12(cfg, z)
+				check(err)
+				fmt.Println(bench.FormatRows(fmt.Sprintf("Figure 12: Zipf z=%.1f", z), rows))
+			}
+		case "mu":
+			rows, err := bench.MuGuarantee(cfg, []float64{0.01, 0.05, 0.2})
+			check(err)
+			fmt.Println("Mu guarantee (overhead on non-benefiting queries):")
+			for _, r := range rows {
+				fmt.Printf("  mu=%.2f %-4s overhead=%+.2f%%\n", r.Mu, r.Query, r.Overhead*100)
+			}
+			fmt.Println()
+		case "sens":
+			rows, err := bench.Sensitivity(cfg, []float64{0.05, 0.2, 0.5, 1.0})
+			check(err)
+			fmt.Println("Theta2 sensitivity, plan-only mode (medium and complex queries):")
+			for _, r := range rows {
+				fmt.Printf("  theta2=%.2f %-4s full=%8.0f (normal %8.0f) switches=%d\n",
+					r.Theta2, r.Query, r.Full, r.Off, r.Switches)
+			}
+			fmt.Println()
+		case "abl":
+			rows, err := bench.Ablations(cfg)
+			check(err)
+			fmt.Println("Ablations (complex queries):")
+			for _, r := range rows {
+				fmt.Printf("  %-4s %-12s %8.0f\n", r.Query, r.Variant, r.Cost)
+			}
+			fmt.Println()
+		case "hybrid":
+			rows, err := bench.Hybrid(cfg)
+			check(err)
+			fmt.Println("Parametric/dynamic hybrid (host-variable Q3 variant, selective bindings):")
+			for _, r := range rows {
+				fmt.Printf("  %-12s %8.0f (switches=%d)\n", r.Variant, r.Cost, r.Switches)
+			}
+			fmt.Println()
+		case "hist":
+			rows, err := bench.HistFamilies(cfg)
+			check(err)
+			fmt.Println("Catalog histogram families (complex queries):")
+			for _, r := range rows {
+				fmt.Printf("  %-10s %-4s normal=%8.0f full=%8.0f switches=%d\n",
+					r.Family, r.Query, r.Off, r.Full, r.Switches)
+			}
+			fmt.Println()
+		default:
+			fmt.Fprintf(os.Stderr, "mqr-bench: unknown figure %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *fig == "all" {
+		for _, name := range []string{"10", "11", "12", "mu", "sens", "abl", "hist", "hybrid"} {
+			run(name)
+		}
+		return
+	}
+	run(*fig)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mqr-bench:", err)
+		os.Exit(1)
+	}
+}

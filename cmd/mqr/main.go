@@ -1,0 +1,140 @@
+// Command mqr is an interactive front end to the mid-query
+// re-optimization engine: it loads the TPC-D-style dataset into an
+// in-process database and runs SQL against it, printing annotated plans,
+// result rows, simulated costs, and the dispatcher's re-optimization
+// decisions.
+//
+// Usage:
+//
+//	mqr [flags] [SQL | @Q5]
+//
+// With no query argument it runs the paper's whole query set. A query of
+// the form @Q5 names one of the paper's TPC-D queries.
+//
+// Flags:
+//
+//	-sf       scale factor (default 0.01)
+//	-mode     off | memory | plan | full | restart (default full)
+//	-stale    fraction of data present at ANALYZE time (default 0.5)
+//	-zipf     Zipfian skew for non-key attributes (default 0)
+//	-pool     buffer pool pages (default 256)
+//	-mem      per-query memory budget in bytes (default 2 MiB)
+//	-explain  print the annotated plan instead of executing
+//	-rows     print at most this many result rows (default 10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	midquery "repro"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.01, "TPC-D scale factor")
+		mode    = flag.String("mode", "full", "re-optimization mode: off|memory|plan|full|restart")
+		stale   = flag.Float64("stale", 0.5, "fraction of data loaded when ANALYZE ran (0 = fresh)")
+		zipf    = flag.Float64("zipf", 0, "Zipfian skew z for non-key attributes")
+		pool    = flag.Int("pool", 256, "buffer pool pages (8 KiB each)")
+		mem     = flag.Float64("mem", 2<<20, "per-query memory budget in bytes")
+		explain = flag.Bool("explain", false, "print the annotated plan instead of executing")
+		maxRows = flag.Int("rows", 10, "result rows to print")
+		seed    = flag.Int64("seed", 1, "data generator seed")
+	)
+	flag.Parse()
+
+	m, err := parseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("loading TPC-D SF %g (stale=%.2f zipf=%.1f) ...\n", *sf, *stale, *zipf)
+	db := midquery.Open(midquery.Options{BufferPoolPages: *pool})
+	if err := db.LoadTPCD(midquery.TPCDConfig{
+		SF: *sf, Zipf: *zipf, Seed: *seed, StaleFrac: *stale,
+	}); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded (%.0f simulated cost units)\n\n", db.Cost())
+
+	opts := midquery.ExecOptions{Mode: m, MemBudget: *mem}
+
+	var queries []namedQuery
+	if flag.NArg() == 0 {
+		for _, q := range midquery.TPCDQueries() {
+			queries = append(queries, namedQuery{q.Name + " (" + string(q.Class) + ")", q.SQL})
+		}
+	} else {
+		arg := strings.Join(flag.Args(), " ")
+		if strings.HasPrefix(arg, "@") {
+			q := midquery.Q(strings.TrimPrefix(arg, "@"))
+			queries = []namedQuery{{q.Name, q.SQL}}
+		} else {
+			queries = []namedQuery{{"query", arg}}
+		}
+	}
+
+	for _, nq := range queries {
+		fmt.Printf("=== %s\n", nq.name)
+		if *explain {
+			text, err := db.Explain(nq.sql, opts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(text)
+			continue
+		}
+		db.DropCaches()
+		res, err := db.Exec(nq.sql, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cost=%.0f rows=%d collectors=%d reallocs=%d switches=%d\n",
+			res.Cost, len(res.Rows), res.Stats.CollectorsInserted,
+			res.Stats.MemReallocs, res.Stats.PlanSwitches)
+		for _, d := range res.Stats.Decisions {
+			fmt.Println("  " + d)
+		}
+		if len(res.Columns) > 0 {
+			fmt.Println("  " + strings.Join(res.Columns, " | "))
+		}
+		for i, r := range res.Rows {
+			if i >= *maxRows {
+				fmt.Printf("  ... %d more rows\n", len(res.Rows)-i)
+				break
+			}
+			fmt.Println("  " + r.String())
+		}
+		fmt.Println()
+	}
+}
+
+type namedQuery struct {
+	name string
+	sql  string
+}
+
+func parseMode(s string) (midquery.Mode, error) {
+	switch strings.ToLower(s) {
+	case "off", "normal":
+		return midquery.ReoptOff, nil
+	case "memory", "mem":
+		return midquery.ReoptMemoryOnly, nil
+	case "plan":
+		return midquery.ReoptPlanOnly, nil
+	case "full":
+		return midquery.ReoptFull, nil
+	case "restart":
+		return midquery.ReoptRestart, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mqr:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Quickstart: open an in-memory database, create a table, load rows,
+// gather statistics, and run queries — with the annotated plan and the
+// simulated execution cost printed along the way.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	midquery "repro"
+)
+
+func main() {
+	db := midquery.Open(midquery.Options{})
+
+	// Schema and data.
+	if err := db.CreateTable("employee",
+		midquery.Column{Name: "id", Kind: midquery.KindInt, Key: true},
+		midquery.Column{Name: "dept", Kind: midquery.KindString},
+		midquery.Column{Name: "salary", Kind: midquery.KindFloat},
+		midquery.Column{Name: "hired", Kind: midquery.KindDate},
+	); err != nil {
+		log.Fatal(err)
+	}
+	depts := []string{"engineering", "sales", "support", "finance"}
+	for i := 0; i < 10000; i++ {
+		if err := db.Insert("employee",
+			i,
+			depts[i%len(depts)],
+			30000+float64(i%50000),
+			midquery.NewDate(int64(9000+i%3000)),
+		); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.CreateTable("department",
+		midquery.Column{Name: "name", Kind: midquery.KindString, Key: true},
+		midquery.Column{Name: "budget", Kind: midquery.KindFloat},
+	); err != nil {
+		log.Fatal(err)
+	}
+	for i, d := range depts {
+		if err := db.Insert("department", d, float64((i+1)*1000000)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// ANALYZE builds MaxDiff histograms, the family Paradise's catalogs
+	// default to.
+	for _, t := range []string{"employee", "department"} {
+		if err := db.Analyze(t, midquery.MaxDiff); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	const query = `
+		select dept, count(*) as headcount, avg(salary) as pay
+		from employee, department
+		where employee.dept = department.name
+		  and salary > :floor
+		  and budget > 1500000
+		group by dept
+		order by pay desc`
+
+	// EXPLAIN shows the annotated plan: every node carries the
+	// optimizer's cardinality, cost, and memory-demand estimates, and
+	// the statistics collectors the SCIA inserted.
+	plan, err := db.Explain(query, midquery.ExecOptions{Mode: midquery.ReoptFull})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("annotated plan:")
+	fmt.Println(plan)
+
+	// Execute with mid-query re-optimization enabled. The :floor host
+	// variable is exactly the kind of value the optimizer cannot see at
+	// plan time (§1): the collectors observe the truth at run time.
+	res, err := db.Exec(query, midquery.ExecOptions{
+		Mode:   midquery.ReoptFull,
+		Params: map[string]midquery.Value{"floor": midquery.NewFloat(34000)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost=%.0f units, %d collectors, %d memory re-allocations, %d plan switches\n",
+		res.Cost, res.Stats.CollectorsInserted, res.Stats.MemReallocs, res.Stats.PlanSwitches)
+	fmt.Println(res.Columns)
+	for _, row := range res.Rows {
+		fmt.Println(" ", row)
+	}
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/reopt"
+	"repro/internal/tpcd"
+)
+
+// tiny returns a fast configuration for harness tests.
+func tiny() Config {
+	return Config{SF: 0.001, PoolPages: 128, MemBudget: 1 << 20, StaleFrac: 0.5, Seed: 3}
+}
+
+func TestNewEnvDefaults(t *testing.T) {
+	env, err := NewEnv(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Cfg.SF != 0.01 || env.Cfg.PoolPages != 256 || env.Cfg.MemBudget != 2<<20 {
+		t.Errorf("defaults not applied: %+v", env.Cfg)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	env, err := NewEnv(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := tpcd.ByName("Q3")
+	a, _, err := env.Run(q, reopt.ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := env.Run(q, reopt.ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("cold runs differ: %g vs %g", a, b)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	rows, err := Figure10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Off <= 0 || r.Full <= 0 {
+			t.Errorf("%s: empty measurements %+v", r.Query, r)
+		}
+		if r.Class == tpcd.Simple && math.Abs(r.Full/r.Off-1) > 0.05 {
+			t.Errorf("%s: simple query deviates %.1f%%", r.Query, (r.Full/r.Off-1)*100)
+		}
+	}
+	table := FormatRows("t", rows)
+	for _, q := range []string{"Q1", "Q5", "Q8"} {
+		if !strings.Contains(table, q) {
+			t.Errorf("table missing %s:\n%s", q, table)
+		}
+	}
+}
+
+func TestFigure11ExcludesSimple(t *testing.T) {
+	rows, err := Figure11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (medium+complex)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Class == tpcd.Simple {
+			t.Errorf("simple query %s included", r.Query)
+		}
+		if r.Mem <= 0 || r.Plan <= 0 {
+			t.Errorf("%s: missing mode measurements", r.Query)
+		}
+	}
+}
+
+func TestMuGuaranteeHolds(t *testing.T) {
+	rows, err := MuGuarantee(tiny(), []float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no mu rows")
+	}
+	for _, r := range rows {
+		if r.Overhead > 0.05 {
+			t.Errorf("%s at mu=%.2f: overhead %.1f%% > 5%%", r.Query, r.Mu, r.Overhead*100)
+		}
+	}
+}
+
+func TestSensitivityMonotoneSwitches(t *testing.T) {
+	rows, err := Sensitivity(tiny(), []float64{0.05, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At an absurdly high theta2, no switches may happen.
+	byQuery := map[string]map[float64]int{}
+	for _, r := range rows {
+		if byQuery[r.Query] == nil {
+			byQuery[r.Query] = map[float64]int{}
+		}
+		byQuery[r.Query][r.Theta2] = r.Switches
+	}
+	for q, m := range byQuery {
+		if m[10] > m[0.05] {
+			t.Errorf("%s: more switches at theta2=10 (%d) than 0.05 (%d)", q, m[10], m[0.05])
+		}
+		if m[10] != 0 {
+			t.Errorf("%s: switches at theta2=10", q)
+		}
+	}
+}
+
+func TestAblationsCoverVariants(t *testing.T) {
+	rows, err := Ablations(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"normal": true, "full": true, "restart": true, "collect-all": true, "hash-only": true}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Variant] = true
+		if r.Cost <= 0 {
+			t.Errorf("%s/%s: zero cost", r.Query, r.Variant)
+		}
+	}
+	for v := range want {
+		if !seen[v] {
+			t.Errorf("variant %s missing", v)
+		}
+	}
+}
+
+func TestHistFamiliesCoverFamilies(t *testing.T) {
+	rows, err := HistFamilies(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := map[string]bool{}
+	for _, r := range rows {
+		fams[r.Family] = true
+	}
+	for _, f := range []string{"maxdiff", "equi-depth", "equi-width"} {
+		if !fams[f] {
+			t.Errorf("family %s missing (got %v)", f, fams)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package catalog maintains table metadata and the system statistics the
+// optimizer estimates from: per-table cardinality and page counts, and
+// per-column histograms, distinct counts, and min/max values.
+//
+// The catalog also tracks update activity since the last ANALYZE, which
+// feeds the paper's inaccuracy-potential rule that stale statistics are
+// one level less trustworthy (§2.5).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/histogram"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// ColumnStats summarizes one column's value distribution.
+type ColumnStats struct {
+	Hist     *histogram.Histogram // nil if no histogram was built
+	Distinct float64              // 0 if unknown
+	Min, Max types.Value          // NULL if unknown
+	NullFrac float64
+}
+
+// HasHistogram reports whether a histogram is available.
+func (cs *ColumnStats) HasHistogram() bool {
+	return cs != nil && cs.Hist != nil && len(cs.Hist.Buckets) > 0
+}
+
+// Index is a B+tree over one column plus its clustering factor: the
+// fraction of consecutive heap tuples whose key is non-decreasing. A
+// clustering factor near 1 means index-ordered access walks the heap
+// nearly sequentially, so repeated fetches hit the same pages — the
+// classic System-R clustered-index distinction the cost model needs.
+type Index struct {
+	Tree       *storage.BTree
+	Clustering float64
+}
+
+// Table is one base relation: schema, heap storage, indexes, and
+// statistics.
+type Table struct {
+	Name   string
+	Schema *types.Schema
+	Heap   *storage.HeapFile
+
+	// Indexes maps column ordinal to the index over that column.
+	Indexes map[int]*Index
+
+	// Stats as of the last Analyze. Cardinality and AvgTupleBytes may
+	// be stale if UpdatesSinceAnalyze is large.
+	Cardinality   float64
+	AvgTupleBytes float64
+	ColStats      map[int]*ColumnStats
+
+	// UpdatesSinceAnalyze counts tuples inserted since statistics were
+	// last collected.
+	UpdatesSinceAnalyze int64
+}
+
+// NumPages returns the table's size in pages.
+func (t *Table) NumPages() float64 { return float64(t.Heap.NumPages()) }
+
+// StaleStats reports whether update activity since the last ANALYZE is
+// significant — more than 10% of the analyzed cardinality — which bumps
+// every inaccuracy potential one level (§2.5).
+func (t *Table) StaleStats() bool {
+	if t.Cardinality <= 0 {
+		return t.UpdatesSinceAnalyze > 0
+	}
+	return float64(t.UpdatesSinceAnalyze) > 0.1*t.Cardinality
+}
+
+// Insert appends a tuple to the table, maintains indexes, and counts
+// update activity.
+func (t *Table) Insert(tup types.Tuple) error {
+	if len(tup) != t.Schema.Len() {
+		return fmt.Errorf("catalog: tuple arity %d does not match %s%s", len(tup), t.Name, t.Schema)
+	}
+	rid, err := t.Heap.Append(tup)
+	if err != nil {
+		return err
+	}
+	for col, idx := range t.Indexes {
+		idx.Tree.Insert(tup[col], rid)
+	}
+	t.UpdatesSinceAnalyze++
+	return nil
+}
+
+// Catalog is the set of tables in a database.
+type Catalog struct {
+	mu     sync.RWMutex
+	pool   *storage.BufferPool
+	tables map[string]*Table
+}
+
+// New returns an empty catalog over the given buffer pool.
+func New(pool *storage.BufferPool) *Catalog {
+	return &Catalog{pool: pool, tables: make(map[string]*Table)}
+}
+
+// Pool returns the buffer pool tables are stored in.
+func (c *Catalog) Pool() *storage.BufferPool { return c.pool }
+
+// CreateTable registers a new empty table. Column table qualifiers are
+// forced to the table name.
+func (c *Catalog) CreateTable(name string, schema *types.Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	cols := make([]types.Column, schema.Len())
+	for i, col := range schema.Columns {
+		col.Table = strings.ToLower(name)
+		cols[i] = col
+	}
+	t := &Table{
+		Name:     strings.ToLower(name),
+		Schema:   types.NewSchema(cols...),
+		Heap:     storage.NewHeapFile(c.pool),
+		Indexes:  make(map[int]*Index),
+		ColStats: make(map[int]*ColumnStats),
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes a table from the catalog. Its heap pages remain on
+// the simulated disk unless the heap was a temp file.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	t, ok := c.tables[key]
+	if !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	delete(c.tables, key)
+	return t.Heap.Drop()
+}
+
+// RegisterTemp registers an already-populated heap file (a materialized
+// intermediate result) as a queryable table. The re-optimizer uses this
+// to make Temp1 visible to the re-submitted remainder query (§2.4).
+func (c *Catalog) RegisterTemp(name string, schema *types.Schema, heap *storage.HeapFile) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	cols := make([]types.Column, schema.Len())
+	for i, col := range schema.Columns {
+		col.Table = key
+		cols[i] = col
+	}
+	t := &Table{
+		Name:     key,
+		Schema:   types.NewSchema(cols...),
+		Heap:     heap,
+		Indexes:  make(map[int]*Index),
+		ColStats: make(map[int]*ColumnStats),
+	}
+	t.Cardinality = float64(heap.NumTuples())
+	if heap.NumTuples() > 0 {
+		t.AvgTupleBytes = float64(heap.ByteSize()) / float64(heap.NumTuples())
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Table looks up a table by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// Tables returns all table names in sorted order.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateIndex builds a B+tree on the named column of the named table,
+// charging build I/O to the disk's meter.
+func (c *Catalog) CreateIndex(table, column string) error {
+	t, err := c.Table(table)
+	if err != nil {
+		return err
+	}
+	col, err := t.Schema.Resolve("", column)
+	if err != nil {
+		return err
+	}
+	if _, ok := t.Indexes[col]; ok {
+		return fmt.Errorf("catalog: index on %s.%s already exists", table, column)
+	}
+	tree := storage.NewBTree(c.pool.Disk().Meter())
+	s := t.Heap.Scan()
+	// The clustering factor is measured during the build scan: the
+	// fraction of heap-order transitions where the key does not
+	// decrease. 1.0 means index order equals storage order, so
+	// index-driven fetches walk the heap sequentially.
+	var prev types.Value
+	var total, ordered float64
+	first := true
+	for s.Next() {
+		v := s.Tuple()[col]
+		tree.Insert(v, s.RID())
+		if !first {
+			total++
+			if v.Compare(prev) >= 0 {
+				ordered++
+			}
+		}
+		prev = v
+		first = false
+	}
+	if s.Err() != nil {
+		return s.Err()
+	}
+	clustering := 1.0
+	if total > 0 {
+		clustering = ordered / total
+	}
+	t.Indexes[col] = &Index{Tree: tree, Clustering: clustering}
+	return nil
+}
+
+// AnalyzeOptions controls statistics collection.
+type AnalyzeOptions struct {
+	// Family selects the histogram family stored in the catalog.
+	Family histogram.Family
+	// Buckets is the number of histogram buckets (default 20).
+	Buckets int
+	// Columns restricts analysis to the named columns; nil means all.
+	Columns []string
+	// SkipHistograms computes only cardinality, min/max and distinct
+	// counts — modelling a catalog with no histograms, the "high
+	// inaccuracy potential" configuration.
+	SkipHistograms bool
+}
+
+// Analyze scans a table once and refreshes its statistics.
+func (c *Catalog) Analyze(table string, opts AnalyzeOptions) error {
+	t, err := c.Table(table)
+	if err != nil {
+		return err
+	}
+	if opts.Buckets <= 0 {
+		opts.Buckets = 20
+	}
+	want := make(map[int]bool)
+	if opts.Columns == nil {
+		for i := range t.Schema.Columns {
+			want[i] = true
+		}
+	} else {
+		for _, name := range opts.Columns {
+			i, err := t.Schema.Resolve("", name)
+			if err != nil {
+				return err
+			}
+			want[i] = true
+		}
+	}
+
+	vals := make(map[int][]types.Value)
+	nulls := make(map[int]float64)
+	var count float64
+	var bytes float64
+	s := t.Heap.Scan()
+	for s.Next() {
+		tup := s.Tuple()
+		count++
+		bytes += float64(types.EncodedSize(tup))
+		for col := range want {
+			v := tup[col]
+			if v.IsNull() {
+				nulls[col]++
+				continue
+			}
+			vals[col] = append(vals[col], v)
+		}
+	}
+	if s.Err() != nil {
+		return s.Err()
+	}
+
+	t.Cardinality = count
+	if count > 0 {
+		t.AvgTupleBytes = bytes / count
+	}
+	for col := range want {
+		cs := &ColumnStats{}
+		vs := vals[col]
+		if count > 0 {
+			cs.NullFrac = nulls[col] / count
+		}
+		if len(vs) > 0 {
+			mn, mx := vs[0], vs[0]
+			for _, v := range vs[1:] {
+				if v.Compare(mn) < 0 {
+					mn = v
+				}
+				if v.Compare(mx) > 0 {
+					mx = v
+				}
+			}
+			cs.Min, cs.Max = mn, mx
+			h := histogram.Build(opts.Family, vs, opts.Buckets, 0)
+			cs.Distinct = h.TotalDistinct
+			if !opts.SkipHistograms {
+				cs.Hist = h
+			}
+		}
+		t.ColStats[col] = cs
+	}
+	t.UpdatesSinceAnalyze = 0
+	return nil
+}

@@ -1,0 +1,349 @@
+package exec
+
+import (
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// aggStateWidth is the number of values each aggregate contributes to an
+// encoded group state: sum, count, min, max.
+const aggStateWidth = 4
+
+// Agg is a blocking hash aggregation operator. Group states (sum, count,
+// min, max per aggregate) are mergeable, so when the group table exceeds
+// the node's memory grant the operator spills encoded partial states to
+// hash partitions and merges them partition by partition — one extra
+// write+read pass, mirroring the hash join's degradation.
+type Agg struct {
+	node *plan.Agg
+	in   Operator
+	ctx  *Ctx
+
+	grant  float64
+	groups map[uint64][]*group
+	size   float64
+
+	spilled bool
+	parts   []*storage.HeapFile
+
+	out    []types.Tuple
+	outPos int
+	opened bool
+}
+
+type group struct {
+	key    types.Tuple
+	sums   []types.Value
+	counts []int64
+	mins   []types.Value
+	maxs   []types.Value
+}
+
+// NewAgg builds a hash aggregation operator.
+func NewAgg(n *plan.Agg, in Operator, ctx *Ctx) *Agg {
+	return &Agg{node: n, in: in, ctx: ctx}
+}
+
+// Schema implements Operator.
+func (a *Agg) Schema() *types.Schema { return a.node.Out }
+
+// Open implements Operator. Aggregation is blocking: the entire input is
+// consumed here.
+func (a *Agg) Open() error {
+	a.grant = a.node.Est().Grant
+	a.groups = make(map[uint64][]*group)
+	if err := a.in.Open(); err != nil {
+		return err
+	}
+	for {
+		t, err := a.in.Next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		a.ctx.Meter.ChargeTuples(1)
+		if err := a.absorb(t); err != nil {
+			return err
+		}
+	}
+	if err := a.in.Close(); err != nil {
+		return err
+	}
+	if a.spilled {
+		if err := a.flushGroups(); err != nil {
+			return err
+		}
+		return a.mergePartitions()
+	}
+	a.emitGroups()
+	return nil
+}
+
+// absorb folds one input tuple into its group.
+func (a *Agg) absorb(t types.Tuple) error {
+	key := make(types.Tuple, len(a.node.GroupCols))
+	for i, c := range a.node.GroupCols {
+		key[i] = t[c]
+	}
+	h := hashKeys(t, a.node.GroupCols)
+	g := a.findGroup(h, key)
+	if g == nil {
+		g = newGroup(key.Clone(), len(a.node.Aggs))
+		a.groups[h] = append(a.groups[h], g)
+		stateSize := float64(types.EncodedSize(key)) + float64(aggStateWidth*8*len(a.node.Aggs)) + 48
+		a.size += stateSize
+		if a.grant > 0 && a.size > a.grant && !a.spilled {
+			if err := a.spill(); err != nil {
+				return err
+			}
+			// Re-locate the group: spill cleared the table.
+			g = newGroup(key.Clone(), len(a.node.Aggs))
+			a.groups[h] = append(a.groups[h], g)
+			a.size += stateSize
+		}
+	}
+	return a.update(g, t)
+}
+
+func newGroup(key types.Tuple, nAggs int) *group {
+	g := &group{
+		key:    key,
+		sums:   make([]types.Value, nAggs),
+		counts: make([]int64, nAggs),
+		mins:   make([]types.Value, nAggs),
+		maxs:   make([]types.Value, nAggs),
+	}
+	return g
+}
+
+func (a *Agg) findGroup(h uint64, key types.Tuple) *group {
+	for _, g := range a.groups[h] {
+		if tuplesEqual(g.key, key) {
+			return g
+		}
+	}
+	return nil
+}
+
+func tuplesEqual(x, y types.Tuple) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i].Kind() != y[i].Kind() && !(x[i].Kind().Numeric() && y[i].Kind().Numeric()) {
+			return false
+		}
+		if !x[i].Equal(y[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// update applies one tuple to a group's accumulators.
+func (a *Agg) update(g *group, t types.Tuple) error {
+	for i, spec := range a.node.Aggs {
+		if spec.Arg == nil { // COUNT(*)
+			g.counts[i]++
+			continue
+		}
+		v, err := spec.Arg.Eval(t, a.ctx.Params)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue
+		}
+		g.counts[i]++
+		if g.sums[i].IsNull() {
+			g.sums[i] = v
+		} else {
+			s, err := g.sums[i].Add(v)
+			if err != nil {
+				return err
+			}
+			g.sums[i] = s
+		}
+		if g.mins[i].IsNull() || v.Compare(g.mins[i]) < 0 {
+			g.mins[i] = v
+		}
+		if g.maxs[i].IsNull() || v.Compare(g.maxs[i]) > 0 {
+			g.maxs[i] = v
+		}
+	}
+	return nil
+}
+
+// spill switches to partitioned mode and flushes current groups.
+func (a *Agg) spill() error {
+	p := 8
+	a.parts = make([]*storage.HeapFile, p)
+	for i := range a.parts {
+		a.parts[i] = storage.NewTempFile(a.ctx.Pool)
+	}
+	a.spilled = true
+	return a.flushGroups()
+}
+
+// flushGroups writes every in-memory group's state to its partition and
+// clears the table.
+func (a *Agg) flushGroups() error {
+	for h, bucket := range a.groups {
+		for _, g := range bucket {
+			state := a.encodeState(g)
+			idx := int((h >> 32) % uint64(len(a.parts)))
+			if _, err := a.parts[idx].Append(state); err != nil {
+				return err
+			}
+		}
+	}
+	a.groups = make(map[uint64][]*group)
+	a.size = 0
+	return nil
+}
+
+// encodeState flattens a group to a tuple: key values, then per
+// aggregate sum, count, min, max.
+func (a *Agg) encodeState(g *group) types.Tuple {
+	state := g.key.Clone()
+	for i := range a.node.Aggs {
+		state = append(state, g.sums[i], types.NewInt(g.counts[i]), g.mins[i], g.maxs[i])
+	}
+	return state
+}
+
+// mergePartitions re-aggregates each partition's states and emits.
+func (a *Agg) mergePartitions() error {
+	nk := len(a.node.GroupCols)
+	for _, part := range a.parts {
+		table := make(map[uint64][]*group)
+		s := part.Scan()
+		for s.Next() {
+			a.ctx.Meter.ChargeTuples(1)
+			st := s.Tuple()
+			key := st[:nk]
+			h := hashKeysAll(key)
+			var g *group
+			for _, cand := range table[h] {
+				if tuplesEqual(cand.key, key) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = newGroup(key.Clone(), len(a.node.Aggs))
+				table[h] = append(table[h], g)
+			}
+			mergeState(g, st, nk)
+		}
+		if err := s.Err(); err != nil {
+			return err
+		}
+		for _, bucket := range table {
+			for _, g := range bucket {
+				a.out = append(a.out, a.finalize(g))
+			}
+		}
+		part.Drop()
+	}
+	return nil
+}
+
+func hashKeysAll(key types.Tuple) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, v := range key {
+		h = h*1099511628211 ^ v.Hash()
+	}
+	return h
+}
+
+// mergeState folds an encoded state tuple into a group.
+func mergeState(g *group, st types.Tuple, nk int) {
+	for i := range g.sums {
+		base := nk + i*aggStateWidth
+		sum, cnt, mn, mx := st[base], st[base+1], st[base+2], st[base+3]
+		g.counts[i] += cnt.Int()
+		if !sum.IsNull() {
+			if g.sums[i].IsNull() {
+				g.sums[i] = sum
+			} else {
+				g.sums[i], _ = g.sums[i].Add(sum)
+			}
+		}
+		if !mn.IsNull() && (g.mins[i].IsNull() || mn.Compare(g.mins[i]) < 0) {
+			g.mins[i] = mn
+		}
+		if !mx.IsNull() && (g.maxs[i].IsNull() || mx.Compare(g.maxs[i]) > 0) {
+			g.maxs[i] = mx
+		}
+	}
+}
+
+// emitGroups converts all in-memory groups to output rows.
+func (a *Agg) emitGroups() {
+	for _, bucket := range a.groups {
+		for _, g := range bucket {
+			a.out = append(a.out, a.finalize(g))
+		}
+	}
+	a.groups = nil
+}
+
+// finalize renders one group as an output tuple: group columns then
+// aggregate results, matching the node's output schema.
+func (a *Agg) finalize(g *group) types.Tuple {
+	out := g.key.Clone()
+	for i, spec := range a.node.Aggs {
+		out = append(out, finalizeAgg(spec.Func, g, i))
+	}
+	return out
+}
+
+func finalizeAgg(f sql.AggFunc, g *group, i int) types.Value {
+	switch f {
+	case sql.AggCount:
+		return types.NewInt(g.counts[i])
+	case sql.AggSum:
+		return g.sums[i]
+	case sql.AggAvg:
+		if g.counts[i] == 0 || g.sums[i].IsNull() {
+			return types.Null()
+		}
+		return types.NewFloat(g.sums[i].AsFloat() / float64(g.counts[i]))
+	case sql.AggMin:
+		return g.mins[i]
+	case sql.AggMax:
+		return g.maxs[i]
+	default:
+		return types.Null()
+	}
+}
+
+// Next implements Operator.
+func (a *Agg) Next() (types.Tuple, error) {
+	if a.outPos >= len(a.out) {
+		return nil, nil
+	}
+	t := a.out[a.outPos]
+	a.outPos++
+	a.ctx.Meter.ChargeTuples(1)
+	return t, nil
+}
+
+// Spilled reports whether the aggregate degraded to partitioned mode.
+func (a *Agg) Spilled() bool { return a.spilled }
+
+// Close implements Operator.
+func (a *Agg) Close() error {
+	for _, p := range a.parts {
+		if p != nil {
+			p.Drop()
+		}
+	}
+	a.out = nil
+	return nil
+}

@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"repro/internal/plan"
+	"repro/internal/sample"
+	"repro/internal/sketch"
+	"repro/internal/types"
+
+	"repro/internal/histogram"
+)
+
+// defaultReservoirSize is one database page worth of sampled values — the
+// paper allocates exactly one page to each histogram's reservoir (§3.1).
+const defaultReservoirSize = 1024
+
+// Collector is the statistics-collector operator (§2.2, §3.1): a
+// streamed operator that takes a stream of tuples as input and produces
+// exactly the same stream as output, examining each tuple on the way
+// through. Cardinality, total bytes, and per-column min/max are running
+// values; histograms come from a reservoir sample built when the input is
+// exhausted; distinct counts use Flajolet–Martin sketches.
+//
+// When the input is exhausted the collector sends its Observed report to
+// the context's StatsSink — the analogue of Paradise's statistics message
+// back to the scheduler/dispatcher.
+type Collector struct {
+	node *plan.Collector
+	in   Operator
+	ctx  *Ctx
+
+	rows   float64
+	bytes  float64
+	res    map[int]*sample.Reservoir
+	uniq   map[string]*sketch.HybridDistinct
+	mins   map[int]types.Value
+	maxs   map[int]types.Value
+	sent   bool
+	opened bool
+}
+
+// NewCollector wraps in with a statistics collector.
+func NewCollector(n *plan.Collector, in Operator, ctx *Ctx) *Collector {
+	return &Collector{node: n, in: in, ctx: ctx}
+}
+
+// Schema implements Operator.
+func (c *Collector) Schema() *types.Schema { return c.node.Schema() }
+
+// Open implements Operator. It is idempotent (see HashJoin.Open).
+func (c *Collector) Open() error {
+	if c.opened {
+		return nil
+	}
+	c.opened = true
+	spec := c.node.Spec
+	size := spec.ReservoirSize
+	if size <= 0 {
+		size = defaultReservoirSize
+	}
+	c.res = make(map[int]*sample.Reservoir, len(spec.HistCols))
+	for _, col := range spec.HistCols {
+		c.res[col] = sample.NewReservoir(size, spec.Seed+int64(col))
+	}
+	c.uniq = make(map[string]*sketch.HybridDistinct, len(spec.UniqueCols))
+	for _, set := range spec.UniqueCols {
+		// One page worth of exact hashes before degrading to FM.
+		c.uniq[plan.UniqueKey(set)] = sketch.NewHybridDistinct(1024, 64)
+	}
+	c.mins = make(map[int]types.Value)
+	c.maxs = make(map[int]types.Value)
+	return c.in.Open()
+}
+
+// Next implements Operator.
+func (c *Collector) Next() (types.Tuple, error) {
+	t, err := c.in.Next()
+	if err != nil {
+		return nil, err
+	}
+	if t == nil {
+		c.report()
+		return nil, nil
+	}
+	c.observe(t)
+	return t, nil
+}
+
+func (c *Collector) observe(t types.Tuple) {
+	// The examination cost is the collector's entire overhead: no I/O
+	// is performed, matching §2.2. Cardinality/size/min-max-only
+	// collectors are free, per the paper's assumption that measuring
+	// those is negligible; only histogram and distinct-count work is
+	// charged (and budgeted by the SCIA's μ).
+	if !c.node.Spec.Empty() {
+		c.ctx.Meter.ChargeStatTuples(1)
+	}
+	c.rows++
+	c.bytes += float64(types.EncodedSize(t))
+	for col, r := range c.res {
+		v := t[col]
+		if !v.IsNull() {
+			r.Add(v)
+		}
+	}
+	for _, set := range c.node.Spec.UniqueCols {
+		key := plan.UniqueKey(set)
+		// Combine the set's values into one hash: distinct counting
+		// over attribute combinations only needs hash identity.
+		var h uint64 = 1469598103934665603
+		for _, col := range set {
+			h = h*1099511628211 ^ t[col].Hash()
+		}
+		c.uniq[key].AddHash(h)
+	}
+	for _, col := range c.node.Spec.HistCols {
+		c.updateMinMax(col, t[col])
+	}
+}
+
+func (c *Collector) updateMinMax(col int, v types.Value) {
+	if v.IsNull() {
+		return
+	}
+	if cur, ok := c.mins[col]; !ok || v.Compare(cur) < 0 {
+		c.mins[col] = v
+	}
+	if cur, ok := c.maxs[col]; !ok || v.Compare(cur) > 0 {
+		c.maxs[col] = v
+	}
+}
+
+// report builds the Observed snapshot and delivers it once.
+func (c *Collector) report() {
+	if c.sent {
+		return
+	}
+	c.sent = true
+	o := &plan.Observed{
+		CollectorID: c.node.ID,
+		Rows:        c.rows,
+		Bytes:       c.bytes,
+		Hists:       make(map[int]*histogram.Histogram, len(c.res)),
+		Uniques:     make(map[string]float64, len(c.uniq)),
+		Mins:        c.mins,
+		Maxs:        c.maxs,
+	}
+	for col, r := range c.res {
+		o.Hists[col] = histogram.Build(c.node.Spec.HistFamily, r.Sample(), 20, float64(r.Seen()))
+	}
+	for key, u := range c.uniq {
+		est := u.Estimate()
+		if est > c.rows {
+			est = c.rows
+		}
+		o.Uniques[key] = est
+	}
+	if c.ctx.StatsSink != nil {
+		c.ctx.StatsSink(o)
+	}
+}
+
+// Close implements Operator.
+func (c *Collector) Close() error { return c.in.Close() }

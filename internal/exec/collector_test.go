@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/histogram"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+func TestCollectorPassThroughUnchanged(t *testing.T) {
+	e := newEnv(64)
+	tbl := e.makeTable(t, "r", 200, 10)
+	c := &plan.Collector{Input: scanNode(tbl), ID: 1}
+	got := collectAll(t, mustBuild(t, e, c))
+	want := collectAll(t, mustBuild(t, e, scanNode(tbl)))
+	tuplesetEqual(t, got, want)
+}
+
+func TestCollectorReportsCardinalityAndSize(t *testing.T) {
+	e := newEnv(64)
+	tbl := e.makeTable(t, "r", 500, 10)
+	var report *plan.Observed
+	e.ctx.StatsSink = func(o *plan.Observed) { report = o }
+	c := &plan.Collector{Input: scanNode(tbl), ID: 42}
+	collectAll(t, mustBuild(t, e, c))
+	if report == nil {
+		t.Fatal("no report delivered")
+	}
+	if report.CollectorID != 42 {
+		t.Errorf("CollectorID = %d", report.CollectorID)
+	}
+	if report.Rows != 500 {
+		t.Errorf("Rows = %g", report.Rows)
+	}
+	if report.AvgTupleBytes() <= 0 {
+		t.Error("AvgTupleBytes not observed")
+	}
+}
+
+func TestCollectorHistogramAccuracy(t *testing.T) {
+	e := newEnv(256)
+	tbl := e.makeTable(t, "r", 5000, 100) // v uniform on [0,100)
+	var report *plan.Observed
+	e.ctx.StatsSink = func(o *plan.Observed) { report = o }
+	c := &plan.Collector{
+		Input: scanNode(tbl),
+		Spec: plan.CollectorSpec{
+			HistCols:   []int{1},
+			HistFamily: histogram.MaxDiff,
+			Seed:       7,
+		},
+		ID: 1,
+	}
+	collectAll(t, mustBuild(t, e, c))
+	h := report.Hists[1]
+	if h == nil {
+		t.Fatal("no histogram on column 1")
+	}
+	if math.Abs(h.Total-5000) > 1 {
+		t.Errorf("histogram Total = %g (should scale to stream size)", h.Total)
+	}
+	sel := h.EstimateRange(0, 49)
+	if math.Abs(sel-0.5) > 0.1 {
+		t.Errorf("range estimate = %g, want ~0.5", sel)
+	}
+	if report.Mins[1].Int() != 0 || report.Maxs[1].Int() != 99 {
+		t.Errorf("min/max = %v/%v", report.Mins[1], report.Maxs[1])
+	}
+}
+
+func TestCollectorUniqueCounts(t *testing.T) {
+	e := newEnv(256)
+	tbl := e.makeTable(t, "r", 3000, 30)
+	var report *plan.Observed
+	e.ctx.StatsSink = func(o *plan.Observed) { report = o }
+	c := &plan.Collector{
+		Input: scanNode(tbl),
+		Spec: plan.CollectorSpec{
+			UniqueCols: [][]int{{1}},
+		},
+		ID: 1,
+	}
+	collectAll(t, mustBuild(t, e, c))
+	got := report.Uniques[plan.UniqueKey([]int{1})]
+	if got < 15 || got > 60 {
+		t.Errorf("unique estimate = %g, want ~30", got)
+	}
+}
+
+func TestCollectorChargesStatCPUOnly(t *testing.T) {
+	e := newEnv(64)
+	tbl := e.makeTable(t, "r", 400, 10)
+	// Run plain scan to measure baseline I/O.
+	op, _ := Build(scanNode(tbl), e.ctx)
+	collectAll(t, op)
+	before := e.ctx.Meter.Snapshot()
+	c := &plan.Collector{
+		Input: scanNode(tbl),
+		Spec:  plan.CollectorSpec{HistCols: []int{1}, UniqueCols: [][]int{{1}}},
+	}
+	op2, _ := Build(c, e.ctx)
+	collectAll(t, op2)
+	d := e.ctx.Meter.Snapshot().Sub(before)
+	if d.StatCPU != 400 {
+		t.Errorf("collector charged %d stat CPU, want 400", d.StatCPU)
+	}
+	// "Without any I/O overhead" (§2.2): the collector itself performs
+	// no writes; reads are the same as the plain scan (all cached).
+	if d.PageWrites != 0 {
+		t.Errorf("collector performed %d writes", d.PageWrites)
+	}
+}
+
+func TestCollectorReportsOnce(t *testing.T) {
+	e := newEnv(64)
+	tbl := e.makeTable(t, "r", 10, 2)
+	count := 0
+	e.ctx.StatsSink = func(o *plan.Observed) { count++ }
+	c := &plan.Collector{Input: scanNode(tbl)}
+	op := mustBuild(t, e, c)
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		tup, err := op.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tup == nil {
+			break
+		}
+	}
+	// Extra Next calls after EOF must not re-report.
+	op.Next()
+	op.Next()
+	op.Close()
+	if count != 1 {
+		t.Errorf("report delivered %d times", count)
+	}
+}
+
+func TestCollectorSkipsNullsInHistogram(t *testing.T) {
+	e := newEnv(64)
+	tbl, _ := e.cat.CreateTable("n", types.NewSchema(types.Column{Name: "x", Kind: types.KindInt}))
+	tbl.Insert(types.Tuple{types.Null()})
+	tbl.Insert(types.Tuple{types.NewInt(5)})
+	var report *plan.Observed
+	e.ctx.StatsSink = func(o *plan.Observed) { report = o }
+	c := &plan.Collector{Input: scanNode(tbl), Spec: plan.CollectorSpec{HistCols: []int{0}}}
+	collectAll(t, mustBuild(t, e, c))
+	if report.Rows != 2 {
+		t.Errorf("Rows = %g", report.Rows)
+	}
+	if report.Mins[0].IsNull() || report.Mins[0].Int() != 5 {
+		t.Errorf("Min = %v", report.Mins[0])
+	}
+}

@@ -1,0 +1,169 @@
+// Package exec implements the query execution engine: iterator-model
+// operators (sequential scan, hash join with Grace-style spilling,
+// indexed nested-loops join, hash aggregation, external sort, projection,
+// limit) plus the paper's statistics-collector operator.
+//
+// Operators charge their work to the context's cost meter: page I/O flows
+// through the storage layer automatically, and each operator charges
+// per-tuple CPU. The statistics collector charges the cheaper StatCPU
+// rate, which is what the SCIA's μ budget limits (§2.5).
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Ctx carries the runtime environment shared by a query's operators.
+type Ctx struct {
+	Pool   *storage.BufferPool
+	Meter  *storage.CostMeter
+	Params plan.Params
+	// StatsSink receives each statistics-collector's report the moment
+	// its input is exhausted. The re-optimizing dispatcher wires this
+	// to its decision logic; nil sinks discard reports.
+	StatsSink func(*plan.Observed)
+}
+
+// Operator is a Volcano-style iterator. Next returns a nil tuple at end
+// of stream. Operators are single-use: Open, drain, Close.
+type Operator interface {
+	Open() error
+	Next() (types.Tuple, error)
+	Close() error
+	Schema() *types.Schema
+}
+
+// Drain pulls every tuple from an opened operator, discarding output, and
+// returns the row count. It is used by tests and by blocking consumers.
+func Drain(op Operator) (int64, error) {
+	var n int64
+	for {
+		t, err := op.Next()
+		if err != nil {
+			return n, err
+		}
+		if t == nil {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// Collect runs an operator tree to completion and returns all output
+// tuples. Open and Close are handled internally.
+func Collect(op Operator) ([]types.Tuple, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []types.Tuple
+	for {
+		t, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// BuildStep instantiates the operator for a single plan node whose first
+// (left) child operator has already been built. The re-optimizing
+// dispatcher uses it to assemble the join chain step by step, opening
+// each hash join's build phase eagerly so it can make decisions at the
+// paper's mid-query checkpoints. Probe sides and other inputs are built
+// recursively as usual.
+func BuildStep(n plan.Node, left Operator, ctx *Ctx) (Operator, error) {
+	switch x := n.(type) {
+	case *plan.HashJoin:
+		probe, err := Build(x.Probe, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewHashJoin(x, left, probe, ctx), nil
+	case *plan.IndexJoin:
+		return NewIndexJoin(x, left, ctx)
+	case *plan.Collector:
+		return NewCollector(x, left, ctx), nil
+	case *plan.Filter:
+		return NewFilter(x, left, ctx), nil
+	case *plan.Agg:
+		return NewAgg(x, left, ctx), nil
+	case *plan.Project:
+		return NewProject(x, left, ctx), nil
+	case *plan.Sort:
+		return NewSort(x, left, ctx), nil
+	case *plan.Limit:
+		return NewLimit(x, left), nil
+	default:
+		return nil, fmt.Errorf("exec: BuildStep cannot wrap %T", n)
+	}
+}
+
+// Build instantiates the operator tree for a physical plan.
+func Build(n plan.Node, ctx *Ctx) (Operator, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return NewSeqScan(x, ctx), nil
+	case *plan.HashJoin:
+		build, err := Build(x.Build, ctx)
+		if err != nil {
+			return nil, err
+		}
+		probe, err := Build(x.Probe, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewHashJoin(x, build, probe, ctx), nil
+	case *plan.IndexJoin:
+		outer, err := Build(x.Outer, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewIndexJoin(x, outer, ctx)
+	case *plan.Filter:
+		in, err := Build(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewFilter(x, in, ctx), nil
+	case *plan.Collector:
+		in, err := Build(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewCollector(x, in, ctx), nil
+	case *plan.Agg:
+		in, err := Build(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewAgg(x, in, ctx), nil
+	case *plan.Project:
+		in, err := Build(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewProject(x, in, ctx), nil
+	case *plan.Sort:
+		in, err := Build(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewSort(x, in, ctx), nil
+	case *plan.Limit:
+		in, err := Build(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return NewLimit(x, in), nil
+	default:
+		return nil, fmt.Errorf("exec: no operator for plan node %T", n)
+	}
+}

@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// Filter drops tuples failing any of its predicates.
+type Filter struct {
+	node   *plan.Filter
+	in     Operator
+	ctx    *Ctx
+	opened bool
+}
+
+// NewFilter builds a filter operator.
+func NewFilter(n *plan.Filter, in Operator, ctx *Ctx) *Filter {
+	return &Filter{node: n, in: in, ctx: ctx}
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *types.Schema { return f.node.Schema() }
+
+// Open implements Operator. It is idempotent (see HashJoin.Open).
+func (f *Filter) Open() error {
+	if f.opened {
+		return nil
+	}
+	f.opened = true
+	return f.in.Open()
+}
+
+// Next implements Operator.
+func (f *Filter) Next() (types.Tuple, error) {
+	for {
+		t, err := f.in.Next()
+		if err != nil || t == nil {
+			return nil, err
+		}
+		ok := true
+		for _, p := range f.node.Preds {
+			pass, err := p.Test(t, f.ctx.Params)
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.in.Close() }

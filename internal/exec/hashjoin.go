@@ -1,0 +1,332 @@
+package exec
+
+import (
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// buildFudge is the hash-table overhead factor: a build side of S bytes
+// needs about buildFudge*S bytes of memory to join in one pass. The
+// optimizer's memory-demand estimates use the same constant.
+const buildFudge = 1.2
+
+// HashJoin is a Grace-style hash join. Open runs the build phase: the
+// left input is drained into an in-memory hash table; if the table
+// exceeds the node's memory grant the join degrades to partitioned mode,
+// writing both inputs to temporary partitions and joining them pairwise —
+// the extra read and write pass over both inputs is exactly the
+// "two-pass" penalty of the paper's Figure 3 walk-through.
+//
+// The probe phase starts lazily on the first Next call, so after Open
+// returns the dispatcher is at the paper's mid-query decision point:
+// "the build phase of the hash-join is complete, but the probe phase has
+// not yet started" (§2.4).
+type HashJoin struct {
+	node  *plan.HashJoin
+	build Operator
+	probe Operator
+	ctx   *Ctx
+
+	grant float64 // bytes; 0 means unlimited
+
+	// In-memory mode.
+	table     map[uint64][]types.Tuple
+	tableSize float64
+
+	// Partitioned (spilled) mode.
+	spilled    bool
+	buildParts []*storage.HeapFile
+	probeParts []*storage.HeapFile
+
+	// Probe state.
+	opened      bool
+	probeOpened bool
+	probeDone   bool
+	pending     []types.Tuple // joined outputs awaiting emission
+	curPart     int
+	partScan    *storage.HeapScanner
+	partTable   map[uint64][]types.Tuple
+}
+
+// NewHashJoin builds a hash join operator. The memory grant is read from
+// the plan node's annotation at Open time, so the Memory Manager can
+// adjust it any time before the build starts.
+func NewHashJoin(n *plan.HashJoin, build, probe Operator, ctx *Ctx) *HashJoin {
+	return &HashJoin{node: n, build: build, probe: probe, ctx: ctx}
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *types.Schema { return j.node.Schema() }
+
+// hashKeys combines the key columns of a tuple into one hash.
+func hashKeys(t types.Tuple, keys []int) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, k := range keys {
+		h = h*1099511628211 ^ t[k].Hash()
+	}
+	return h
+}
+
+// keysNull reports whether any key column is NULL (NULLs never join).
+func keysNull(t types.Tuple, keys []int) bool {
+	for _, k := range keys {
+		if t[k].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// Open implements Operator: it runs the build phase to completion. Open
+// is idempotent so the re-optimizing dispatcher can run build phases
+// eagerly and later let parent operators cascade their Opens through.
+func (j *HashJoin) Open() error {
+	if j.opened {
+		return nil
+	}
+	j.opened = true
+	j.grant = j.node.Est().Grant
+	j.table = make(map[uint64][]types.Tuple)
+	if err := j.build.Open(); err != nil {
+		return err
+	}
+	for {
+		t, err := j.build.Next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		// Build tuples charge double: hash-table inserts are heavier
+		// than probes (the cost model mirrors this).
+		j.ctx.Meter.ChargeTuples(2)
+		if keysNull(t, j.node.BuildKeys) {
+			continue
+		}
+		t = t.Clone()
+		if !j.spilled {
+			h := hashKeys(t, j.node.BuildKeys)
+			j.table[h] = append(j.table[h], t)
+			// Memory is accounted in encoded bytes, the same unit the
+			// optimizer's size estimates use; the buildFudge factor
+			// covers hash-table overhead in both places.
+			j.tableSize += float64(types.EncodedSize(t))
+			if j.grant > 0 && j.tableSize*buildFudge > j.grant {
+				if err := j.spillBuild(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := j.writePart(j.buildParts, t, j.node.BuildKeys); err != nil {
+			return err
+		}
+	}
+	return j.build.Close()
+}
+
+// spillBuild switches to partitioned mode, flushing the current in-memory
+// table into fresh partitions. The partition count is chosen so each
+// build partition fits in the grant under uniform hashing.
+func (j *HashJoin) spillBuild() error {
+	// Estimate the final build size from the fraction seen so far is
+	// unknowable here, so size partitions for 4x the overflow point;
+	// partitions that still overflow simply overcommit slightly, which
+	// the simulator tolerates.
+	p := 4 * int(j.tableSize*buildFudge/j.grant+1)
+	if p < 2 {
+		p = 2
+	}
+	// Bound the fan-out: beyond ~one output buffer page per partition
+	// a real system would recurse instead, and hundreds of partition
+	// files thrash the buffer pool.
+	if p > 128 {
+		p = 128
+	}
+	j.buildParts = make([]*storage.HeapFile, p)
+	j.probeParts = make([]*storage.HeapFile, p)
+	for i := range j.buildParts {
+		j.buildParts[i] = storage.NewTempFile(j.ctx.Pool)
+		j.probeParts[i] = storage.NewTempFile(j.ctx.Pool)
+	}
+	for _, bucket := range j.table {
+		for _, t := range bucket {
+			if err := j.writePart(j.buildParts, t, j.node.BuildKeys); err != nil {
+				return err
+			}
+		}
+	}
+	j.table = nil
+	j.tableSize = 0
+	j.spilled = true
+	return nil
+}
+
+func (j *HashJoin) writePart(parts []*storage.HeapFile, t types.Tuple, keys []int) error {
+	h := hashKeys(t, keys)
+	// Use high bits for partition choice so the per-partition table
+	// hash (low bits) stays well distributed.
+	idx := int((h >> 32) % uint64(len(parts)))
+	_, err := parts[idx].Append(t)
+	return err
+}
+
+// Next implements Operator: the probe phase.
+func (j *HashJoin) Next() (types.Tuple, error) {
+	for {
+		if len(j.pending) > 0 {
+			t := j.pending[0]
+			j.pending = j.pending[1:]
+			j.ctx.Meter.ChargeTuples(1)
+			return t, nil
+		}
+		if j.probeDone {
+			return nil, nil
+		}
+		if !j.probeOpened {
+			if err := j.openProbe(); err != nil {
+				return nil, err
+			}
+		}
+		if !j.spilled {
+			t, err := j.probe.Next()
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				j.probeDone = true
+				if err := j.probe.Close(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			j.ctx.Meter.ChargeTuples(1)
+			if keysNull(t, j.node.ProbeKeys) {
+				continue
+			}
+			j.match(j.table, t)
+			continue
+		}
+		if err := j.nextSpilled(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// openProbe starts the probe phase. In partitioned mode the whole probe
+// input is partitioned to disk first.
+func (j *HashJoin) openProbe() error {
+	j.probeOpened = true
+	if err := j.probe.Open(); err != nil {
+		return err
+	}
+	if !j.spilled {
+		return nil
+	}
+	for {
+		t, err := j.probe.Next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		j.ctx.Meter.ChargeTuples(1)
+		if keysNull(t, j.node.ProbeKeys) {
+			continue
+		}
+		if err := j.writePart(j.probeParts, t.Clone(), j.node.ProbeKeys); err != nil {
+			return err
+		}
+	}
+	if err := j.probe.Close(); err != nil {
+		return err
+	}
+	j.curPart = -1
+	return nil
+}
+
+// match appends all join results for probe tuple t to pending.
+func (j *HashJoin) match(table map[uint64][]types.Tuple, t types.Tuple) {
+	h := hashKeys(t, j.node.ProbeKeys)
+	for _, b := range table[h] {
+		if j.keysEqual(b, t) {
+			j.pending = append(j.pending, b.Concat(t))
+		}
+	}
+}
+
+func (j *HashJoin) keysEqual(b, p types.Tuple) bool {
+	for i := range j.node.BuildKeys {
+		if !b[j.node.BuildKeys[i]].Equal(p[j.node.ProbeKeys[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// nextSpilled advances the partition-by-partition join, filling pending.
+func (j *HashJoin) nextSpilled() error {
+	for {
+		if j.partScan != nil {
+			if j.partScan.Next() {
+				t := j.partScan.Tuple()
+				j.ctx.Meter.ChargeTuples(1)
+				j.match(j.partTable, t)
+				if len(j.pending) > 0 {
+					return nil
+				}
+				continue
+			}
+			if err := j.partScan.Err(); err != nil {
+				return err
+			}
+			j.partScan = nil
+			j.partTable = nil
+			j.buildParts[j.curPart].Drop()
+			j.probeParts[j.curPart].Drop()
+		}
+		j.curPart++
+		if j.curPart >= len(j.buildParts) {
+			j.probeDone = true
+			return nil
+		}
+		// Load this build partition into memory.
+		j.partTable = make(map[uint64][]types.Tuple)
+		s := j.buildParts[j.curPart].Scan()
+		for s.Next() {
+			t := s.Tuple()
+			j.ctx.Meter.ChargeTuples(1)
+			h := hashKeys(t, j.node.BuildKeys)
+			j.partTable[h] = append(j.partTable[h], t)
+		}
+		if err := s.Err(); err != nil {
+			return err
+		}
+		j.partScan = j.probeParts[j.curPart].Scan()
+	}
+}
+
+// Spilled reports whether the join degraded to partitioned mode — the
+// observable difference the dynamic memory re-allocation experiments
+// measure.
+func (j *HashJoin) Spilled() bool { return j.spilled }
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	for _, p := range j.buildParts {
+		if p != nil {
+			p.Drop()
+		}
+	}
+	for _, p := range j.probeParts {
+		if p != nil {
+			p.Drop()
+		}
+	}
+	j.table = nil
+	j.partTable = nil
+	return nil
+}

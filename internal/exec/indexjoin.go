@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// IndexJoin is an indexed nested-loops join: for every outer tuple it
+// probes the inner table's B+tree and fetches matching tuples by RID.
+// Each probe charges one index-leaf read plus the heap-page reads the
+// fetches incur (cached pages are free), which is why the optimizer
+// prefers it only when the outer side is small.
+type IndexJoin struct {
+	node  *plan.IndexJoin
+	outer Operator
+	ctx   *Ctx
+	idx   *storage.BTree
+
+	opened bool
+	cur    types.Tuple // current outer tuple
+	rids   []storage.RID
+	ridPos int
+	done   bool
+}
+
+// NewIndexJoin builds an index join. The inner table must have an index
+// on the join column.
+func NewIndexJoin(n *plan.IndexJoin, outer Operator, ctx *Ctx) (*IndexJoin, error) {
+	idx, ok := n.Table.Indexes[n.InnerCol]
+	if !ok {
+		return nil, fmt.Errorf("exec: no index on %s column %d", n.Table.Name, n.InnerCol)
+	}
+	return &IndexJoin{node: n, outer: outer, ctx: ctx, idx: idx.Tree}, nil
+}
+
+// Schema implements Operator.
+func (j *IndexJoin) Schema() *types.Schema { return j.node.Schema() }
+
+// Open implements Operator. It is idempotent (see HashJoin.Open).
+func (j *IndexJoin) Open() error {
+	if j.opened {
+		return nil
+	}
+	j.opened = true
+	return j.outer.Open()
+}
+
+// Next implements Operator.
+func (j *IndexJoin) Next() (types.Tuple, error) {
+	for {
+		for j.ridPos < len(j.rids) {
+			rid := j.rids[j.ridPos]
+			j.ridPos++
+			inner, err := j.node.Table.Heap.Fetch(rid)
+			if err != nil {
+				return nil, err
+			}
+			ok := true
+			for _, f := range j.node.InnerFilters {
+				pass, err := f.Test(inner, j.ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				if !pass {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			j.ctx.Meter.ChargeTuples(1)
+			return j.cur.Concat(inner), nil
+		}
+		if j.done {
+			return nil, nil
+		}
+		t, err := j.outer.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			j.done = true
+			return nil, j.outer.Close()
+		}
+		j.ctx.Meter.ChargeTuples(1)
+		key := t[j.node.OuterKey]
+		if key.IsNull() {
+			continue
+		}
+		j.cur = t.Clone()
+		j.rids = j.idx.Lookup(key)
+		j.ridPos = 0
+	}
+}
+
+// Close implements Operator.
+func (j *IndexJoin) Close() error {
+	j.rids = nil
+	return nil
+}

@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// SeqScan reads a base table (or registered temp table) page by page,
+// charging one CPU tuple per tuple examined and applying pushed-down
+// filters before tuples leave the operator.
+type SeqScan struct {
+	node *plan.Scan
+	ctx  *Ctx
+	scan *storage.HeapScanner
+}
+
+// NewSeqScan returns a sequential scan over the node's table.
+func NewSeqScan(n *plan.Scan, ctx *Ctx) *SeqScan {
+	return &SeqScan{node: n, ctx: ctx}
+}
+
+// Schema implements Operator.
+func (s *SeqScan) Schema() *types.Schema { return s.node.Out }
+
+// Open implements Operator.
+func (s *SeqScan) Open() error {
+	s.scan = s.node.Table.Heap.Scan()
+	return nil
+}
+
+// Next implements Operator.
+func (s *SeqScan) Next() (types.Tuple, error) {
+	for s.scan.Next() {
+		s.ctx.Meter.ChargeTuples(1)
+		t := s.scan.Tuple()
+		ok := true
+		for _, f := range s.node.Filters {
+			pass, err := f.Test(t, s.ctx.Params)
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t, nil
+		}
+	}
+	return nil, s.scan.Err()
+}
+
+// Close implements Operator.
+func (s *SeqScan) Close() error {
+	s.scan = nil
+	return nil
+}

@@ -1,0 +1,153 @@
+package histogram
+
+import (
+	"math"
+)
+
+// Selectivity estimators. All return a fraction in [0, 1] of the
+// summarized relation. An empty histogram returns the textbook default
+// magic numbers (1/10 for equality, 1/3 for ranges), which is also what
+// the optimizer falls back to for columns with no statistics — precisely
+// the "high inaccuracy potential" case the paper's SCIA targets.
+
+// Default selectivities used when no histogram is available.
+const (
+	DefaultEqSelectivity    = 0.1
+	DefaultRangeSelectivity = 1.0 / 3.0
+)
+
+// EstimateEq estimates the fraction of tuples with value = v (by float
+// image).
+func (h *Histogram) EstimateEq(v float64) float64 {
+	if h == nil || h.Total <= 0 || len(h.Buckets) == 0 {
+		return DefaultEqSelectivity
+	}
+	for _, b := range h.Buckets {
+		if v < b.Lo || v > b.Hi {
+			continue
+		}
+		d := b.Distinct
+		if d < 1 {
+			d = 1
+		}
+		return clamp01(b.Count / d / h.Total)
+	}
+	return 0
+}
+
+// EstimateRange estimates the fraction of tuples with lo <= value <= hi.
+// Either bound may be NaN, meaning unbounded on that side. Bucket
+// contents are assumed uniformly spread across [Lo, Hi] (the standard
+// continuous-values assumption).
+func (h *Histogram) EstimateRange(lo, hi float64) float64 {
+	if h == nil || h.Total <= 0 || len(h.Buckets) == 0 {
+		return DefaultRangeSelectivity
+	}
+	if math.IsNaN(lo) {
+		lo = math.Inf(-1)
+	}
+	if math.IsNaN(hi) {
+		hi = math.Inf(1)
+	}
+	if lo > hi {
+		return 0
+	}
+	count := 0.0
+	for _, b := range h.Buckets {
+		if b.Hi < lo || b.Lo > hi {
+			continue
+		}
+		if b.Lo >= lo && b.Hi <= hi {
+			count += b.Count
+			continue
+		}
+		// Partial overlap: linear interpolation.
+		width := b.Hi - b.Lo
+		if width <= 0 {
+			count += b.Count
+			continue
+		}
+		from := math.Max(lo, b.Lo)
+		to := math.Min(hi, b.Hi)
+		count += b.Count * (to - from) / width
+	}
+	return clamp01(count / h.Total)
+}
+
+// EstimateJoin estimates the selectivity of an equi-join between the
+// attribute summarized by h and the one summarized by o: the fraction of
+// the cross product that joins. With aligned histograms it sums the
+// per-overlap contribution count_h × count_o / max(d_h, d_o); without
+// overlap information it degrades to the System-R 1/max(V1, V2) formula.
+func (h *Histogram) EstimateJoin(o *Histogram) float64 {
+	if h == nil || o == nil || h.Total <= 0 || o.Total <= 0 {
+		dh, do := 10.0, 10.0
+		if h != nil && h.TotalDistinct > 0 {
+			dh = h.TotalDistinct
+		}
+		if o != nil && o.TotalDistinct > 0 {
+			do = o.TotalDistinct
+		}
+		return clamp01(1 / math.Max(dh, do))
+	}
+	matched := 0.0
+	for _, bh := range h.Buckets {
+		for _, bo := range o.Buckets {
+			lo := math.Max(bh.Lo, bo.Lo)
+			hi := math.Min(bh.Hi, bo.Hi)
+			if lo > hi {
+				continue
+			}
+			// Fraction of each bucket inside the overlap.
+			fh := overlapFrac(bh, lo, hi)
+			fo := overlapFrac(bo, lo, hi)
+			dh := math.Max(bh.Distinct*fh, 1)
+			do := math.Max(bo.Distinct*fo, 1)
+			matched += bh.Count * fh * bo.Count * fo / math.Max(dh, do)
+		}
+	}
+	return clamp01(matched / (h.Total * o.Total))
+}
+
+// overlapFrac is the fraction of a bucket's mass falling inside [lo, hi].
+// The +1 smoothing treats buckets as holding discrete values at unit
+// granularity: without it, two integer-domain histograms with misaligned
+// bucket boundaries would meet only at zero-width points and the join
+// estimate would collapse to zero.
+func overlapFrac(b Bucket, lo, hi float64) float64 {
+	width := b.Hi - b.Lo
+	if width <= 0 {
+		return 1
+	}
+	f := (hi - lo + 1) / (width + 1)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// EstimateDistinct estimates the number of distinct values in the
+// fraction sel of the relation, using the standard "distinct values
+// shrink slower than cardinality" correction of Yao's formula
+// approximation: d' = d * (1 - (1 - sel)^(n/d)).
+func (h *Histogram) EstimateDistinct(sel float64) float64 {
+	if h == nil || h.TotalDistinct <= 0 {
+		return 0
+	}
+	sel = clamp01(sel)
+	if h.Total <= 0 || h.TotalDistinct >= h.Total {
+		return h.TotalDistinct * sel
+	}
+	perValue := h.Total / h.TotalDistinct
+	return h.TotalDistinct * (1 - math.Pow(1-sel, perValue))
+}
+
+func clamp01(f float64) float64 {
+	if math.IsNaN(f) || f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

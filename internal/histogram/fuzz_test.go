@@ -1,0 +1,55 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// FuzzBuild checks every histogram family's invariants over arbitrary
+// byte-derived value streams: counts are preserved, buckets are ordered
+// and non-overlapping, and every estimator stays within [0, 1].
+func FuzzBuild(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5}, uint8(4))
+	f.Add([]byte{0, 0, 0, 0}, uint8(1))
+	f.Add([]byte{255, 0, 255, 0, 128}, uint8(20))
+	f.Add([]byte{}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, nb uint8) {
+		vals := make([]types.Value, len(data))
+		for i, b := range data {
+			vals[i] = types.NewInt(int64(int8(b))) // signed: negatives too
+		}
+		buckets := int(nb%32) + 1
+		for _, fam := range []Family{MaxDiff, EndBiased, EquiWidth, EquiDepth} {
+			h := Build(fam, vals, buckets, 0)
+			if h.Total != float64(len(vals)) {
+				t.Fatalf("%s: Total %g for %d values", fam, h.Total, len(vals))
+			}
+			sum := 0.0
+			for bi, b := range h.Buckets {
+				if b.Lo > b.Hi {
+					t.Fatalf("%s: inverted bucket %+v", fam, b)
+				}
+				if bi > 0 && h.Buckets[bi-1].Hi > b.Lo {
+					t.Fatalf("%s: overlapping buckets %+v %+v", fam, h.Buckets[bi-1], b)
+				}
+				sum += b.Count
+			}
+			if len(vals) > 0 && math.Abs(sum-float64(len(vals))) > 1e-6 {
+				t.Fatalf("%s: bucket counts sum to %g", fam, sum)
+			}
+			for _, probe := range []float64{-200, -1, 0, 1, 63.5, 300} {
+				if s := h.EstimateEq(probe); s < 0 || s > 1 || math.IsNaN(s) {
+					t.Fatalf("%s: EstimateEq(%g) = %g", fam, probe, s)
+				}
+			}
+			if s := h.EstimateRange(-50, 50); s < 0 || s > 1 || math.IsNaN(s) {
+				t.Fatalf("%s: range estimate %g", fam, s)
+			}
+			if s := h.EstimateJoin(h); s < 0 || s > 1 || math.IsNaN(s) {
+				t.Fatalf("%s: join estimate %g", fam, s)
+			}
+		}
+	})
+}

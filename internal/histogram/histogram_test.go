@@ -1,0 +1,267 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func intVals(xs ...int64) []types.Value {
+	vs := make([]types.Value, len(xs))
+	for i, x := range xs {
+		vs[i] = types.NewInt(x)
+	}
+	return vs
+}
+
+func uniformVals(n int, domain int64, seed int64) []types.Value {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([]types.Value, n)
+	for i := range vs {
+		vs[i] = types.NewInt(rng.Int63n(domain))
+	}
+	return vs
+}
+
+func TestFamilyStringsAndClasses(t *testing.T) {
+	if EquiWidth.String() != "equi-width" || MaxDiff.String() != "maxdiff" {
+		t.Error("family names wrong")
+	}
+	if MaxDiff.Class() != ClassSerial || EndBiased.Class() != ClassSerial {
+		t.Error("serial-class families misclassified")
+	}
+	if EquiWidth.Class() != ClassBucketed || EquiDepth.Class() != ClassBucketed {
+		t.Error("bucketed families misclassified")
+	}
+}
+
+func TestBuildPreservesTotals(t *testing.T) {
+	vals := uniformVals(10000, 500, 7)
+	for _, f := range []Family{EquiWidth, EquiDepth, MaxDiff, EndBiased} {
+		h := Build(f, vals, 20, 0)
+		if h.Total != 10000 {
+			t.Errorf("%s: Total = %g", f, h.Total)
+		}
+		sum := 0.0
+		for _, b := range h.Buckets {
+			sum += b.Count
+		}
+		if math.Abs(sum-10000) > 1e-6 {
+			t.Errorf("%s: bucket counts sum to %g", f, sum)
+		}
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	for _, f := range []Family{EquiWidth, EquiDepth, MaxDiff, EndBiased} {
+		h := Build(f, nil, 10, 0)
+		if h.Total != 0 || len(h.Buckets) != 0 {
+			t.Errorf("%s: empty build = %v", f, h)
+		}
+		if got := h.EstimateEq(5); got != DefaultEqSelectivity {
+			t.Errorf("%s: empty EstimateEq = %g", f, got)
+		}
+		if got := h.EstimateRange(1, 2); got != DefaultRangeSelectivity {
+			t.Errorf("%s: empty EstimateRange = %g", f, got)
+		}
+	}
+}
+
+func TestBuildSingleValue(t *testing.T) {
+	vals := intVals(5, 5, 5, 5)
+	for _, f := range []Family{EquiWidth, EquiDepth, MaxDiff, EndBiased} {
+		h := Build(f, vals, 4, 0)
+		if got := h.EstimateEq(5); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%s: EstimateEq(5) = %g, want 1", f, got)
+		}
+		if got := h.EstimateEq(6); got != 0 {
+			t.Errorf("%s: EstimateEq(6) = %g, want 0", f, got)
+		}
+	}
+}
+
+func TestEquiDepthBucketsBalanced(t *testing.T) {
+	vals := uniformVals(10000, 100000, 3)
+	h := Build(EquiDepth, vals, 10, 0)
+	for _, b := range h.Buckets {
+		if b.Count < 500 || b.Count > 2000 {
+			t.Errorf("unbalanced equi-depth bucket: %+v", b)
+		}
+	}
+}
+
+func TestMaxDiffExactWhenFewDistinct(t *testing.T) {
+	vals := intVals(1, 1, 1, 2, 3, 3, 9, 9, 9, 9)
+	h := Build(MaxDiff, vals, 10, 0)
+	if len(h.Buckets) != 4 {
+		t.Fatalf("buckets = %d, want one per distinct value", len(h.Buckets))
+	}
+	if got := h.EstimateEq(9); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("EstimateEq(9) = %g, want 0.4", got)
+	}
+	if got := h.EstimateEq(2); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("EstimateEq(2) = %g, want 0.1", got)
+	}
+}
+
+func TestMaxDiffIsolatesOutliers(t *testing.T) {
+	// 10k values uniform on [0,1000) plus a heavy hitter at 5000 with
+	// frequency 5000. MaxDiff should put the outlier in its own bucket,
+	// making its equality estimate near-exact.
+	vals := uniformVals(10000, 1000, 11)
+	for i := 0; i < 5000; i++ {
+		vals = append(vals, types.NewInt(5000))
+	}
+	h := Build(MaxDiff, vals, 20, 0)
+	got := h.EstimateEq(5000)
+	want := 5000.0 / 15000.0
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("heavy hitter estimate %g, want %g", got, want)
+	}
+}
+
+func TestEndBiasedHeavyHitters(t *testing.T) {
+	// Zipf-ish: value v has frequency 1000/v for v in 1..100.
+	var vals []types.Value
+	for v := int64(1); v <= 100; v++ {
+		for i := int64(0); i < 1000/v; i++ {
+			vals = append(vals, types.NewInt(v))
+		}
+	}
+	h := Build(EndBiased, vals, 11, 0)
+	// The top-10 values must be near-exact.
+	for v := int64(1); v <= 10; v++ {
+		got := h.EstimateEq(float64(v))
+		want := float64(1000/v) / h.Total
+		if math.Abs(got-want)/want > 0.01 {
+			t.Errorf("end-biased estimate for %d = %g, want %g", v, got, want)
+		}
+	}
+}
+
+func TestEstimateRangeUniform(t *testing.T) {
+	vals := make([]types.Value, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, types.NewInt(int64(i)))
+	}
+	for _, f := range []Family{EquiWidth, EquiDepth, MaxDiff} {
+		h := Build(f, vals, 50, 0)
+		got := h.EstimateRange(2500, 7499)
+		if math.Abs(got-0.5) > 0.05 {
+			t.Errorf("%s: range [2500,7499] = %g, want ~0.5", f, got)
+		}
+		if got := h.EstimateRange(math.NaN(), math.NaN()); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%s: unbounded range = %g, want 1", f, got)
+		}
+		if got := h.EstimateRange(20000, 30000); got != 0 {
+			t.Errorf("%s: out-of-domain range = %g", f, got)
+		}
+		if got := h.EstimateRange(10, 5); got != 0 {
+			t.Errorf("%s: inverted range = %g", f, got)
+		}
+	}
+}
+
+func TestEstimateJoinUniform(t *testing.T) {
+	// R.a uniform on [0,1000), S.b uniform on [0,1000): selectivity
+	// should be about 1/1000.
+	r := Build(MaxDiff, uniformVals(20000, 1000, 5), 30, 0)
+	s := Build(MaxDiff, uniformVals(15000, 1000, 6), 30, 0)
+	got := r.EstimateJoin(s)
+	want := 1.0 / 1000.0
+	if got < want/3 || got > want*3 {
+		t.Errorf("join selectivity = %g, want ~%g", got, want)
+	}
+}
+
+func TestEstimateJoinDisjointDomains(t *testing.T) {
+	r := Build(MaxDiff, uniformVals(1000, 100, 5), 10, 0)
+	var hi []types.Value
+	for i := 0; i < 1000; i++ {
+		hi = append(hi, types.NewInt(int64(100000+i)))
+	}
+	s := Build(MaxDiff, hi, 10, 0)
+	if got := r.EstimateJoin(s); got != 0 {
+		t.Errorf("disjoint join selectivity = %g, want 0", got)
+	}
+}
+
+func TestEstimateJoinNilFallback(t *testing.T) {
+	var nilH *Histogram
+	got := nilH.EstimateJoin(nil)
+	if got <= 0 || got > 1 {
+		t.Errorf("nil join fallback = %g", got)
+	}
+}
+
+func TestEstimateDistinct(t *testing.T) {
+	vals := uniformVals(10000, 100, 9)
+	h := Build(MaxDiff, vals, 20, 0)
+	// Selecting everything keeps all distinct values.
+	if got := h.EstimateDistinct(1); math.Abs(got-h.TotalDistinct) > 1 {
+		t.Errorf("EstimateDistinct(1) = %g, want %g", got, h.TotalDistinct)
+	}
+	// With 100 tuples per value, even a 10% selection should retain
+	// nearly all distinct values.
+	if got := h.EstimateDistinct(0.1); got < h.TotalDistinct*0.9 {
+		t.Errorf("EstimateDistinct(0.1) = %g, want near %g", got, h.TotalDistinct)
+	}
+	if got := h.EstimateDistinct(0); got != 0 {
+		t.Errorf("EstimateDistinct(0) = %g", got)
+	}
+}
+
+func TestScaleFromSample(t *testing.T) {
+	sample := uniformVals(1000, 500, 13)
+	h := Build(MaxDiff, sample, 20, 250000)
+	if h.Total != 250000 {
+		t.Errorf("scaled Total = %g", h.Total)
+	}
+	sum := 0.0
+	for _, b := range h.Buckets {
+		sum += b.Count
+	}
+	if math.Abs(sum-250000) > 1 {
+		t.Errorf("scaled counts sum to %g", sum)
+	}
+}
+
+func TestSelectivityBoundsProperty(t *testing.T) {
+	// Property: every estimator returns a value in [0,1] on random data.
+	f := func(seed int64, nb uint8, lo, hi int16) bool {
+		vals := uniformVals(500, 200, seed)
+		for _, fam := range []Family{EquiWidth, EquiDepth, MaxDiff, EndBiased} {
+			h := Build(fam, vals, int(nb%30)+1, 0)
+			for _, s := range []float64{
+				h.EstimateEq(float64(lo)),
+				h.EstimateRange(float64(lo), float64(hi)),
+				h.EstimateJoin(h),
+			} {
+				if s < 0 || s > 1 || math.IsNaN(s) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := Build(MaxDiff, uniformVals(100, 50, 2), 10, 0)
+	if h.String() == "" {
+		t.Error("empty String()")
+	}
+	if h.Min() > h.Max() {
+		t.Error("Min > Max")
+	}
+	var empty Histogram
+	if !math.IsNaN(empty.Min()) || !math.IsNaN(empty.Max()) {
+		t.Error("empty Min/Max not NaN")
+	}
+}

@@ -1,0 +1,76 @@
+package histogram
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestEstimateJoinMisalignedIntegerBuckets is a regression test: two
+// histograms over the same integer domain whose bucket boundaries do not
+// line up used to meet only at zero-width points, collapsing the join
+// estimate to ~0 and making downstream plans look free. The +1 smoothing
+// in overlapFrac keeps the estimate near 1/distinct.
+func TestEstimateJoinMisalignedIntegerBuckets(t *testing.T) {
+	// Side A: values 0..39 uniform; side B: values 0..39 but with
+	// frequencies that force MaxDiff boundaries at different places.
+	var a, b []types.Value
+	for v := int64(0); v < 40; v++ {
+		for i := int64(0); i < 25; i++ {
+			a = append(a, types.NewInt(v))
+		}
+		reps := int64(10 + (v%2)*30) // alternating frequencies move B's boundaries
+		for i := int64(0); i < reps; i++ {
+			b = append(b, types.NewInt(v))
+		}
+	}
+	ha := Build(MaxDiff, a, 20, 0)
+	hb := Build(MaxDiff, b, 20, 0)
+	got := ha.EstimateJoin(hb)
+	want := 1.0 / 40.0
+	if got < want/4 {
+		t.Errorf("misaligned join selectivity collapsed: %g, want ~%g", got, want)
+	}
+	if got > want*4 {
+		t.Errorf("misaligned join selectivity inflated: %g, want ~%g", got, want)
+	}
+}
+
+func TestEstimateJoinSelfConsistency(t *testing.T) {
+	// Joining a histogram with itself on a key-like column: selectivity
+	// ~1/distinct.
+	var vs []types.Value
+	for v := int64(0); v < 500; v++ {
+		vs = append(vs, types.NewInt(v))
+	}
+	for _, fam := range []Family{MaxDiff, EquiDepth, EquiWidth, EndBiased} {
+		h := Build(fam, vs, 20, 0)
+		got := h.EstimateJoin(h)
+		want := 1.0 / 500.0
+		if got < want/5 || got > want*5 {
+			t.Errorf("%s: self-join selectivity %g, want ~%g", fam, got, want)
+		}
+	}
+}
+
+func TestScaledPreservesFractions(t *testing.T) {
+	var vs []types.Value
+	for i := 0; i < 1000; i++ {
+		vs = append(vs, types.NewInt(int64(i%50)))
+	}
+	h := Build(MaxDiff, vs, 20, 0)
+	s := h.Scaled(123456)
+	if s.Total != 123456 {
+		t.Errorf("Scaled Total = %g", s.Total)
+	}
+	if s.TotalDistinct != h.TotalDistinct {
+		t.Error("Scaled changed distinct count")
+	}
+	if a, b := h.EstimateEq(7), s.EstimateEq(7); a != b {
+		t.Errorf("Scaled changed fractions: %g vs %g", a, b)
+	}
+	// The original is untouched.
+	if h.Total != 1000 {
+		t.Errorf("Scaled mutated the receiver: Total = %g", h.Total)
+	}
+}

@@ -1,0 +1,104 @@
+// Package memmgr implements the Memory Manager: it turns the optimizer's
+// per-operator memory demand estimates (MemMin, MemMax annotations) into
+// memory grants under a per-query budget, exactly as in the paper's
+// Figure 3 walk-through — the first memory-consuming operator in
+// execution order is topped up toward its maximum first, later operators
+// fall back to their minimums, and any leftover flows to whoever still
+// wants it.
+//
+// Dynamic re-allocation (§2.3) is the same algorithm re-run over the
+// operators that have not yet started executing, with their demands
+// recomputed from improved estimates and the budget reduced by memory
+// still held by running operators.
+package memmgr
+
+import (
+	"repro/internal/plan"
+)
+
+// Manager allocates operator memory under a fixed per-query budget in
+// bytes.
+type Manager struct {
+	Budget float64
+}
+
+// New returns a manager with the given byte budget.
+func New(budget float64) *Manager { return &Manager{Budget: budget} }
+
+// Consumers returns the memory-consuming nodes of a plan in execution
+// order. For the engine's left-deep plans, post-order traversal visits
+// operators in the order their memory is first needed: the deepest
+// join's build phase runs first.
+func Consumers(root plan.Node) []plan.Node {
+	var out []plan.Node
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		for _, c := range n.Children() {
+			walk(c)
+		}
+		if n.Est().MemMax > 0 {
+			out = append(out, n)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// Allocate assigns a memory grant to every memory-consuming node of the
+// plan. Every operator receives at least its minimum (over-committing
+// the budget if the minimums alone exceed it, as real systems must);
+// remaining budget tops operators up toward their maximums in execution
+// order.
+func (m *Manager) Allocate(root plan.Node) {
+	m.AllocateOps(Consumers(root), m.Budget)
+}
+
+// AllocateOps runs the allocation policy over an explicit operator list
+// (already in execution order) under the given budget. The re-optimizer
+// calls this directly for the not-yet-started suffix of a plan.
+func (m *Manager) AllocateOps(ops []plan.Node, budget float64) {
+	remaining := budget
+	for _, op := range ops {
+		e := op.Est()
+		grant := e.MemMin
+		if grant > e.MemMax {
+			grant = e.MemMax
+		}
+		e.Grant = grant
+		remaining -= grant
+	}
+	if remaining <= 0 {
+		return
+	}
+	for _, op := range ops {
+		e := op.Est()
+		want := e.MemMax - e.Grant
+		if want <= 0 {
+			continue
+		}
+		if e.MemStep {
+			// All-or-nothing: partial memory does not save the
+			// operator's extra pass, so don't waste budget on it.
+			if want > remaining {
+				continue
+			}
+		} else if want > remaining {
+			want = remaining
+		}
+		e.Grant += want
+		remaining -= want
+		if remaining <= 0 {
+			return
+		}
+	}
+}
+
+// HeldBy sums the grants of the given nodes — the memory unavailable for
+// re-allocation while those operators are still running.
+func HeldBy(ops []plan.Node) float64 {
+	total := 0.0
+	for _, op := range ops {
+		total += op.Est().Grant
+	}
+	return total
+}

@@ -1,0 +1,51 @@
+package memmgr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/plan"
+)
+
+func TestStepOpsAllOrNothing(t *testing.T) {
+	// Property: an all-or-nothing (MemStep) operator's grant is always
+	// exactly MemMin or exactly MemMax, never between.
+	f := func(mins, spans [3]uint16, budgetRaw uint32) bool {
+		var ops []plan.Node
+		for i := 0; i < 3; i++ {
+			mn := float64(mins[i]%1000) + 1
+			mx := mn + float64(spans[i])
+			ops = append(ops, newStep(mn, mx))
+		}
+		budget := float64(budgetRaw % 100000)
+		New(budget).AllocateOps(ops, budget)
+		for _, op := range ops {
+			e := op.Est()
+			if e.Grant != e.MemMin && e.Grant != e.MemMax {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepSkippedLeftoverFlowsOn(t *testing.T) {
+	// A step op whose top-up does not fit is skipped entirely; the
+	// budget it would have consumed flows to the next consumer.
+	a := newStep(1, 100) // fits
+	b := newStep(1, 1000)
+	c := newMem(1, 500)
+	New(400).AllocateOps([]plan.Node{a, b, c}, 400)
+	if a.est.Grant != 100 {
+		t.Errorf("a grant = %g", a.est.Grant)
+	}
+	if b.est.Grant != 1 {
+		t.Errorf("b grant = %g, want min (all-or-nothing skip)", b.est.Grant)
+	}
+	if c.est.Grant != 299 { // min(1) + leftover(298)
+		t.Errorf("c grant = %g, want 299", c.est.Grant)
+	}
+}

@@ -1,0 +1,131 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/histogram"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Bind compiles a SQL expression against a schema, resolving column
+// references to ordinals. Aggregate expressions are rejected; the planner
+// compiles those separately into Agg nodes.
+func Bind(e sql.Expr, schema *types.Schema) (Expr, error) {
+	switch x := e.(type) {
+	case *sql.ColumnRef:
+		idx, err := schema.Resolve(x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &ColExpr{Idx: idx, Col: schema.Columns[idx]}, nil
+	case *sql.Literal:
+		return &ConstExpr{Val: x.Value}, nil
+	case *sql.HostVar:
+		return &ParamExpr{Name: x.Name, Hint: types.KindFloat}, nil
+	case *sql.BinaryExpr:
+		l, err := Bind(x.Left, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Bind(x.Right, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: x.Op, Left: l, Right: r}, nil
+	case *sql.AggExpr:
+		return nil, fmt.Errorf("plan: aggregate %s in scalar context", x.SQL())
+	default:
+		return nil, fmt.Errorf("plan: cannot bind expression %T", e)
+	}
+}
+
+// BindPred compiles a SQL predicate against a schema.
+func BindPred(p sql.Predicate, schema *types.Schema) (Pred, error) {
+	switch x := p.(type) {
+	case *sql.ComparePred:
+		l, err := Bind(x.Left, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Bind(x.Right, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &CmpPred{Op: x.Op, Left: l, Right: r}, nil
+	case *sql.BetweenPred:
+		e, err := Bind(x.Expr, schema)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := Bind(x.Lo, schema)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := Bind(x.Hi, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenPred{Expr: e, Lo: lo, Hi: hi}, nil
+	case *sql.InPred:
+		e, err := Bind(x.Expr, schema)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]Expr, len(x.List))
+		for i, le := range x.List {
+			var err error
+			list[i], err = Bind(le, schema)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &InPred{Expr: e, List: list}, nil
+	case *sql.LikePred:
+		e, err := Bind(x.Expr, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &LikePred{Expr: e, Pattern: x.Pattern}, nil
+	default:
+		return nil, fmt.Errorf("plan: cannot bind predicate %T", p)
+	}
+}
+
+// Observed is the statistics snapshot a collector reports when its input
+// is exhausted (§2.2). Unlike the optimizer's numbers these are observed
+// statistics, and the paper's "improved estimates" for the remainder of
+// the query are derived from them.
+type Observed struct {
+	CollectorID int
+	Rows        float64
+	Bytes       float64 // total encoded bytes seen
+	// Hists maps column ordinal (in the collector's input schema) to
+	// the run-time histogram built from the reservoir sample.
+	Hists map[int]*histogram.Histogram
+	// Uniques maps a column-set key (from UniqueKey) to the estimated
+	// number of distinct combinations.
+	Uniques map[string]float64
+	// Mins and Maxs are per-column observed extrema.
+	Mins, Maxs map[int]types.Value
+}
+
+// AvgTupleBytes returns the observed mean tuple size.
+func (o *Observed) AvgTupleBytes() float64 {
+	if o.Rows <= 0 {
+		return 0
+	}
+	return o.Bytes / o.Rows
+}
+
+// UniqueKey canonicalizes a column set for the Uniques map.
+func UniqueKey(cols []int) string {
+	key := ""
+	for i, c := range cols {
+		if i > 0 {
+			key += ","
+		}
+		key += fmt.Sprint(c)
+	}
+	return key
+}

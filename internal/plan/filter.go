@@ -1,0 +1,37 @@
+package plan
+
+import (
+	"strings"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Filter applies residual predicates that could not be pushed into a
+// scan or turned into join keys — e.g. a non-equi condition across two
+// relations, applied above the join that brings them together.
+type Filter struct {
+	base
+	Input Node
+	Preds []Pred
+	// PredSQL preserves the AST forms for remainder-query regeneration.
+	PredSQL []sql.Predicate
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() *types.Schema { return f.Input.Schema() }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Input} }
+
+// Label implements Node.
+func (f *Filter) Label() string { return "filter" }
+
+// Describe implements Node.
+func (f *Filter) Describe() string {
+	parts := make([]string, len(f.Preds))
+	for i, p := range f.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " and ")
+}

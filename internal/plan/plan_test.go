@@ -1,0 +1,196 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+func bindSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Table: "r", Name: "a", Kind: types.KindInt},
+		types.Column{Table: "r", Name: "b", Kind: types.KindFloat},
+		types.Column{Table: "r", Name: "s", Kind: types.KindString},
+		types.Column{Table: "r", Name: "d", Kind: types.KindDate},
+	)
+}
+
+func parseWhere(t *testing.T, cond string) sql.Predicate {
+	t.Helper()
+	stmt, err := sql.Parse("select a from r where " + cond)
+	if err != nil {
+		t.Fatalf("parse %q: %v", cond, err)
+	}
+	return stmt.Where[0]
+}
+
+func testTuple() types.Tuple {
+	return types.Tuple{
+		types.NewInt(10), types.NewFloat(2.5), types.NewString("BUILDER"), types.NewDate(9000),
+	}
+}
+
+func TestBindAndEvalComparisons(t *testing.T) {
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{"a = 10", true},
+		{"a <> 10", false},
+		{"a < 11", true},
+		{"a <= 10", true},
+		{"a > 10", false},
+		{"a >= 10", true},
+		{"b = 2.5", true},
+		{"a + 5 = 15", true},
+		{"a * 2 - 5 = 15", true},
+		{"a / 2 = 5", true},
+		{"b * 4 = a", true},
+		{"s = 'BUILDER'", true},
+		{"s = 'other'", false},
+		{"a between 5 and 15", true},
+		{"a between 11 and 15", false},
+		{"a in (1, 10, 100)", true},
+		{"a in (1, 2)", false},
+		{"s like 'BUILD%'", true},
+		{"s like '%ILD%'", true},
+		{"s like 'B_ILDER'", true},
+		{"s like 'X%'", false},
+		{"d >= date '1994-01-01'", true},
+		{"d < date '1994-01-01' + 10000", true},
+	}
+	sch := bindSchema()
+	for _, c := range cases {
+		p, err := BindPred(parseWhere(t, c.cond), sch)
+		if err != nil {
+			t.Fatalf("bind %q: %v", c.cond, err)
+		}
+		got, err := p.Test(testTuple(), nil)
+		if err != nil {
+			t.Fatalf("test %q: %v", c.cond, err)
+		}
+		if got != c.want {
+			t.Errorf("%q = %v, want %v", c.cond, got, c.want)
+		}
+	}
+}
+
+func TestBindHostVar(t *testing.T) {
+	sch := bindSchema()
+	p, err := BindPred(parseWhere(t, "a < :cut"), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Test(testTuple(), Params{"cut": types.NewInt(50)})
+	if err != nil || !got {
+		t.Errorf("a < :cut{50} = %v, %v", got, err)
+	}
+	got, _ = p.Test(testTuple(), Params{"cut": types.NewInt(5)})
+	if got {
+		t.Error("a < :cut{5} = true")
+	}
+	if _, err := p.Test(testTuple(), nil); err == nil {
+		t.Error("unbound host variable did not error")
+	}
+}
+
+func TestNullComparisonsFail(t *testing.T) {
+	sch := bindSchema()
+	p, _ := BindPred(parseWhere(t, "a = 10"), sch)
+	nullTup := types.Tuple{types.Null(), types.Null(), types.Null(), types.Null()}
+	got, err := p.Test(nullTup, nil)
+	if err != nil || got {
+		t.Errorf("NULL = 10 evaluated to %v, %v", got, err)
+	}
+	between, _ := BindPred(parseWhere(t, "a between 1 and 20"), sch)
+	if got, _ := between.Test(nullTup, nil); got {
+		t.Error("NULL between 1 and 20 = true")
+	}
+	in, _ := BindPred(parseWhere(t, "a in (1, 2)"), sch)
+	if got, _ := in.Test(nullTup, nil); got {
+		t.Error("NULL in (...) = true")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	sch := bindSchema()
+	if _, err := BindPred(parseWhere(t, "zzz = 1"), sch); err == nil {
+		t.Error("binding unknown column succeeded")
+	}
+	stmt, _ := sql.Parse("select sum(a) from r")
+	if _, err := Bind(stmt.Select[0].Expr, sch); err == nil {
+		t.Error("binding aggregate in scalar context succeeded")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"abc", "abc", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_b", false},
+		{"abc", "%%", true},
+		{"abc", "", false},
+		{"aXbXc", "a%b%c", true},
+		{"mississippi", "%iss%ppi", true},
+		{"mississippi", "%iss%ppX", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pat); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.s, c.pat, got)
+		}
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	sch := bindSchema()
+	p, _ := BindPred(parseWhere(t, "a + 1 < :v"), sch)
+	if s := p.String(); !strings.Contains(s, "r.a") || !strings.Contains(s, ":v") {
+		t.Errorf("Pred.String() = %q", s)
+	}
+}
+
+func TestExprKinds(t *testing.T) {
+	sch := bindSchema()
+	stmt, _ := sql.Parse("select a + 1, b * 2, d - 30 from r")
+	wantKinds := []types.Kind{types.KindInt, types.KindFloat, types.KindDate}
+	for i, item := range stmt.Select {
+		e, err := Bind(item.Expr, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Kind() != wantKinds[i] {
+			t.Errorf("expr %d kind = %v, want %v", i, e.Kind(), wantKinds[i])
+		}
+	}
+}
+
+func TestObservedHelpers(t *testing.T) {
+	o := &Observed{Rows: 4, Bytes: 100}
+	if o.AvgTupleBytes() != 25 {
+		t.Errorf("AvgTupleBytes = %g", o.AvgTupleBytes())
+	}
+	empty := &Observed{}
+	if empty.AvgTupleBytes() != 0 {
+		t.Error("empty AvgTupleBytes != 0")
+	}
+	if UniqueKey([]int{2, 5}) != "2,5" {
+		t.Errorf("UniqueKey = %q", UniqueKey([]int{2, 5}))
+	}
+}
+
+func TestColExprOutOfRange(t *testing.T) {
+	e := &ColExpr{Idx: 9, Col: types.Column{Name: "x"}}
+	if _, err := e.Eval(types.Tuple{types.NewInt(1)}, nil); err == nil {
+		t.Error("out-of-range ColExpr did not error")
+	}
+}

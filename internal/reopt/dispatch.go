@@ -1,0 +1,573 @@
+package reopt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/memmgr"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// dispatch executes a decomposed plan segment by segment. After each
+// hash-join build phase completes — the paper's decision point, where
+// "the build phase of the hash-join is complete but the probe phase has
+// not yet started" (§2.4) — freshly-delivered collector reports drive
+// memory re-allocation and, if Equations 1 and 2 warrant it, a plan
+// switch via materialization.
+func (d *Dispatcher) dispatch(res *optimizer.Result, params plan.Params, ctx *exec.Ctx, st *Stats, switchesLeft int) ([]types.Tuple, error) {
+	return d.dispatchWith(res, params, ctx, st, switchesLeft, nil)
+}
+
+// dispatchWith additionally accepts a live operator stream standing in
+// for the plan's leftmost scan — the splice of Figure 5, where the new
+// remainder plan consumes the running join's output directly.
+func (d *Dispatcher) dispatchWith(res *optimizer.Result, params plan.Params, ctx *exec.Ctx, st *Stats, switchesLeft int, leafOverride exec.Operator) ([]types.Tuple, error) {
+	dec, err := decompose(res.Root)
+	if err != nil {
+		return nil, err
+	}
+	origTotal := res.Root.Est().Cost
+	startSnap := ctx.Meter.Snapshot()
+
+	// Intercept collector reports for the duration of this dispatch.
+	var pending []*plan.Observed
+	oldSink := ctx.StatsSink
+	ctx.StatsSink = func(o *plan.Observed) {
+		pending = append(pending, o)
+		st.Observations++
+	}
+	defer func() { ctx.StatsSink = oldSink }()
+
+	collectors := map[int]*plan.Collector{}
+	plan.Walk(res.Root, func(n plan.Node) {
+		if c, ok := n.(*plan.Collector); ok {
+			collectors[c.ID] = c
+		}
+	})
+
+	cur, err := d.buildLeafOp(dec, ctx, leafOverride)
+	if err != nil {
+		return nil, err
+	}
+	for i := range dec.steps {
+		step := dec.steps[i]
+		joinOp, err := exec.BuildStep(step.join, cur, ctx)
+		if err != nil {
+			return nil, err
+		}
+		topOp := joinOp
+		for _, w := range step.wrappers {
+			topOp, err = exec.BuildStep(w, topOp, ctx)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Run this join's build phase (for index joins this is free and
+		// no statistics can have completed).
+		if err := joinOp.Open(); err != nil {
+			return nil, err
+		}
+		if len(pending) > 0 {
+			obs := pending[len(pending)-1] // latest = closest to this join
+			pending = nil
+			doSwitch, err := d.checkpoint(res, dec, i, obs, collectors, origTotal, startSnap, ctx, st, switchesLeft)
+			if err != nil {
+				return nil, err
+			}
+			if doSwitch {
+				return d.switchPlan(res, dec, i, topOp, obs, collectors[obs.CollectorID], params, ctx, st, switchesLeft)
+			}
+		}
+		cur = topOp
+	}
+
+	top := cur
+	for k := len(dec.tops) - 1; k >= 0; k-- {
+		top, err = exec.BuildStep(dec.tops[k], top, ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return exec.Collect(top)
+}
+
+// buildLeafOp builds the operator for the leftmost pipeline. With an
+// override, the pipeline's scan is replaced by the live stream and any
+// wrappers (collectors) above it are applied on top.
+func (d *Dispatcher) buildLeafOp(dec *decomposed, ctx *exec.Ctx, override exec.Operator) (exec.Operator, error) {
+	if override == nil {
+		return exec.Build(dec.leafTop, ctx)
+	}
+	// Collect the wrappers between leafTop and the scan, top-down.
+	var wrappers []plan.Node
+	cur := dec.leafTop
+	for {
+		switch x := cur.(type) {
+		case *plan.Collector:
+			wrappers = append(wrappers, x)
+			cur = x.Input
+		case *plan.Filter:
+			wrappers = append(wrappers, x)
+			cur = x.Input
+		case *plan.Scan:
+			op := override
+			for k := len(wrappers) - 1; k >= 0; k-- {
+				var err error
+				op, err = exec.BuildStep(wrappers[k], op, ctx)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return op, nil
+		default:
+			return nil, fmt.Errorf("reopt: unexpected %T in leaf pipeline", cur)
+		}
+	}
+}
+
+// checkpoint processes one statistics report at the decision point after
+// step i's build phase. It updates estimates for the unexecuted plan
+// suffix, re-invokes the Memory Manager (memory modes), and evaluates
+// Equations 1 and 2 plus the trial re-optimization (plan modes),
+// returning whether to switch plans.
+func (d *Dispatcher) checkpoint(res *optimizer.Result, dec *decomposed, i int, obs *plan.Observed, collectors map[int]*plan.Collector, origTotal float64, startSnap storage.Snapshot, ctx *exec.Ctx, st *Stats, switchesLeft int) (bool, error) {
+	cnode := collectors[obs.CollectorID]
+	if cnode == nil {
+		return false, nil
+	}
+	estRows := cnode.Est().Rows
+	ratio := 1.0
+	switch {
+	case estRows > 0:
+		ratio = obs.Rows / estRows
+	case obs.Rows > 0:
+		ratio = obs.Rows // estimate said empty; scale from 1
+	}
+
+	d.applyImproved(dec, i, cnode, obs, ratio)
+
+	// In the combined mode the Memory Manager is re-invoked before the
+	// plan-modification decision: re-allocation is free (grants only
+	// matter once an operator starts), and Equation 2's improved
+	// estimate must reflect the memory the remainder will actually
+	// have — otherwise a plan switch can preempt a superior memory fix.
+	planMode := d.Cfg.Mode == ModePlanOnly || d.Cfg.Mode == ModeFull || d.Cfg.Mode == ModeRestart
+	memMode := d.Cfg.Mode == ModeMemoryOnly || d.Cfg.Mode == ModeFull
+	if memMode {
+		d.reallocate(dec, i, st)
+	}
+	if planMode && switchesLeft > 0 {
+		return d.considerSwitch(res, dec, i, obs, cnode, origTotal, startSnap, ctx, st)
+	}
+	return false, nil
+}
+
+// considerSwitch evaluates Equations 1 and 2 and the trial
+// re-optimization at one checkpoint.
+func (d *Dispatcher) considerSwitch(res *optimizer.Result, dec *decomposed, i int, obs *plan.Observed, cnode *plan.Collector, origTotal float64, startSnap storage.Snapshot, ctx *exec.Ctx, st *Stats) (bool, error) {
+	st.ReoptConsidered++
+	elapsed := ctx.Meter.Snapshot().Sub(startSnap).Cost()
+	remainderImproved := d.recostRemainder(dec, i)
+	tCurImproved := elapsed + remainderImproved
+	if origTotal <= 0 {
+		return false, nil
+	}
+	// Equation 2: the plan is only suspect if the improved estimate is
+	// significantly worse than what the optimizer promised.
+	if (tCurImproved-origTotal)/origTotal <= d.Cfg.Theta2 {
+		st.Decisions = append(st.Decisions, fmt.Sprintf(
+			"checkpoint %d: keep (eq2: improved %.0f vs estimate %.0f)", i, tCurImproved, origTotal))
+		return false, nil
+	}
+	// Equation 1: re-optimization must be cheap relative to the
+	// remaining work.
+	remRels := len(res.Query.Rels) - (i + 2)
+	tOptEst := d.Calib.OptTime(maxInt(1, remRels))
+	if tOptEst/tCurImproved > d.Cfg.Theta1 {
+		st.Decisions = append(st.Decisions, fmt.Sprintf(
+			"checkpoint %d: keep (eq1: T_opt %.1f vs improved %.0f)", i, tOptEst, tCurImproved))
+		return false, nil
+	}
+	if d.Cfg.Mode == ModeRestart {
+		// The discard-everything ablation skips the trial: it always
+		// believes a fresh start will win.
+		st.Decisions = append(st.Decisions, fmt.Sprintf("checkpoint %d: restart", i))
+		return true, nil
+	}
+	// Trial re-optimization: T_opt,actual is charged whether or not the
+	// new plan is adopted (§2.4).
+	tNewTotal, ok, err := d.trialOptimize(res, dec, i, obs, cnode, elapsed, ctx)
+	if err != nil {
+		return false, err
+	}
+	doSwitch := ok && tNewTotal < tCurImproved*(1-d.Cfg.SwitchMargin)
+	st.Decisions = append(st.Decisions, fmt.Sprintf(
+		"checkpoint %d: trial new %.0f vs improved %.0f (elapsed %.0f) -> switch=%v",
+		i, tNewTotal, tCurImproved, elapsed, doSwitch))
+	return doSwitch, nil
+}
+
+// applyImproved scales the optimizer's annotations for every node at or
+// above the observation point by the observed/estimated cardinality
+// ratio, refreshes memory demands, and overrides group-count estimates
+// with observed distinct counts where available.
+func (d *Dispatcher) applyImproved(dec *decomposed, i int, cnode *plan.Collector, obs *plan.Observed, ratio float64) {
+	ce := cnode.Est()
+	ce.Rows = obs.Rows
+	ce.Bytes = obs.Bytes
+
+	scale := func(n plan.Node) {
+		e := n.Est()
+		e.Rows *= ratio
+		e.Bytes *= ratio
+	}
+	// Current step's join output scales (its build input was observed).
+	for k := i; k < len(dec.steps); k++ {
+		step := dec.steps[k]
+		scale(step.join)
+		for _, w := range step.wrappers {
+			if w != plan.Node(cnode) {
+				scale(w)
+			}
+		}
+		if hj, ok := step.join.(*plan.HashJoin); ok && k > i {
+			// Build side of a future join is the previous step's top.
+			build := dec.stepTopNode(k - 1).Est()
+			e := hj.Est()
+			e.MemMin, e.MemMax = optimizer.JoinMemDemands(build.Bytes)
+		}
+	}
+	for _, t := range dec.tops {
+		switch x := t.(type) {
+		case *plan.Agg:
+			e := x.Est()
+			oldGroups := e.Rows
+			state := 64.0
+			if oldGroups > 0 && e.MemMax > 0 {
+				state = e.MemMax / oldGroups
+			}
+			inRows := x.Input.Est().Rows
+			groups := math.Min(oldGroups, inRows)
+			if u, ok := findUniqueObs(obs, cnode, x); ok {
+				groups = math.Min(u, inRows)
+			}
+			e.Rows = math.Max(1, groups)
+			e.MemMin, e.MemMax = optimizer.StepMemDemands(e.Rows * state)
+		case *plan.Sort:
+			e := x.Est()
+			in := x.Input.Est()
+			e.Rows, e.Bytes = in.Rows, in.Bytes
+			e.MemMin, e.MemMax = optimizer.StepMemDemands(in.Bytes * 1.1)
+		case *plan.Project, *plan.Limit:
+			scale(x)
+		}
+	}
+}
+
+// findUniqueObs matches an aggregate's grouping columns against the
+// observed distinct-count sets by column identity.
+func findUniqueObs(obs *plan.Observed, cnode *plan.Collector, agg *plan.Agg) (float64, bool) {
+	if len(obs.Uniques) == 0 {
+		return 0, false
+	}
+	aggIn := agg.Input.Schema()
+	want := map[string]bool{}
+	for _, gc := range agg.GroupCols {
+		c := aggIn.Columns[gc]
+		want[c.Table+"."+c.Name] = true
+	}
+	colSchema := cnode.Input.Schema()
+	for _, set := range cnode.Spec.UniqueCols {
+		if len(set) != len(want) {
+			continue
+		}
+		all := true
+		for _, ci := range set {
+			c := colSchema.Columns[ci]
+			if !want[c.Table+"."+c.Name] {
+				all = false
+				break
+			}
+		}
+		if all {
+			if u, ok := obs.Uniques[plan.UniqueKey(set)]; ok {
+				return u, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// reallocate re-invokes the Memory Manager over the operators that have
+// not started executing, under the budget minus what the running join
+// still holds (§2.3).
+func (d *Dispatcher) reallocate(dec *decomposed, i int, st *Stats) {
+	var notStarted []plan.Node
+	for k := i + 1; k < len(dec.steps); k++ {
+		if dec.steps[k].join.Est().MemMax > 0 {
+			notStarted = append(notStarted, dec.steps[k].join)
+		}
+	}
+	for k := len(dec.tops) - 1; k >= 0; k-- {
+		if dec.tops[k].Est().MemMax > 0 {
+			notStarted = append(notStarted, dec.tops[k])
+		}
+	}
+	if len(notStarted) == 0 {
+		return
+	}
+	held := dec.steps[i].join.Est().Grant // the running join's hash table
+	budget := math.Max(0, d.Cfg.MemBudget-held)
+	// Re-allocation must never leave an operator worse off than the
+	// initial allocation did: the earlier joins' grants are freed by
+	// now, so every old grant still fits in the reduced budget. Floor
+	// each operator's minimum — and, if the improved estimate shrank
+	// its declared maximum, the maximum too — at the current grant.
+	// A scaled-down estimate is still an estimate; taking memory away
+	// on its word can introduce a spill the initial allocation had
+	// already paid to avoid, while keeping the old grant costs nothing
+	// (operator memory is a budget, not a shared cache).
+	savedMins := make([]float64, len(notStarted))
+	for k, op := range notStarted {
+		e := op.Est()
+		savedMins[k] = e.MemMin
+		if e.MemMax < e.Grant {
+			e.MemMax = e.Grant
+		}
+		if e.MemMin < e.Grant {
+			e.MemMin = e.Grant
+		}
+	}
+	memmgr.New(budget).AllocateOps(notStarted, budget)
+	for k, op := range notStarted {
+		op.Est().MemMin = savedMins[k]
+	}
+	st.MemReallocs++
+}
+
+// recostRemainder prices the unexecuted plan suffix under the improved
+// estimates and current grants: the probe phase of step i's join, every
+// later step, and the top operators — the paper's T_cur-plan,improved
+// minus already-elapsed time.
+func (d *Dispatcher) recostRemainder(dec *decomposed, i int) float64 {
+	w := d.Cfg.Weights
+	cost := d.finishStepCost(dec, i)
+	for k := i + 1; k < len(dec.steps); k++ {
+		cost += d.stepCost(dec, k)
+	}
+	prev := dec.stepTopNode(len(dec.steps) - 1).Est()
+	inRows, inBytes := prev.Rows, prev.Bytes
+	for k := len(dec.tops) - 1; k >= 0; k-- {
+		switch x := dec.tops[k].(type) {
+		case *plan.Agg:
+			e := x.Est()
+			state := 64.0
+			if e.Rows > 0 && e.MemMax > 0 {
+				state = e.MemMax / e.Rows
+			}
+			cost += optimizer.AggSelfCost(w, inRows, e.Rows, state, e.Grant)
+			inRows, inBytes = e.Rows, e.Bytes
+		case *plan.Sort:
+			e := x.Est()
+			cost += optimizer.SortSelfCost(w, inRows, inBytes, e.Grant)
+		case *plan.Limit:
+			e := x.Est()
+			if e.Rows < inRows {
+				inRows = e.Rows
+			}
+		}
+	}
+	return cost
+}
+
+// finishStepCost prices completing step i's join whose build phase has
+// already run: the probe input scan, the probe CPU, and (for a spilled
+// join) the remaining partition I/O.
+func (d *Dispatcher) finishStepCost(dec *decomposed, i int) float64 {
+	w := d.Cfg.Weights
+	step := dec.steps[i]
+	out := step.join.Est()
+	var cost float64
+	switch j := step.join.(type) {
+	case *plan.HashJoin:
+		probe := j.Probe.Est()
+		cost = probe.Cost + optimizer.HashJoinProbeCost(w, probe.Rows, out.Rows)
+		build := dec.stepTopNode(i - 1).Est()
+		if optimizer.HashJoinSpills(build.Bytes, j.Est().Grant) {
+			// Build partitions are already written; still owed: read
+			// them back, write and read the probe partitions.
+			cost += pagesOf(build.Bytes)*w.PageRead +
+				pagesOf(probe.Bytes)*(w.PageRead+w.PageWrite)
+		}
+	case *plan.IndexJoin:
+		outer := dec.stepTopNode(i - 1).Est()
+		cost = optimizer.IndexJoinSelfCost(w, outer.Rows, j.EstMatches, out.Rows,
+			j.Table.NumPages(), float64(j.Table.Heap.NumTuples()), indexClustering(j), d.Cfg.PoolPages)
+	}
+	return cost + d.wrapperCost(step)
+}
+
+// stepCost prices a not-yet-started step in full.
+func (d *Dispatcher) stepCost(dec *decomposed, k int) float64 {
+	w := d.Cfg.Weights
+	step := dec.steps[k]
+	out := step.join.Est()
+	build := dec.stepTopNode(k - 1).Est()
+	var cost float64
+	switch j := step.join.(type) {
+	case *plan.HashJoin:
+		probe := j.Probe.Est()
+		cost = probe.Cost + optimizer.HashJoinSelfCost(w,
+			build.Rows, build.Bytes, probe.Rows, probe.Bytes, out.Rows, j.Est().Grant)
+	case *plan.IndexJoin:
+		cost = optimizer.IndexJoinSelfCost(w, build.Rows, j.EstMatches, out.Rows,
+			j.Table.NumPages(), float64(j.Table.Heap.NumTuples()), indexClustering(j), d.Cfg.PoolPages)
+	}
+	return cost + d.wrapperCost(step)
+}
+
+func (d *Dispatcher) wrapperCost(step chainStep) float64 {
+	cost := 0.0
+	for _, wn := range step.wrappers {
+		if c, ok := wn.(*plan.Collector); ok && !c.Spec.Empty() {
+			cost += c.Input.Est().Rows * d.Cfg.Weights.StatCPU
+		}
+	}
+	return cost
+}
+
+func pagesOf(bytes float64) float64 {
+	return math.Max(1, math.Ceil(bytes/float64(storage.PageSize)))
+}
+
+// indexClustering fetches the clustering factor of an index join's inner
+// index, defaulting to 0 (random access) if the index is missing.
+func indexClustering(j *plan.IndexJoin) float64 {
+	if idx, ok := j.Table.Indexes[j.InnerCol]; ok {
+		return idx.Clustering
+	}
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// consumedMask returns the relation bitmask materialized after step i
+// completes: the leftmost relation plus every relation joined by steps
+// 0..i.
+func consumedMask(res *optimizer.Result, i int) uint32 {
+	var m uint32
+	for k := 0; k <= i+1 && k < len(res.Order); k++ {
+		m |= 1 << uint(res.Order[k])
+	}
+	return m
+}
+
+// trialOptimize registers a virtual temp table with improved statistics,
+// optimizes the remainder query against it, and returns the estimated
+// total time of the switch path: elapsed + finishing the running join +
+// materialization write + the new plan (which itself includes re-reading
+// the temp). T_opt,actual is charged to the meter here, adopted or not.
+func (d *Dispatcher) trialOptimize(res *optimizer.Result, dec *decomposed, i int, obs *plan.Observed, cnode *plan.Collector, elapsed float64, ctx *exec.Ctx) (float64, bool, error) {
+	matNode := dec.stepTopNode(i)
+	matEst := matNode.Est()
+	if matEst.Rows <= 0 {
+		return 0, false, nil
+	}
+	d.tempSeq++
+	tempName := fmt.Sprintf("mqr_trial_%d", d.tempSeq)
+	heap := storage.NewHeapFile(ctx.Pool) // placeholder; never populated
+	tbl, err := d.Cat.RegisterTemp(tempName, tempSchema(matNode.Schema()), heap)
+	if err != nil {
+		return 0, false, err
+	}
+	defer d.Cat.DropTable(tempName)
+	tbl.Cardinality = matEst.Rows
+	tbl.AvgTupleBytes = matEst.Bytes / matEst.Rows
+	fillTempStats(tbl, matNode.Schema(), obs, cnode, res.Query, matEst.Rows)
+
+	remStmt, err := remainderStmt(res.Query, consumedMask(res, i), tempName)
+	if err != nil {
+		return 0, false, err
+	}
+	rq, err := optimizer.Analyze(d.Cat, remStmt)
+	if err != nil {
+		return 0, false, err
+	}
+	opt := &optimizer.Optimizer{
+		Weights:          d.Cfg.Weights,
+		MemBudget:        d.Cfg.MemBudget,
+		DisableIndexJoin: d.Cfg.DisableIndexJoin,
+		PoolPages:        d.Cfg.PoolPages,
+	}
+	newRes, err := opt.Optimize(rq)
+	if err != nil {
+		return 0, false, err
+	}
+	ctx.Meter.ChargeRaw(float64(newRes.PlansConsidered) * optimizer.OptCostPerPlan)
+
+	// The splice strategy (Figure 5) avoids the materialization
+	// write; the new plan's temp-scan cost is already ~zero because
+	// the virtual temp has no pages, matching the live-stream reality.
+	tMat := 0.0
+	if d.Cfg.Strategy == StrategyMaterialize {
+		tMat = pagesOf(matEst.Bytes) * d.Cfg.Weights.PageWrite
+	}
+	tFinish := d.finishStepCost(dec, i)
+	tNew := elapsed + tFinish + tMat + newRes.Root.Est().Cost
+	return tNew, true, nil
+}
+
+// fillTempStats populates the virtual (or real) temp table's column
+// statistics: run-time histograms where the collector observed them,
+// base-table statistics carried through otherwise.
+func fillTempStats(tbl *catalog.Table, matSchema *types.Schema, obs *plan.Observed, cnode *plan.Collector, q *optimizer.Query, outRows float64) {
+	colSchema := cnode.Input.Schema()
+	for ci, c := range matSchema.Columns {
+		cs := &catalog.ColumnStats{Min: types.Null(), Max: types.Null()}
+		// Observed histogram for this column?
+		if obs != nil {
+			for _, hc := range cnode.Spec.HistCols {
+				oc := colSchema.Columns[hc]
+				if oc.Table == c.Table && oc.Name == c.Name {
+					if h, ok := obs.Hists[hc]; ok && h != nil {
+						cs.Hist = h.Scaled(outRows)
+						cs.Distinct = h.TotalDistinct
+						if mn, ok := obs.Mins[hc]; ok {
+							cs.Min = mn
+						}
+						if mx, ok := obs.Maxs[hc]; ok {
+							cs.Max = mx
+						}
+					}
+				}
+			}
+		}
+		if cs.Hist == nil {
+			// Carry base-table statistics through.
+			for ri := range q.Rels {
+				rel := &q.Rels[ri]
+				if rel.Binding != c.Table {
+					continue
+				}
+				if bi, err := rel.Schema.Resolve(c.Table, c.Name); err == nil {
+					if bcs := rel.Table.ColStats[bi]; bcs != nil {
+						cs.Hist = bcs.Hist
+						cs.Distinct = math.Min(bcs.Distinct, outRows)
+						cs.Min, cs.Max = bcs.Min, bcs.Max
+					}
+				}
+			}
+		}
+		tbl.ColStats[ci] = cs
+	}
+}

@@ -1,0 +1,210 @@
+package reopt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+func TestDecisionLogRecordsCheckpoints(t *testing.T) {
+	e := buildThreeJoinEnv(t)
+	params := plan.Params{"cut": types.NewFloat(1e9)}
+	_, st, _ := runMode(t, e, ModeFull, threeJoinQuery, params, 0)
+	if len(st.Decisions) == 0 {
+		t.Fatal("no decisions logged")
+	}
+	for _, d := range st.Decisions {
+		if !strings.HasPrefix(d, "checkpoint ") {
+			t.Errorf("unexpected decision line %q", d)
+		}
+	}
+}
+
+func TestRunPlanMatchesRunSQL(t *testing.T) {
+	e := buildThreeJoinEnv(t)
+	params := plan.Params{"cut": types.NewFloat(500)}
+
+	d := New(e.cat, DefaultConfig(ModeFull))
+	want, _, err := d.RunSQL(threeJoinQuery, params, e.ctx(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// RunPlan over an externally optimized plan.
+	stmt, _ := sql.Parse(threeJoinQuery)
+	q, err := optimizer.Analyze(e.cat, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := &optimizer.Optimizer{Weights: d.Cfg.Weights, MemBudget: d.Cfg.MemBudget}
+	res, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := d.RunPlan(res, params, e.ctx(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsEqual(t, "RunPlan", got, want)
+	if st.CollectorsInserted == 0 {
+		t.Error("RunPlan skipped SCIA")
+	}
+	if len(st.Plans) == 0 {
+		t.Error("RunPlan recorded no plan")
+	}
+}
+
+func TestRunPlanModeOff(t *testing.T) {
+	e := buildThreeJoinEnv(t)
+	params := plan.Params{"cut": types.NewFloat(500)}
+	d := New(e.cat, DefaultConfig(ModeOff))
+	stmt, _ := sql.Parse(threeJoinQuery)
+	q, _ := optimizer.Analyze(e.cat, stmt)
+	opt := &optimizer.Optimizer{Weights: d.Cfg.Weights, MemBudget: d.Cfg.MemBudget}
+	res, _ := opt.Optimize(q)
+	rows, st, err := d.RunPlan(res, params, e.ctx(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Error("no rows")
+	}
+	if st.CollectorsInserted != 0 {
+		t.Error("ModeOff inserted collectors")
+	}
+}
+
+func TestSwitchMarginBlocksMarginalSwitches(t *testing.T) {
+	// With an absurd margin no switch can ever clear the bar; results
+	// must still be correct and the trials still logged.
+	e := newEnv(8192)
+	e.addTable(t, "rel1", 1350, 4000, 10)
+	e.addTable(t, "rel2", 4000, 60000, 5)
+	e.addTable(t, "rel3", 60000, 5, 5)
+	e.analyzeAll(t)
+	e.cat.CreateIndex("rel3", "rel3_pk")
+	src := `select rel1_grp, count(*) as cnt from rel1, rel2, rel3
+		where rel1.rel1_fk = rel2.rel2_pk and rel2.rel2_fk = rel3.rel3_pk
+		and rel1_val < :v1 and rel1_grp < :v2 group by rel1_grp`
+	params := plan.Params{"v1": types.NewFloat(1e9), "v2": types.NewFloat(1e9)}
+
+	cfg := DefaultConfig(ModePlanOnly)
+	cfg.SwitchMargin = 0.99
+	d := New(e.cat, cfg)
+	rows, st, err := d.RunSQL(src, params, e.ctx(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanSwitches != 0 {
+		t.Errorf("switched %d times despite 99%% margin", st.PlanSwitches)
+	}
+	if st.ReoptConsidered == 0 {
+		t.Error("equations never evaluated")
+	}
+	if len(rows) == 0 {
+		t.Error("no rows")
+	}
+}
+
+func TestMonotoneReallocationNeverShrinksGrants(t *testing.T) {
+	// Build a plan, allocate, fake an observation with a shrinking
+	// ratio, and verify every not-yet-started consumer keeps at least
+	// its original grant.
+	e := buildThreeJoinEnv(t)
+	d := New(e.cat, DefaultConfig(ModeMemoryOnly))
+	res, err := d.EstimateOnly(threeJoinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decompose(res.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.steps) < 2 {
+		t.Skip("need at least two steps")
+	}
+	grantsBefore := map[plan.Node]float64{}
+	for k := 1; k < len(dec.steps); k++ {
+		grantsBefore[dec.steps[k].join] = dec.steps[k].join.Est().Grant
+	}
+	// Shrink every estimate drastically, then re-allocate.
+	var cnode *plan.Collector
+	plan.Walk(res.Root, func(n plan.Node) {
+		if c, ok := n.(*plan.Collector); ok && cnode == nil {
+			cnode = c
+		}
+	})
+	if cnode == nil {
+		t.Fatal("no collector")
+	}
+	obs := &plan.Observed{CollectorID: cnode.ID, Rows: 1, Bytes: 10}
+	d.applyImproved(dec, 0, cnode, obs, 0.001)
+	st := &Stats{}
+	d.reallocate(dec, 0, st)
+	for n, before := range grantsBefore {
+		if after := n.Est().Grant; after < before {
+			t.Errorf("grant shrank from %g to %g", before, after)
+		}
+	}
+}
+
+func TestConsumedMask(t *testing.T) {
+	res := &optimizer.Result{Order: []int{2, 0, 1}}
+	if got := consumedMask(res, 0); got != 0b101 {
+		t.Errorf("consumedMask(0) = %b", got)
+	}
+	if got := consumedMask(res, 1); got != 0b111 {
+		t.Errorf("consumedMask(1) = %b", got)
+	}
+}
+
+func TestMaxSwitchesBoundsRecursion(t *testing.T) {
+	e := newEnv(8192)
+	e.addTable(t, "rel1", 1350, 4000, 10)
+	e.addTable(t, "rel2", 4000, 60000, 5)
+	e.addTable(t, "rel3", 60000, 5, 5)
+	e.analyzeAll(t)
+	e.cat.CreateIndex("rel3", "rel3_pk")
+	src := `select rel1_grp, count(*) as cnt from rel1, rel2, rel3
+		where rel1.rel1_fk = rel2.rel2_pk and rel2.rel2_fk = rel3.rel3_pk
+		and rel1_val < :v1 and rel1_grp < :v2 group by rel1_grp`
+	params := plan.Params{"v1": types.NewFloat(1e9), "v2": types.NewFloat(1e9)}
+	cfg := DefaultConfig(ModePlanOnly)
+	cfg.MaxSwitches = 1
+	d := New(e.cat, cfg)
+	_, st, err := d.RunSQL(src, params, e.ctx(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanSwitches > 1 {
+		t.Errorf("switched %d times with MaxSwitches=1", st.PlanSwitches)
+	}
+}
+
+func TestTempTablesCleanedUp(t *testing.T) {
+	e := newEnv(8192)
+	e.addTable(t, "rel1", 1350, 4000, 10)
+	e.addTable(t, "rel2", 4000, 60000, 5)
+	e.addTable(t, "rel3", 60000, 5, 5)
+	e.analyzeAll(t)
+	e.cat.CreateIndex("rel3", "rel3_pk")
+	src := `select rel1_grp, count(*) as cnt from rel1, rel2, rel3
+		where rel1.rel1_fk = rel2.rel2_pk and rel2.rel2_fk = rel3.rel3_pk
+		and rel1_val < :v1 and rel1_grp < :v2 group by rel1_grp`
+	params := plan.Params{"v1": types.NewFloat(1e9), "v2": types.NewFloat(1e9)}
+	tablesBefore := len(e.cat.Tables())
+	_, st, err := New(e.cat, DefaultConfig(ModePlanOnly)).RunSQL(src, params, e.ctx(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanSwitches == 0 {
+		t.Skip("no switch on this instance")
+	}
+	if got := len(e.cat.Tables()); got != tablesBefore {
+		t.Errorf("temp tables leaked: %d -> %d (%v)", tablesBefore, got, e.cat.Tables())
+	}
+}

@@ -1,0 +1,165 @@
+// Package reopt implements Dynamic Re-Optimization: the modified query
+// scheduler/dispatcher of §3.1 that executes an annotated plan segment by
+// segment, receives statistics-collector reports at pipeline boundaries,
+// and acts on them — re-invoking the Memory Manager with improved
+// estimates (§2.3) and, when Equations 1 and 2 say the current plan is
+// likely sub-optimal and worth fixing, materializing the running
+// operator's output to a temporary table and re-submitting SQL for the
+// remainder of the query (§2.4, Figure 6).
+package reopt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/optimizer"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// tempColumnName flattens a qualified intermediate column into a unique
+// temp-table column name: rel1.joinattr3 -> rel1_joinattr3.
+func tempColumnName(c types.Column) string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "_" + c.Name
+}
+
+// tempSchema derives the temp table's schema from a materialized
+// intermediate schema. Key flags are dropped: uniqueness of a base key
+// need not survive a join.
+func tempSchema(mat *types.Schema) *types.Schema {
+	cols := make([]types.Column, mat.Len())
+	for i, c := range mat.Columns {
+		cols[i] = types.Column{Name: tempColumnName(c), Kind: c.Kind}
+	}
+	return types.NewSchema(cols...)
+}
+
+// rewriter redirects column references of consumed relations at the temp
+// table, following the paper's Figure 6: "SQL corresponding to the
+// remainder of the query is generated in terms of this temporary file".
+type rewriter struct {
+	q        *optimizer.Query
+	consumed map[int]bool // relation indexes materialized into the temp
+	tempName string
+}
+
+// rewriteExpr returns a copy of e with consumed-relation references
+// redirected. References it cannot resolve (select-list aliases in ORDER
+// BY) pass through unchanged.
+func (r *rewriter) rewriteExpr(e sql.Expr) sql.Expr {
+	switch x := e.(type) {
+	case *sql.ColumnRef:
+		rel, col, err := r.q.Owner(x)
+		if err != nil || !r.consumed[rel] {
+			return &sql.ColumnRef{Table: x.Table, Name: x.Name}
+		}
+		c := r.q.Rels[rel].Schema.Columns[col]
+		return &sql.ColumnRef{Table: r.tempName, Name: tempColumnName(c)}
+	case *sql.Literal:
+		return &sql.Literal{Value: x.Value}
+	case *sql.HostVar:
+		return &sql.HostVar{Name: x.Name}
+	case *sql.BinaryExpr:
+		return &sql.BinaryExpr{Op: x.Op, Left: r.rewriteExpr(x.Left), Right: r.rewriteExpr(x.Right)}
+	case *sql.AggExpr:
+		out := &sql.AggExpr{Func: x.Func}
+		if x.Arg != nil {
+			out.Arg = r.rewriteExpr(x.Arg)
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+func (r *rewriter) rewritePred(p sql.Predicate) sql.Predicate {
+	switch x := p.(type) {
+	case *sql.ComparePred:
+		return &sql.ComparePred{Op: x.Op, Left: r.rewriteExpr(x.Left), Right: r.rewriteExpr(x.Right)}
+	case *sql.BetweenPred:
+		return &sql.BetweenPred{Expr: r.rewriteExpr(x.Expr), Lo: r.rewriteExpr(x.Lo), Hi: r.rewriteExpr(x.Hi)}
+	case *sql.InPred:
+		list := make([]sql.Expr, len(x.List))
+		for i, e := range x.List {
+			list[i] = r.rewriteExpr(e)
+		}
+		return &sql.InPred{Expr: r.rewriteExpr(x.Expr), List: list}
+	case *sql.LikePred:
+		return &sql.LikePred{Expr: r.rewriteExpr(x.Expr), Pattern: x.Pattern}
+	default:
+		return p
+	}
+}
+
+// remainderStmt generates the SQL for the rest of a partially-executed
+// query: the temp table replaces the consumed relations in FROM, consumed
+// predicates (already applied inside the materialized prefix) disappear,
+// and every other clause is rewritten in terms of the temp columns.
+func remainderStmt(q *optimizer.Query, consumedMask uint32, tempName string) (*sql.SelectStmt, error) {
+	consumed := map[int]bool{}
+	for i := range q.Rels {
+		if consumedMask&(1<<uint(i)) != 0 {
+			consumed[i] = true
+		}
+	}
+	if len(consumed) == 0 {
+		return nil, fmt.Errorf("reopt: remainder with nothing consumed")
+	}
+	r := &rewriter{q: q, consumed: consumed, tempName: strings.ToLower(tempName)}
+	orig := q.Stmt
+	out := &sql.SelectStmt{Distinct: orig.Distinct, Limit: orig.Limit}
+
+	for _, item := range orig.Select {
+		alias := item.Alias
+		if alias == "" {
+			// Preserve the output column name across the rewrite: a
+			// bare "f_grp" would otherwise render as temp1.rel_f_grp.
+			if ref, ok := item.Expr.(*sql.ColumnRef); ok {
+				alias = ref.Name
+			}
+		}
+		out.Select = append(out.Select, sql.SelectItem{Expr: r.rewriteExpr(item.Expr), Alias: alias})
+	}
+
+	out.From = append(out.From, sql.TableRef{Name: r.tempName})
+	for i, ref := range orig.From {
+		if !consumed[i] {
+			out.From = append(out.From, ref)
+		}
+	}
+
+	for _, pr := range q.Preds {
+		if pr.RelMask()&^consumedMask == 0 {
+			continue // applied inside the materialized prefix
+		}
+		out.Where = append(out.Where, r.rewritePred(pr.AST))
+	}
+
+	for _, g := range orig.GroupBy {
+		out.GroupBy = append(out.GroupBy, r.rewriteExpr(g))
+	}
+
+	// ORDER BY keys that name a select-list output (by alias, or by
+	// matching the item's expression) must keep referring to the output
+	// column, not be redirected at the temp table.
+	aliasFor := map[string]string{}
+	for oi, item := range orig.Select {
+		if a := out.Select[oi].Alias; a != "" {
+			aliasFor[item.Expr.SQL()] = a
+			if item.Alias != "" {
+				aliasFor[item.Alias] = a
+			}
+		}
+	}
+	for _, ob := range orig.OrderBy {
+		if a, ok := aliasFor[ob.Expr.SQL()]; ok {
+			out.OrderBy = append(out.OrderBy, sql.OrderItem{Expr: &sql.ColumnRef{Name: a}, Desc: ob.Desc})
+			continue
+		}
+		out.OrderBy = append(out.OrderBy, sql.OrderItem{Expr: r.rewriteExpr(ob.Expr), Desc: ob.Desc})
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package reopt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/histogram"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+func analyzedQuery(t *testing.T, e *env, src string) *optimizer.Query {
+	t.Helper()
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := optimizer.Analyze(e.cat, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestRemainderStmtGeneration(t *testing.T) {
+	e := newEnv(256)
+	e.addTable(t, "a", 10, 5, 2)
+	e.addTable(t, "b", 10, 5, 2)
+	e.addTable(t, "c", 10, 5, 2)
+	e.analyzeAll(t)
+	q := analyzedQuery(t, e, `select a_grp, sum(c_val) as total from a, b, c
+		where a.a_fk = b.b_pk and b.b_fk = c.c_pk and a_val < 5 and c_val > 1
+		group by a_grp order by total desc`)
+
+	// Consume a and b (relations 0 and 1).
+	rem, err := remainderStmt(q, 0b011, "temp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rem.SQL()
+	checks := []string{
+		"from temp1, c",          // temp replaces a and b
+		"temp1.b_b_fk = c.c_pk",  // join pred rewritten to temp column
+		"group by temp1.a_a_grp", // group key redirected
+		"temp1.a_a_grp as a_grp", // output name preserved
+		"order by total desc",    // alias-based order key untouched
+	}
+	for _, want := range checks {
+		if !strings.Contains(got, want) {
+			t.Errorf("remainder SQL missing %q:\n%s", want, got)
+		}
+	}
+	// Consumed predicates must be gone.
+	for _, gone := range []string{"a_val < 5", "a.a_fk"} {
+		if strings.Contains(got, gone) {
+			t.Errorf("remainder SQL still contains consumed predicate %q:\n%s", gone, got)
+		}
+	}
+	// The surviving local predicate on c stays.
+	if !strings.Contains(got, "c_val > 1") {
+		t.Errorf("remainder SQL dropped live predicate:\n%s", got)
+	}
+	// The generated SQL must re-parse.
+	if _, err := sql.Parse(got); err != nil {
+		t.Errorf("generated SQL does not re-parse: %v\n%s", err, got)
+	}
+}
+
+func TestRemainderStmtNothingConsumed(t *testing.T) {
+	e := newEnv(256)
+	e.addTable(t, "a", 10, 5, 2)
+	e.analyzeAll(t)
+	q := analyzedQuery(t, e, "select a_grp from a")
+	if _, err := remainderStmt(q, 0, "temp1"); err == nil {
+		t.Error("empty consumed mask accepted")
+	}
+}
+
+func TestTempSchemaNaming(t *testing.T) {
+	mat := types.NewSchema(
+		types.Column{Table: "rel1", Name: "x", Kind: types.KindInt, Key: true},
+		types.Column{Table: "rel2", Name: "y", Kind: types.KindString},
+	)
+	ts := tempSchema(mat)
+	if ts.Columns[0].Name != "rel1_x" || ts.Columns[1].Name != "rel2_y" {
+		t.Errorf("temp columns = %v", ts.Columns)
+	}
+	if ts.Columns[0].Key {
+		t.Error("key flag survived materialization")
+	}
+}
+
+func TestDecomposeShapes(t *testing.T) {
+	e := buildThreeJoinEnv(t)
+	d := New(e.cat, DefaultConfig(ModeFull))
+	res, err := d.EstimateOnly(threeJoinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decompose(res.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.steps) != 2 {
+		t.Fatalf("steps = %d, want 2 for a 3-relation query", len(dec.steps))
+	}
+	if dec.leafTop == nil {
+		t.Fatal("no leaf pipeline")
+	}
+	// Tops must include the aggregate and sort.
+	var hasAgg, hasSort bool
+	for _, n := range dec.tops {
+		switch n.(type) {
+		case *plan.Agg:
+			hasAgg = true
+		case *plan.Sort:
+			hasSort = true
+		}
+	}
+	if !hasAgg || !hasSort {
+		t.Errorf("tops missing agg/sort: %v", dec.tops)
+	}
+	// stepTopNode(-1) is the leaf.
+	if dec.stepTopNode(-1) != dec.leafTop {
+		t.Error("stepTopNode(-1) != leafTop")
+	}
+}
+
+func TestFillTempStatsFallsBackToBase(t *testing.T) {
+	e := newEnv(256)
+	e.addTable(t, "a", 100, 5, 2)
+	e.addTable(t, "b", 100, 5, 2)
+	e.analyzeAll(t)
+	q := analyzedQuery(t, e, "select a_grp from a, b where a.a_fk = b.b_pk")
+
+	matSchema := q.Rels[0].Schema.Concat(q.Rels[1].Schema)
+	heap := e.cat.Pool()
+	_ = heap
+	tbl, err := e.cat.CreateTable("tmp_stats", tempSchema(matSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnode := &plan.Collector{Input: &plan.Scan{Out: matSchema}}
+	fillTempStats(tbl, matSchema, nil, cnode, q, 50)
+	grpIdx, _ := tbl.Schema.Resolve("", "a_a_grp")
+	cs := tbl.ColStats[grpIdx]
+	if cs == nil || !cs.HasHistogram() {
+		t.Error("base histogram not carried into temp stats")
+	}
+	if cs.Distinct > 50 {
+		t.Errorf("distinct %g not capped by output rows", cs.Distinct)
+	}
+	if cs.Hist.Family != histogram.MaxDiff {
+		t.Errorf("unexpected family %v", cs.Hist.Family)
+	}
+	_ = catalog.AnalyzeOptions{}
+}

@@ -1,0 +1,298 @@
+package reopt
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/histogram"
+	"repro/internal/memmgr"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/scia"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Mode selects which parts of Dynamic Re-Optimization are active. The
+// paper's Figure 11 isolates memory-only and plan-only modes; Figure 10
+// compares Off ("Normal") against Full ("Re-Optimized").
+type Mode uint8
+
+// Available modes.
+const (
+	// ModeOff executes the optimizer's plan as-is, with no statistics
+	// collectors — the paper's "Normal" baseline.
+	ModeOff Mode = iota
+	// ModeMemoryOnly uses improved estimates solely for re-invoking the
+	// Memory Manager; plan modification is disabled.
+	ModeMemoryOnly
+	// ModePlanOnly modifies sub-optimal plans but never re-allocates
+	// memory.
+	ModePlanOnly
+	// ModeFull is the complete algorithm.
+	ModeFull
+	// ModeRestart is the paper's rejected first option (§2.4): discard
+	// the work done so far and restart with a fresh plan. Implemented
+	// as an ablation to show why the paper calls it "too risky".
+	ModeRestart
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeMemoryOnly:
+		return "memory-only"
+	case ModePlanOnly:
+		return "plan-only"
+	case ModeFull:
+		return "full"
+	case ModeRestart:
+		return "restart"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Strategy selects how a plan switch transfers the running operator's
+// output into the new plan (§2.4).
+type Strategy uint8
+
+// The two switch strategies of Figures 5 and 6.
+const (
+	// StrategyMaterialize is the paper's implemented variant (Figure
+	// 6): the running join completes with its output redirected to a
+	// temporary table, and SQL for the remainder is re-submitted over
+	// it. Simple, but pays a write+read of the intermediate.
+	StrategyMaterialize Strategy = iota
+	// StrategySplice is the paper's "best under the circumstances"
+	// option (Figure 5): execution state is kept — the running join's
+	// output stream is spliced directly into the new remainder plan's
+	// leaf, with no materialization. Requires the new plan to keep the
+	// intermediate leftmost; when it does not, the dispatcher falls
+	// back to materialization.
+	StrategySplice
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == StrategySplice {
+		return "splice"
+	}
+	return "materialize"
+}
+
+// Config carries the algorithm's tuning knobs, defaulting to the paper's
+// settings: μ=0.05, θ₁=0.05, θ₂=0.2.
+type Config struct {
+	Mode     Mode
+	Strategy Strategy
+	Theta1   float64 // Equation 1 threshold
+	Theta2   float64 // Equation 2 threshold
+	Mu       float64 // SCIA overhead budget fraction
+
+	// MemBudget is the per-query operator memory in bytes.
+	MemBudget float64
+	// PoolPages is the shared buffer pool size, for cache-aware
+	// index-join costing; 0 assumes cold fetches.
+	PoolPages float64
+	// HistFamily is the family for catalog and run-time histograms.
+	HistFamily histogram.Family
+	Weights    storage.CostWeights
+	// MaxSwitches bounds recursive plan modification (default 3).
+	MaxSwitches int
+	// SwitchMargin is the fraction by which the new plan's estimated
+	// total must undercut the current plan's improved estimate before a
+	// switch is taken (default 0.15). Both sides of the comparison are
+	// still estimates — the new plan's cost in particular leans on
+	// catalog statistics for the relations not yet touched — so a
+	// break-even switch is a coin flip that also pays materialization.
+	SwitchMargin float64
+	// DisableIndexJoin is forwarded to the optimizer (ablations).
+	DisableIndexJoin bool
+	Seed             int64
+}
+
+// DefaultConfig returns the paper's parameterization.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:         mode,
+		Theta1:       0.05,
+		Theta2:       0.2,
+		Mu:           0.05,
+		MemBudget:    32 << 20,
+		HistFamily:   histogram.MaxDiff,
+		Weights:      storage.DefaultCostWeights(),
+		MaxSwitches:  3,
+		SwitchMargin: 0.15,
+	}
+}
+
+// Stats reports what the dispatcher did during one query.
+type Stats struct {
+	CollectorsInserted int
+	Observations       int
+	MemReallocs        int
+	ReoptConsidered    int // checkpoints where Equations 1 & 2 were evaluated
+	PlanSwitches       int
+	Plans              []string // plan text, initial plus one per switch
+	// Decisions logs every checkpoint's reasoning, for diagnostics.
+	Decisions []string
+}
+
+// Dispatcher is the modified scheduler/dispatcher of §3.1: it owns query
+// compilation (optimize → SCIA → memory allocation) and segmented
+// execution with mid-query decisions.
+type Dispatcher struct {
+	Cat   *catalog.Catalog
+	Cfg   Config
+	Calib *optimizer.Calibrator
+
+	tempSeq int
+}
+
+// New returns a dispatcher over the catalog.
+func New(cat *catalog.Catalog, cfg Config) *Dispatcher {
+	if cfg.MaxSwitches <= 0 {
+		cfg.MaxSwitches = 3
+	}
+	if cfg.Theta1 <= 0 {
+		cfg.Theta1 = 0.05
+	}
+	if cfg.Theta2 <= 0 {
+		cfg.Theta2 = 0.2
+	}
+	if cfg.Mu <= 0 {
+		cfg.Mu = 0.05
+	}
+	return &Dispatcher{Cat: cat, Cfg: cfg, Calib: optimizer.NewCalibrator()}
+}
+
+// Run compiles and executes one query, applying Dynamic Re-Optimization
+// per the configured mode.
+func (d *Dispatcher) Run(stmt *sql.SelectStmt, params plan.Params, ctx *exec.Ctx) ([]types.Tuple, *Stats, error) {
+	st := &Stats{}
+	rows, err := d.run(stmt, params, ctx, st, d.Cfg.MaxSwitches)
+	return rows, st, err
+}
+
+// RunSQL parses, compiles, and executes one query.
+func (d *Dispatcher) RunSQL(src string, params plan.Params, ctx *exec.Ctx) ([]types.Tuple, *Stats, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.Run(stmt, params, ctx)
+}
+
+// run is the recursive entry: plan switches re-enter here with the
+// remainder statement.
+func (d *Dispatcher) run(stmt *sql.SelectStmt, params plan.Params, ctx *exec.Ctx, st *Stats, switchesLeft int) ([]types.Tuple, error) {
+	q, err := optimizer.Analyze(d.Cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	opt := &optimizer.Optimizer{
+		Weights:          d.Cfg.Weights,
+		MemBudget:        d.Cfg.MemBudget,
+		DisableIndexJoin: d.Cfg.DisableIndexJoin,
+		PoolPages:        d.Cfg.PoolPages,
+	}
+	res, err := opt.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	if d.Cfg.Mode != ModeOff {
+		ins, err := scia.Insert(res, scia.Config{
+			Mu:         d.Cfg.Mu,
+			HistFamily: d.Cfg.HistFamily,
+			Weights:    d.Cfg.Weights,
+			Seed:       d.Cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.CollectorsInserted += len(ins)
+	}
+	memmgr.New(d.Cfg.MemBudget).Allocate(res.Root)
+	st.Plans = append(st.Plans, plan.Format(res.Root))
+
+	if d.Cfg.Mode == ModeOff {
+		op, err := exec.Build(res.Root, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Collect(op)
+	}
+	return d.dispatch(res, params, ctx, st, switchesLeft)
+}
+
+// RunPlan executes an already-optimized plan through the full dispatch
+// path (SCIA insertion, memory allocation, segmented execution with
+// checkpoints). The parametric hybrid (the paper's §4 proposal) uses it
+// to execute the candidate chosen at bind time while keeping Dynamic
+// Re-Optimization armed for the cases the parametric plan did not
+// anticipate. The Result is consumed: its annotations are mutated during
+// execution.
+func (d *Dispatcher) RunPlan(res *optimizer.Result, params plan.Params, ctx *exec.Ctx) ([]types.Tuple, *Stats, error) {
+	st := &Stats{}
+	if d.Cfg.Mode != ModeOff {
+		ins, err := scia.Insert(res, scia.Config{
+			Mu:         d.Cfg.Mu,
+			HistFamily: d.Cfg.HistFamily,
+			Weights:    d.Cfg.Weights,
+			Seed:       d.Cfg.Seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		st.CollectorsInserted += len(ins)
+	}
+	memmgr.New(d.Cfg.MemBudget).Allocate(res.Root)
+	st.Plans = append(st.Plans, plan.Format(res.Root))
+	if d.Cfg.Mode == ModeOff {
+		op, err := exec.Build(res.Root, ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows, err := exec.Collect(op)
+		return rows, st, err
+	}
+	rows, err := d.dispatch(res, params, ctx, st, d.Cfg.MaxSwitches)
+	return rows, st, err
+}
+
+// EstimateOnly compiles a query and returns its annotated plan without
+// executing it (EXPLAIN support for the CLI and examples).
+func (d *Dispatcher) EstimateOnly(src string) (*optimizer.Result, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := optimizer.Analyze(d.Cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	opt := &optimizer.Optimizer{
+		Weights:          d.Cfg.Weights,
+		MemBudget:        d.Cfg.MemBudget,
+		DisableIndexJoin: d.Cfg.DisableIndexJoin,
+		PoolPages:        d.Cfg.PoolPages,
+	}
+	res, err := opt.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	if d.Cfg.Mode != ModeOff {
+		if _, err := scia.Insert(res, scia.Config{
+			Mu: d.Cfg.Mu, HistFamily: d.Cfg.HistFamily, Weights: d.Cfg.Weights, Seed: d.Cfg.Seed,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	memmgr.New(d.Cfg.MemBudget).Allocate(res.Root)
+	return res, nil
+}

@@ -1,0 +1,274 @@
+package reopt
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/memmgr"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/scia"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// matCollectorID tags the ad-hoc collector wrapped around a materialized
+// stream (Figure 6 places a statistics collector directly above the
+// operator whose output is redirected to Temp1).
+const matCollectorID = -1
+
+// switchPlan executes the paper's Figure 6 plan modification: let the
+// currently executing join run to completion with its output redirected
+// to a temporary table (observed by an ad-hoc statistics collector),
+// register the temp table with its real statistics, generate SQL for the
+// remainder of the query in terms of the temp table, and re-submit it
+// through the regular compile-and-dispatch path.
+func (d *Dispatcher) switchPlan(res *optimizer.Result, dec *decomposed, i int, topOp exec.Operator, obs *plan.Observed, cnode *plan.Collector, params plan.Params, ctx *exec.Ctx, st *Stats, switchesLeft int) ([]types.Tuple, error) {
+	if d.Cfg.Mode == ModeRestart {
+		return d.restartPlan(res, dec, params, ctx, st, switchesLeft)
+	}
+	matNode := dec.stepTopNode(i)
+	consumed := consumedMask(res, i)
+	if d.Cfg.Strategy == StrategySplice && cnode != nil {
+		rows, ok, err := d.splicePlan(res, matNode, topOp, obs, cnode, consumed, params, ctx, st, switchesLeft)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return rows, nil
+		}
+		// The re-optimized remainder did not keep the intermediate
+		// leftmost; fall back to Figure 6.
+		st.Decisions = append(st.Decisions, "splice: remainder reordered the intermediate; falling back to materialization")
+	}
+	return d.materializeAndResubmit(res, matNode, topOp, consumed, params, ctx, st, switchesLeft)
+}
+
+// splicePlan implements Figure 5: the remainder of the query is
+// re-optimized against a virtual temp table carrying the improved
+// estimates, and — when the new plan keeps the intermediate as its
+// leftmost input — the running join's output stream is spliced directly
+// into the new plan, preserving all completed execution state and
+// paying no materialization.
+func (d *Dispatcher) splicePlan(res *optimizer.Result, matNode plan.Node, liveOp exec.Operator, obs *plan.Observed, cnode *plan.Collector, consumed uint32, params plan.Params, ctx *exec.Ctx, st *Stats, switchesLeft int) ([]types.Tuple, bool, error) {
+	matEst := matNode.Est()
+	d.tempSeq++
+	tempName := fmt.Sprintf("mqr_splice_%d", d.tempSeq)
+	heap := storage.NewHeapFile(ctx.Pool) // never populated: the stream is live
+	tbl, err := d.Cat.RegisterTemp(tempName, tempSchema(matNode.Schema()), heap)
+	if err != nil {
+		return nil, false, err
+	}
+	dropTemp := func() {
+		d.Cat.DropTable(tempName)
+	}
+	tbl.Cardinality = matEst.Rows
+	if matEst.Rows > 0 {
+		tbl.AvgTupleBytes = matEst.Bytes / matEst.Rows
+	}
+	fillTempStats(tbl, matNode.Schema(), obs, cnode, res.Query, matEst.Rows)
+
+	remStmt, err := remainderStmt(res.Query, consumed, tempName)
+	if err != nil {
+		dropTemp()
+		return nil, false, err
+	}
+	rq, err := optimizer.Analyze(d.Cat, remStmt)
+	if err != nil {
+		dropTemp()
+		return nil, false, err
+	}
+	opt := &optimizer.Optimizer{
+		Weights:          d.Cfg.Weights,
+		MemBudget:        d.Cfg.MemBudget,
+		DisableIndexJoin: d.Cfg.DisableIndexJoin,
+		PoolPages:        d.Cfg.PoolPages,
+	}
+	newRes, err := opt.Optimize(rq)
+	if err != nil {
+		dropTemp()
+		return nil, false, err
+	}
+	// Splice is only possible when the intermediate stays leftmost: the
+	// live stream can be consumed exactly once, as a build input.
+	if newRes.Query.Rels[newRes.Order[0]].Binding != tempName {
+		dropTemp()
+		return nil, false, nil
+	}
+	if d.Cfg.Mode != ModeOff {
+		ins, err := scia.Insert(newRes, scia.Config{
+			Mu:         d.Cfg.Mu,
+			HistFamily: d.Cfg.HistFamily,
+			Weights:    d.Cfg.Weights,
+			Seed:       d.Cfg.Seed,
+		})
+		if err != nil {
+			dropTemp()
+			return nil, false, err
+		}
+		st.CollectorsInserted += len(ins)
+	}
+	memmgr.New(d.Cfg.MemBudget).Allocate(newRes.Root)
+	st.PlanSwitches++
+	st.Plans = append(st.Plans, plan.Format(newRes.Root))
+	st.Decisions = append(st.Decisions, fmt.Sprintf("splice: remainder spliced onto live stream as %s", tempName))
+	rows, err := d.dispatchWith(newRes, params, ctx, st, switchesLeft-1, liveOp)
+	dropTemp()
+	return rows, true, err
+}
+
+// restartPlan is the paper's rejected option 1 (ablation): discard the
+// completed build work, re-scan the leftmost relation into a temp table,
+// and re-plan everything else. The re-scan is the "discarded work" made
+// visible in the cost meter.
+func (d *Dispatcher) restartPlan(res *optimizer.Result, dec *decomposed, params plan.Params, ctx *exec.Ctx, st *Stats, switchesLeft int) ([]types.Tuple, error) {
+	consumed := uint32(1) << uint(res.Order[0])
+	leafOp, err := exec.Build(dec.leafTop, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return d.materializeAndResubmit(res, dec.leafTop, leafOp, consumed, params, ctx, st, switchesLeft)
+}
+
+// materializeAndResubmit drains op into a temp table under an ad-hoc
+// statistics collector, then recursively runs the remainder query.
+func (d *Dispatcher) materializeAndResubmit(res *optimizer.Result, matNode plan.Node, op exec.Operator, consumed uint32, params plan.Params, ctx *exec.Ctx, st *Stats, switchesLeft int) ([]types.Tuple, error) {
+	matSchema := matNode.Schema()
+	spec := d.matSpec(res, matSchema, consumed)
+	cnode := &plan.Collector{Input: matNode, Spec: spec, ID: matCollectorID}
+
+	var matObs *plan.Observed
+	oldSink := ctx.StatsSink
+	ctx.StatsSink = func(o *plan.Observed) {
+		if o.CollectorID == matCollectorID {
+			matObs = o
+			return
+		}
+		if oldSink != nil {
+			oldSink(o)
+		}
+	}
+	colOp := exec.NewCollector(cnode, op, ctx)
+	if err := colOp.Open(); err != nil {
+		ctx.StatsSink = oldSink
+		return nil, err
+	}
+	heap, err := exec.Materialize(colOp, ctx.Pool)
+	colOp.Close()
+	ctx.StatsSink = oldSink
+	if err != nil {
+		return nil, err
+	}
+
+	d.tempSeq++
+	tempName := fmt.Sprintf("mqr_temp_%d", d.tempSeq)
+	tbl, err := d.Cat.RegisterTemp(tempName, tempSchema(matSchema), heap)
+	if err != nil {
+		return nil, err
+	}
+	if matObs != nil {
+		fillTempStats(tbl, matSchema, matObs, cnode, res.Query, float64(heap.NumTuples()))
+	}
+
+	remStmt, err := remainderStmt(res.Query, consumed, tempName)
+	if err != nil {
+		d.Cat.DropTable(tempName)
+		return nil, err
+	}
+	st.PlanSwitches++
+	rows, err := d.run(remStmt, params, ctx, st, switchesLeft-1)
+	if derr := d.Cat.DropTable(tempName); derr != nil && err == nil {
+		err = derr
+	}
+	return rows, err
+}
+
+// matSpec chooses the statistics worth observing on a materialized
+// stream: histograms on columns the remaining predicates will consult,
+// and a distinct count for the final GROUP BY if every grouped column is
+// present.
+func (d *Dispatcher) matSpec(res *optimizer.Result, matSchema *types.Schema, consumed uint32) plan.CollectorSpec {
+	q := res.Query
+	spec := plan.CollectorSpec{HistFamily: d.Cfg.HistFamily, Seed: d.Cfg.Seed + int64(d.tempSeq) + 101}
+	seen := map[int]bool{}
+	for _, pr := range q.Preds {
+		if pr.RelMask()&^consumed == 0 {
+			continue // fully applied inside the prefix
+		}
+		for _, ref := range predRefs(pr.AST) {
+			rel, col, err := q.Owner(ref)
+			if err != nil || consumed&(1<<uint(rel)) == 0 {
+				continue
+			}
+			c := q.Rels[rel].Schema.Columns[col]
+			ci, err := matSchema.Resolve(c.Table, c.Name)
+			if err != nil || seen[ci] {
+				continue
+			}
+			seen[ci] = true
+			spec.HistCols = append(spec.HistCols, ci)
+		}
+	}
+	if len(q.Stmt.GroupBy) > 0 {
+		var set []int
+		ok := true
+		for _, g := range q.Stmt.GroupBy {
+			ref, isRef := g.(*sql.ColumnRef)
+			if !isRef {
+				ok = false
+				break
+			}
+			rel, col, err := q.Owner(ref)
+			if err != nil || consumed&(1<<uint(rel)) == 0 {
+				ok = false
+				break
+			}
+			c := q.Rels[rel].Schema.Columns[col]
+			ci, err := matSchema.Resolve(c.Table, c.Name)
+			if err != nil {
+				ok = false
+				break
+			}
+			set = append(set, ci)
+		}
+		if ok && len(set) > 0 {
+			spec.UniqueCols = append(spec.UniqueCols, set)
+		}
+	}
+	return spec
+}
+
+// predRefs lists every column reference in a predicate.
+func predRefs(p sql.Predicate) []*sql.ColumnRef {
+	var exprs []sql.Expr
+	switch x := p.(type) {
+	case *sql.ComparePred:
+		exprs = []sql.Expr{x.Left, x.Right}
+	case *sql.BetweenPred:
+		exprs = []sql.Expr{x.Expr, x.Lo, x.Hi}
+	case *sql.InPred:
+		exprs = append([]sql.Expr{x.Expr}, x.List...)
+	case *sql.LikePred:
+		exprs = []sql.Expr{x.Expr}
+	}
+	var out []*sql.ColumnRef
+	var walk func(e sql.Expr)
+	walk = func(e sql.Expr) {
+		switch x := e.(type) {
+		case *sql.ColumnRef:
+			out = append(out, x)
+		case *sql.BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *sql.AggExpr:
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		}
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Package sample implements reservoir sampling (Vitter, "Random Sampling
+// with a Reservoir", TOMS 1985). The statistics-collector operator keeps
+// one page worth of sampled attribute values in a reservoir while tuples
+// stream past, then builds a histogram from the reservoir when the input
+// is exhausted (paper §3.1).
+package sample
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/types"
+)
+
+// Reservoir maintains a uniform random sample of fixed capacity over a
+// stream of values, using Vitter's Algorithm R for the first passes and
+// the skip-based Algorithm X once the reservoir is full.
+type Reservoir struct {
+	cap   int
+	seen  int64
+	items []types.Value
+	rng   *rand.Rand
+	skip  int64 // values to skip before the next replacement (Algorithm X)
+}
+
+// NewReservoir returns a reservoir holding at most capacity values, drawn
+// with the given deterministic seed.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{
+		cap:   capacity,
+		items: make([]types.Value, 0, capacity),
+		rng:   rand.New(rand.NewSource(seed)),
+		skip:  -1,
+	}
+}
+
+// Add offers one value from the stream to the reservoir.
+func (r *Reservoir) Add(v types.Value) {
+	r.seen++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, v)
+		return
+	}
+	if r.skip < 0 {
+		r.computeSkip()
+	}
+	if r.skip > 0 {
+		r.skip--
+		return
+	}
+	r.items[r.rng.Intn(r.cap)] = v
+	r.computeSkip()
+}
+
+// computeSkip draws the gap until the next accepted element. This is
+// Vitter's Algorithm X: skip lengths are drawn directly from the
+// hypergeometric-like distribution instead of tossing a coin per element,
+// keeping per-tuple overhead near zero on long streams.
+func (r *Reservoir) computeSkip() {
+	n := float64(r.cap)
+	t := float64(r.seen)
+	u := r.rng.Float64()
+	// Probability the next j elements are all skipped is
+	// prod_{i=1..j} (1 - n/(t+i)); invert by accumulation.
+	prod := 1.0
+	j := int64(0)
+	for {
+		prod *= 1 - n/(t+float64(j)+1)
+		if prod <= u || math.IsNaN(prod) {
+			break
+		}
+		j++
+	}
+	r.skip = j
+}
+
+// Seen returns the number of values offered so far.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Sample returns the current reservoir contents. The slice is owned by
+// the reservoir; callers must not mutate it.
+func (r *Reservoir) Sample() []types.Value { return r.items }
+
+// Cap returns the reservoir capacity.
+func (r *Reservoir) Cap() int { return r.cap }

@@ -1,0 +1,115 @@
+package sample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestReservoirUnderfill(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 0; i < 50; i++ {
+		r.Add(types.NewInt(int64(i)))
+	}
+	if len(r.Sample()) != 50 {
+		t.Errorf("sample size = %d, want 50", len(r.Sample()))
+	}
+	if r.Seen() != 50 {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+	// Underfilled reservoir keeps every element in order.
+	for i, v := range r.Sample() {
+		if v.Int() != int64(i) {
+			t.Fatalf("sample[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestReservoirExactCapacity(t *testing.T) {
+	r := NewReservoir(64, 1)
+	for i := 0; i < 100000; i++ {
+		r.Add(types.NewInt(int64(i)))
+	}
+	if len(r.Sample()) != 64 {
+		t.Errorf("sample size = %d, want 64", len(r.Sample()))
+	}
+	if r.Seen() != 100000 {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirElementsFromInput(t *testing.T) {
+	f := func(seed int64, extra uint16) bool {
+		n := int(extra)%5000 + 10
+		r := NewReservoir(32, seed)
+		for i := 0; i < n; i++ {
+			r.Add(types.NewInt(int64(i * 3)))
+		}
+		for _, v := range r.Sample() {
+			x := v.Int()
+			if x%3 != 0 || x < 0 || x >= int64(n*3) {
+				return false
+			}
+		}
+		want := 32
+		if n < 32 {
+			want = n
+		}
+		return len(r.Sample()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of n=1000 elements should land in a k=100 reservoir with
+	// probability k/n. Over many trials the mean sampled value should
+	// be close to the stream mean.
+	const n, k, trials = 1000, 100, 60
+	var sum, count float64
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(k, int64(trial))
+		for i := 0; i < n; i++ {
+			r.Add(types.NewInt(int64(i)))
+		}
+		for _, v := range r.Sample() {
+			sum += float64(v.Int())
+			count++
+		}
+	}
+	mean := sum / count
+	want := float64(n-1) / 2
+	if math.Abs(mean-want) > want*0.05 {
+		t.Errorf("sampled mean %.1f deviates from stream mean %.1f", mean, want)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	run := func() []types.Value {
+		r := NewReservoir(16, 99)
+		for i := 0; i < 10000; i++ {
+			r.Add(types.NewInt(int64(i)))
+		}
+		return append([]types.Value(nil), r.Sample()...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestReservoirMinCapacity(t *testing.T) {
+	r := NewReservoir(0, 1)
+	if r.Cap() != 1 {
+		t.Errorf("Cap() = %d, want clamped to 1", r.Cap())
+	}
+	r.Add(types.NewInt(5))
+	if len(r.Sample()) != 1 {
+		t.Error("reservoir of capacity 1 is empty after Add")
+	}
+}

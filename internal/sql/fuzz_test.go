@@ -1,0 +1,43 @@
+package sql
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics on arbitrary input and
+// that anything it accepts renders to SQL that re-parses to the same
+// rendering (SQL() is a fixed point). Run the seeds with `go test`, or
+// explore with `go test -fuzz FuzzParse ./internal/sql`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"select a from r",
+		"select avg(x) as ax, g from t, u where t.k = u.k and x < :v group by g order by ax desc limit 3",
+		"select distinct a, b from r where a between 1 and 2 and b in (1,2,3) and c like 'x%'",
+		"select sum(a+b*2) from r where d >= date '1996-01-01' - 30",
+		"select 'it''s' from r",
+		"select a from r where",
+		"select (((((a))))) from r",
+		"order by from where",
+		"select a from r -- comment\n",
+		"select :a from :b",
+		"select a from r where a <> -0.5 and a != 7",
+		"\x00\x01 select",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := stmt.SQL()
+		stmt2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not re-parse: %v", src, rendered, err)
+		}
+		if stmt2.SQL() != rendered {
+			t.Fatalf("SQL() not a fixed point:\n1: %s\n2: %s", rendered, stmt2.SQL())
+		}
+	})
+}

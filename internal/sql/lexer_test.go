@@ -1,0 +1,92 @@
+package sql
+
+import (
+	"testing"
+)
+
+func lexOK(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexTokenKinds(t *testing.T) {
+	toks := lexOK(t, "select a1, 42, 3.14, 'str', :hv from t")
+	kinds := []tokenKind{}
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokenKind{
+		tokKeyword, tokIdent, tokSymbol, tokNumber, tokSymbol, tokNumber,
+		tokSymbol, tokString, tokSymbol, tokHostVar, tokKeyword, tokIdent, tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d kind = %d, want %d", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexOK(t, "a <= b >= c <> d != e < f > g = h")
+	var ops []string
+	for _, tk := range toks {
+		if tk.kind == tokSymbol {
+			ops = append(ops, tk.text)
+		}
+	}
+	want := []string{"<=", ">=", "<>", "<>", "<", ">", "="}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexCommentsAndWhitespace(t *testing.T) {
+	toks := lexOK(t, "select -- everything after is gone <>!\n  a\t\nfrom  r")
+	if len(toks) != 5 { // select a from r EOF
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestLexEscapedQuote(t *testing.T) {
+	toks := lexOK(t, "'a''b'")
+	if toks[0].kind != tokString || toks[0].text != "a'b" {
+		t.Errorf("token = %+v", toks[0])
+	}
+}
+
+func TestLexKeywordCaseInsensitive(t *testing.T) {
+	toks := lexOK(t, "SeLeCt BETWEEN sum")
+	if toks[0].kind != tokKeyword || toks[0].text != "SELECT" {
+		t.Errorf("token 0 = %+v", toks[0])
+	}
+	if toks[1].text != "BETWEEN" || toks[2].text != "SUM" {
+		t.Errorf("keywords = %v %v", toks[1], toks[2])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "a # b", ": alone?"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := lexOK(t, "0.05 100 .5")
+	if toks[0].text != "0.05" || toks[1].text != "100" || toks[2].text != ".5" {
+		t.Errorf("numbers = %v %v %v", toks[0], toks[1], toks[2])
+	}
+}

@@ -1,0 +1,413 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %s", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind and (if non-empty)
+// text.
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expect consumes a required token or fails.
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, fmt.Errorf("sql: expected %s, found %s", want, p.peek())
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.accept(tokKeyword, "DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = append(stmt.Select, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+
+	if p.accept(tokKeyword, "WHERE") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, pred)
+			if !p.accept(tokKeyword, "AND") {
+				break
+			}
+		}
+	}
+
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad limit %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = strings.ToLower(t.text)
+	} else if p.at(tokIdent, "") {
+		item.Alias = strings.ToLower(p.next().text)
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: strings.ToLower(t.text)}
+	if p.at(tokIdent, "") {
+		ref.Alias = strings.ToLower(p.next().text)
+	}
+	return ref, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept(tokKeyword, "BETWEEN"):
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenPred{Expr: left, Lo: lo, Hi: hi}, nil
+	case p.accept(tokKeyword, "IN"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InPred{Expr: left, List: list}, nil
+	case p.accept(tokKeyword, "LIKE"):
+		t, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return &LikePred{Expr: left, Pattern: t.text}, nil
+	}
+	for _, op := range []struct {
+		sym string
+		op  CompareOp
+	}{{"<=", OpLe}, {">=", OpGe}, {"<>", OpNe}, {"=", OpEq}, {"<", OpLt}, {">", OpGt}} {
+		if p.accept(tokSymbol, op.sym) {
+			right, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &ComparePred{Op: op.op, Left: left, Right: right}, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: expected comparison operator, found %s", p.peek())
+}
+
+// parseExpr handles + and - over terms.
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op byte
+		switch {
+		case p.accept(tokSymbol, "+"):
+			op = '+'
+		case p.accept(tokSymbol, "-"):
+			op = '-'
+		default:
+			return left, nil
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+// parseTerm handles * and / over factors.
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op byte
+		switch {
+		case p.accept(tokSymbol, "*"):
+			op = '*'
+		case p.accept(tokSymbol, "/"):
+			op = '/'
+		default:
+			return left, nil
+		}
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+var aggNames = map[string]AggFunc{
+	"SUM": AggSum, "AVG": AggAvg, "COUNT": AggCount, "MIN": AggMin, "MAX": AggMax,
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return &Literal{Value: types.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return &Literal{Value: types.NewInt(n)}, nil
+	case tokString:
+		p.next()
+		return &Literal{Value: types.NewString(t.text)}, nil
+	case tokHostVar:
+		p.next()
+		return &HostVar{Name: strings.ToLower(t.text)}, nil
+	case tokKeyword:
+		if f, ok := aggNames[t.text]; ok {
+			p.next()
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return nil, err
+			}
+			if f == AggCount && p.accept(tokSymbol, "*") {
+				if _, err := p.expect(tokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return &AggExpr{Func: AggCount}, nil
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &AggExpr{Func: f, Arg: arg}, nil
+		}
+		if t.text == "DATE" {
+			p.next()
+			lit, err := p.expect(tokString, "")
+			if err != nil {
+				return nil, err
+			}
+			d, err := parseDate(lit.text)
+			if err != nil {
+				return nil, err
+			}
+			return &Literal{Value: d}, nil
+		}
+		if t.text == "NULL" {
+			p.next()
+			return &Literal{Value: types.Null()}, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %s in expression", t)
+	case tokIdent:
+		p.next()
+		if p.accept(tokSymbol, ".") {
+			name, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: strings.ToLower(t.text), Name: strings.ToLower(name.text)}, nil
+		}
+		return &ColumnRef{Name: strings.ToLower(t.text)}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "-" {
+			p.next()
+			inner, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: '-', Left: &Literal{Value: types.NewInt(0)}, Right: inner}, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected %s in expression", t)
+}
+
+func parseDate(s string) (types.Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return types.Null(), fmt.Errorf("sql: bad date literal %q", s)
+	}
+	return types.NewDateFromTime(t), nil
+}

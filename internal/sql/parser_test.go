@@ -1,0 +1,231 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseMinimal(t *testing.T) {
+	stmt := mustParse(t, "select a from r")
+	if len(stmt.Select) != 1 || len(stmt.From) != 1 {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	col, ok := stmt.Select[0].Expr.(*ColumnRef)
+	if !ok || col.Name != "a" || col.Table != "" {
+		t.Errorf("select item = %#v", stmt.Select[0].Expr)
+	}
+	if stmt.From[0].Name != "r" || stmt.Limit != -1 {
+		t.Errorf("from = %+v limit = %d", stmt.From[0], stmt.Limit)
+	}
+}
+
+func TestParsePaperRunningExample(t *testing.T) {
+	// The query of Figure 1(a).
+	src := `
+	  select avg(Rel1.selectattr1), avg(Rel1.selectattr2), Rel1.groupattr
+	  from Rel1, Rel2, Rel3
+	  where Rel1.selectattr1 < :value1
+	    and Rel1.selectattr2 < :value2
+	    and Rel1.joinattr2 = Rel2.joinattr2
+	    and Rel1.joinattr3 = Rel3.joinattr3
+	  group by Rel1.groupattr`
+	stmt := mustParse(t, src)
+	if len(stmt.Select) != 3 {
+		t.Fatalf("select list len = %d", len(stmt.Select))
+	}
+	agg, ok := stmt.Select[0].Expr.(*AggExpr)
+	if !ok || agg.Func != AggAvg {
+		t.Errorf("select[0] = %#v", stmt.Select[0].Expr)
+	}
+	if len(stmt.From) != 3 || stmt.From[1].Name != "rel2" {
+		t.Errorf("from = %+v", stmt.From)
+	}
+	if len(stmt.Where) != 4 {
+		t.Fatalf("where len = %d", len(stmt.Where))
+	}
+	cmp := stmt.Where[0].(*ComparePred)
+	if cmp.Op != OpLt {
+		t.Errorf("where[0] op = %v", cmp.Op)
+	}
+	if _, ok := cmp.Right.(*HostVar); !ok {
+		t.Errorf("where[0] right = %#v", cmp.Right)
+	}
+	if len(stmt.GroupBy) != 1 {
+		t.Errorf("group by = %v", stmt.GroupBy)
+	}
+}
+
+func TestParseAliasesAndQualifiedStars(t *testing.T) {
+	stmt := mustParse(t, "select n.n_name as nation from nation n where n.n_key = 3")
+	if stmt.From[0].Alias != "n" || stmt.From[0].Binding() != "n" {
+		t.Errorf("alias = %+v", stmt.From[0])
+	}
+	if stmt.Select[0].Alias != "nation" {
+		t.Errorf("select alias = %q", stmt.Select[0].Alias)
+	}
+	// Implicit alias without AS.
+	stmt = mustParse(t, "select sum(x) total from r")
+	if stmt.Select[0].Alias != "total" {
+		t.Errorf("implicit alias = %q", stmt.Select[0].Alias)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	stmt := mustParse(t, `select a from r where a between 1 and 10
+	  and b in (1, 2, 3) and c like 'BUILD%' and d <> 4 and e >= 0.5`)
+	if len(stmt.Where) != 5 {
+		t.Fatalf("where len = %d", len(stmt.Where))
+	}
+	if _, ok := stmt.Where[0].(*BetweenPred); !ok {
+		t.Errorf("where[0] = %#v", stmt.Where[0])
+	}
+	in := stmt.Where[1].(*InPred)
+	if len(in.List) != 3 {
+		t.Errorf("in list = %v", in.List)
+	}
+	like := stmt.Where[2].(*LikePred)
+	if like.Pattern != "BUILD%" {
+		t.Errorf("like pattern = %q", like.Pattern)
+	}
+	if stmt.Where[3].(*ComparePred).Op != OpNe {
+		t.Error("<> not parsed as OpNe")
+	}
+	if stmt.Where[4].(*ComparePred).Op != OpGe {
+		t.Error(">= not parsed as OpGe")
+	}
+}
+
+func TestParseDateLiteralsAndArithmetic(t *testing.T) {
+	stmt := mustParse(t, "select a from r where d >= date '1996-03-01' and d < date '1996-03-01' + 90")
+	cmp := stmt.Where[0].(*ComparePred)
+	lit := cmp.Right.(*Literal)
+	if lit.Value.Kind() != types.KindDate {
+		t.Errorf("date literal kind = %v", lit.Value.Kind())
+	}
+	bin := stmt.Where[1].(*ComparePred).Right.(*BinaryExpr)
+	if bin.Op != '+' {
+		t.Errorf("binary op = %c", bin.Op)
+	}
+}
+
+func TestParseNumbersAndNegation(t *testing.T) {
+	stmt := mustParse(t, "select a from r where x > -5 and y < 2.5 and z = 0.1 + 3 * 2")
+	neg := stmt.Where[0].(*ComparePred).Right.(*BinaryExpr)
+	if neg.Op != '-' {
+		t.Error("unary minus not desugared")
+	}
+	prec := stmt.Where[2].(*ComparePred).Right.(*BinaryExpr)
+	if prec.Op != '+' {
+		t.Fatalf("precedence root = %c", prec.Op)
+	}
+	if inner, ok := prec.Right.(*BinaryExpr); !ok || inner.Op != '*' {
+		t.Error("* does not bind tighter than +")
+	}
+}
+
+func TestParseGroupOrderLimit(t *testing.T) {
+	stmt := mustParse(t, "select g, count(*) from r group by g order by g desc, h limit 10")
+	if len(stmt.GroupBy) != 1 || len(stmt.OrderBy) != 2 {
+		t.Fatalf("group/order = %v / %v", stmt.GroupBy, stmt.OrderBy)
+	}
+	if !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Error("desc flags wrong")
+	}
+	if stmt.Limit != 10 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+	cnt := stmt.Select[1].Expr.(*AggExpr)
+	if cnt.Func != AggCount || cnt.Arg != nil {
+		t.Errorf("count(*) = %#v", cnt)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	stmt := mustParse(t, "select distinct a from r")
+	if !stmt.Distinct {
+		t.Error("distinct not parsed")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmt := mustParse(t, "select a -- trailing words\nfrom r")
+	if len(stmt.From) != 1 {
+		t.Error("comment broke parse")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	stmt := mustParse(t, "select a from r where s = 'it''s'")
+	lit := stmt.Where[0].(*ComparePred).Right.(*Literal)
+	if lit.Value.Str() != "it's" {
+		t.Errorf("escaped string = %q", lit.Value.Str())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select a",
+		"select a from",
+		"select a from r where",
+		"select a from r where a =",
+		"select a from r where a ! b",
+		"select a from r group a",
+		"select a from r where s = 'unterminated",
+		"select a from r extra garbage",
+		"select a from r where a between 1",
+		"select a from r where :",
+		"select count( from r",
+		"select a from r limit x",
+		"select a from r where d = date 'not-a-date'",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	srcs := []string{
+		"select a from r",
+		"select distinct r.a, sum(r.b) as total from r, s where r.k = s.k and r.a between 1 and 10 group by r.a order by total desc limit 5",
+		"select avg(x) from t where y in (1, 2) and z like 'A%' and w < :hv",
+		"select a from r where d >= date '1996-03-01'",
+	}
+	for _, src := range srcs {
+		stmt := mustParse(t, src)
+		rendered := stmt.SQL()
+		stmt2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", rendered, err)
+		}
+		if stmt2.SQL() != rendered {
+			t.Errorf("SQL() not a fixed point:\n  1st: %s\n  2nd: %s", rendered, stmt2.SQL())
+		}
+		if !strings.HasPrefix(rendered, "select ") {
+			t.Errorf("rendered = %q", rendered)
+		}
+	}
+}
+
+func TestCompareOpNegate(t *testing.T) {
+	ops := []CompareOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("Negate not involutive for %v", op)
+		}
+	}
+}

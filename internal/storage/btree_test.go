@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestBTreeInsertLookup(t *testing.T) {
+	m := NewCostMeter(DefaultCostWeights())
+	bt := NewBTree(m)
+	for i := 0; i < 10000; i++ {
+		bt.Insert(types.NewInt(int64(i)), RID{Page: PageID(i + 1), Slot: 0})
+	}
+	if bt.Len() != 10000 {
+		t.Errorf("Len = %d", bt.Len())
+	}
+	if bt.Height() < 2 {
+		t.Errorf("Height = %d, want a split tree", bt.Height())
+	}
+	for _, k := range []int64{0, 1, 4999, 9999} {
+		rids := bt.Lookup(types.NewInt(k))
+		if len(rids) != 1 || rids[0].Page != PageID(k+1) {
+			t.Errorf("Lookup(%d) = %v", k, rids)
+		}
+	}
+	if rids := bt.Lookup(types.NewInt(10001)); rids != nil {
+		t.Errorf("Lookup(absent) = %v", rids)
+	}
+}
+
+func TestBTreeDuplicates(t *testing.T) {
+	m := NewCostMeter(DefaultCostWeights())
+	bt := NewBTree(m)
+	for i := 0; i < 50; i++ {
+		bt.Insert(types.NewInt(7), RID{Page: PageID(i + 1)})
+	}
+	rids := bt.Lookup(types.NewInt(7))
+	if len(rids) != 50 {
+		t.Errorf("duplicate Lookup returned %d rids", len(rids))
+	}
+}
+
+func TestBTreeRandomOrderSortedIteration(t *testing.T) {
+	m := NewCostMeter(DefaultCostWeights())
+	bt := NewBTree(m)
+	rng := rand.New(rand.NewSource(42))
+	keys := rng.Perm(5000)
+	for _, k := range keys {
+		bt.Insert(types.NewInt(int64(k)), RID{Page: PageID(k + 1)})
+	}
+	var got []int64
+	bt.Range(types.Null(), types.Null(), func(k types.Value, rids []RID) bool {
+		got = append(got, k.Int())
+		return true
+	})
+	if len(got) != 5000 {
+		t.Fatalf("full Range visited %d keys", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Error("Range iteration not sorted")
+	}
+}
+
+func TestBTreeRangeBounds(t *testing.T) {
+	m := NewCostMeter(DefaultCostWeights())
+	bt := NewBTree(m)
+	for i := 0; i < 100; i++ {
+		bt.Insert(types.NewInt(int64(i)), RID{Page: PageID(i + 1)})
+	}
+	var got []int64
+	bt.Range(types.NewInt(10), types.NewInt(20), func(k types.Value, rids []RID) bool {
+		got = append(got, k.Int())
+		return true
+	})
+	if len(got) != 11 || got[0] != 10 || got[10] != 20 {
+		t.Errorf("Range[10,20] = %v", got)
+	}
+	// Early stop.
+	n := 0
+	bt.Range(types.Null(), types.Null(), func(k types.Value, rids []RID) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// Lower bound only.
+	got = got[:0]
+	bt.Range(types.NewInt(95), types.Null(), func(k types.Value, rids []RID) bool {
+		got = append(got, k.Int())
+		return true
+	})
+	if len(got) != 5 {
+		t.Errorf("Range[95,∞) = %v", got)
+	}
+}
+
+func TestBTreeLookupChargesIO(t *testing.T) {
+	m := NewCostMeter(DefaultCostWeights())
+	bt := NewBTree(m)
+	bt.Insert(types.NewInt(1), RID{Page: 1})
+	before := m.Snapshot()
+	bt.Lookup(types.NewInt(1))
+	if d := m.Snapshot().Sub(before); d.PageReads != 1 {
+		t.Errorf("Lookup charged %d reads, want 1", d.PageReads)
+	}
+}
+
+func TestBTreeStringKeys(t *testing.T) {
+	m := NewCostMeter(DefaultCostWeights())
+	bt := NewBTree(m)
+	words := []string{"pear", "apple", "fig", "mango", "banana"}
+	for i, w := range words {
+		bt.Insert(types.NewString(w), RID{Page: PageID(i + 1)})
+	}
+	var got []string
+	bt.Range(types.Null(), types.Null(), func(k types.Value, rids []RID) bool {
+		got = append(got, k.Str())
+		return true
+	})
+	want := append([]string(nil), words...)
+	sort.Strings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted strings = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBTreeProperty(t *testing.T) {
+	// Property: after inserting any multiset of int keys, every key is
+	// findable and a full range scan is sorted and complete.
+	f := func(keys []int16) bool {
+		m := NewCostMeter(DefaultCostWeights())
+		bt := NewBTree(m)
+		counts := map[int64]int{}
+		for i, k := range keys {
+			bt.Insert(types.NewInt(int64(k)), RID{Page: PageID(i + 1)})
+			counts[int64(k)]++
+		}
+		total := 0
+		prev := int64(-40000)
+		ok := true
+		bt.Range(types.Null(), types.Null(), func(k types.Value, rids []RID) bool {
+			if k.Int() <= prev {
+				ok = false
+			}
+			prev = k.Int()
+			if len(rids) != counts[k.Int()] {
+				ok = false
+			}
+			total += len(rids)
+			return true
+		})
+		return ok && total == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches disk pages in a fixed number of frames with LRU
+// replacement. A page found in the pool costs nothing; a miss charges a
+// disk read, and evicting a dirty frame charges a disk write. This models
+// the paper's per-node 32 MB buffer pool, which they deliberately kept
+// small "to study the effect of memory management techniques".
+//
+// The pool is distinct from the Memory Manager's per-operator working
+// memory: the pool caches base-table and temp-file pages, while operator
+// memory (hash tables, sort runs) is tracked separately by
+// internal/memmgr, exactly as in Paradise.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     *Disk
+	capacity int
+
+	frames map[PageID]*frame
+	lru    *list.List // front = most recent; elements hold PageID
+}
+
+type frame struct {
+	data  []byte
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// NewBufferPool returns a pool of capacity frames over disk. Capacity
+// must be at least 1.
+func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the number of frames.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Disk returns the underlying disk.
+func (bp *BufferPool) Disk() *Disk { return bp.disk }
+
+// Pin fetches a page into the pool and pins it, returning its buffer. The
+// buffer aliases the frame; callers may mutate it but must call
+// MarkDirty before Unpin for changes to survive eviction.
+func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		f.pins++
+		bp.lru.MoveToFront(f.elem)
+		return f.data, nil
+	}
+	if err := bp.evictLocked(); err != nil {
+		return nil, err
+	}
+	data, err := bp.disk.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	f := &frame{data: data, pins: 1}
+	f.elem = bp.lru.PushFront(id)
+	bp.frames[id] = f
+	return f.data, nil
+}
+
+// PinNew allocates a fresh page on disk, installs an empty frame for it
+// without a disk read, and pins it. Use for appends.
+func (bp *BufferPool) PinNew() (PageID, []byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.evictLocked(); err != nil {
+		return InvalidPageID, nil, err
+	}
+	id := bp.disk.Allocate()
+	f := &frame{data: make([]byte, PageSize), pins: 1, dirty: true}
+	f.elem = bp.lru.PushFront(id)
+	bp.frames[id] = f
+	return id, f.data, nil
+}
+
+// evictLocked makes room for one more frame, writing back a dirty victim.
+func (bp *BufferPool) evictLocked() error {
+	for len(bp.frames) >= bp.capacity {
+		var victim PageID
+		found := false
+		for e := bp.lru.Back(); e != nil; e = e.Prev() {
+			id := e.Value.(PageID)
+			if bp.frames[id].pins == 0 {
+				victim, found = id, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("storage: buffer pool exhausted (%d frames all pinned)", bp.capacity)
+		}
+		f := bp.frames[victim]
+		if f.dirty {
+			if err := bp.disk.Write(victim, f.data); err != nil {
+				return err
+			}
+		}
+		bp.lru.Remove(f.elem)
+		delete(bp.frames, victim)
+	}
+	return nil
+}
+
+// MarkDirty flags a pinned page as modified.
+func (bp *BufferPool) MarkDirty(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		f.dirty = true
+	}
+}
+
+// Unpin releases one pin on the page.
+func (bp *BufferPool) Unpin(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok && f.pins > 0 {
+		f.pins--
+	}
+}
+
+// FlushAll writes back every dirty frame, leaving them cached.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, f := range bp.frames {
+		if f.dirty {
+			if err := bp.disk.Write(id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Evict drops a page from the pool, writing it back if dirty. Used when a
+// temp file is freed so stale frames do not linger.
+func (bp *BufferPool) Evict(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok {
+		return nil
+	}
+	if f.pins > 0 {
+		return fmt.Errorf("storage: evicting pinned page %d", id)
+	}
+	if f.dirty {
+		if err := bp.disk.Write(id, f.data); err != nil {
+			return err
+		}
+	}
+	bp.lru.Remove(f.elem)
+	delete(bp.frames, id)
+	return nil
+}
+
+// EvictAll writes back every dirty frame and empties the pool (pinned
+// frames are left in place). Benchmarks call it between runs to measure
+// cold-cache executions deterministically.
+func (bp *BufferPool) EvictAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, f := range bp.frames {
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if err := bp.disk.Write(id, f.data); err != nil {
+				return err
+			}
+		}
+		bp.lru.Remove(f.elem)
+		delete(bp.frames, id)
+	}
+	return nil
+}
+
+// Cached reports whether the page currently occupies a frame (for tests).
+func (bp *BufferPool) Cached(id PageID) bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	_, ok := bp.frames[id]
+	return ok
+}

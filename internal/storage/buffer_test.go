@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"testing"
+)
+
+func newTestPool(capacity int) (*BufferPool, *CostMeter) {
+	m := NewCostMeter(DefaultCostWeights())
+	d := NewDisk(m)
+	return NewBufferPool(d, capacity), m
+}
+
+func TestBufferPoolHitCostsNothing(t *testing.T) {
+	bp, m := newTestPool(4)
+	id, _, err := bp.PinNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(id)
+	before := m.Snapshot()
+	for i := 0; i < 10; i++ {
+		if _, err := bp.Pin(id); err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(id)
+	}
+	if d := m.Snapshot().Sub(before); d.PageReads != 0 {
+		t.Errorf("cached pins charged %d reads", d.PageReads)
+	}
+}
+
+func TestBufferPoolMissChargesRead(t *testing.T) {
+	bp, m := newTestPool(2)
+	// Fill the pool past capacity so page1 is evicted.
+	id1, buf, _ := bp.PinNew()
+	buf[0] = 0xAB
+	bp.MarkDirty(id1)
+	bp.Unpin(id1)
+	id2, _, _ := bp.PinNew()
+	bp.Unpin(id2)
+	id3, _, _ := bp.PinNew()
+	bp.Unpin(id3)
+
+	if bp.Cached(id1) {
+		t.Fatal("page1 should have been evicted")
+	}
+	before := m.Snapshot()
+	got, err := bp.Pin(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB {
+		t.Error("dirty page content lost across eviction")
+	}
+	bp.Unpin(id1)
+	if d := m.Snapshot().Sub(before); d.PageReads != 1 {
+		t.Errorf("miss charged %d reads, want 1", d.PageReads)
+	}
+}
+
+func TestBufferPoolDirtyEvictionChargesWrite(t *testing.T) {
+	bp, m := newTestPool(1)
+	id1, _, _ := bp.PinNew()
+	bp.MarkDirty(id1)
+	bp.Unpin(id1)
+	before := m.Snapshot()
+	id2, _, _ := bp.PinNew() // forces eviction of dirty id1
+	bp.Unpin(id2)
+	if d := m.Snapshot().Sub(before); d.PageWrites != 1 {
+		t.Errorf("dirty eviction charged %d writes, want 1", d.PageWrites)
+	}
+}
+
+func TestBufferPoolAllPinned(t *testing.T) {
+	bp, _ := newTestPool(1)
+	id, _, _ := bp.PinNew()
+	if _, _, err := bp.PinNew(); err == nil {
+		t.Error("PinNew with all frames pinned succeeded")
+	}
+	bp.Unpin(id)
+	if _, _, err := bp.PinNew(); err != nil {
+		t.Errorf("PinNew after unpin: %v", err)
+	}
+}
+
+func TestBufferPoolLRUOrder(t *testing.T) {
+	bp, _ := newTestPool(2)
+	a, _, _ := bp.PinNew()
+	bp.Unpin(a)
+	b, _, _ := bp.PinNew()
+	bp.Unpin(b)
+	// Touch a so b becomes the LRU victim.
+	bp.Pin(a)
+	bp.Unpin(a)
+	c, _, _ := bp.PinNew()
+	bp.Unpin(c)
+	if !bp.Cached(a) {
+		t.Error("recently used page a was evicted")
+	}
+	if bp.Cached(b) {
+		t.Error("LRU page b was not evicted")
+	}
+}
+
+func TestBufferPoolFlushAll(t *testing.T) {
+	bp, m := newTestPool(4)
+	id, buf, _ := bp.PinNew()
+	buf[0] = 7
+	bp.MarkDirty(id)
+	bp.Unpin(id)
+	before := m.Snapshot()
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Snapshot().Sub(before); d.PageWrites != 1 {
+		t.Errorf("FlushAll charged %d writes", d.PageWrites)
+	}
+	// Second flush is a no-op.
+	before = m.Snapshot()
+	bp.FlushAll()
+	if d := m.Snapshot().Sub(before); d.PageWrites != 0 {
+		t.Error("second FlushAll rewrote clean pages")
+	}
+}
+
+func TestBufferPoolEvict(t *testing.T) {
+	bp, _ := newTestPool(4)
+	id, _, _ := bp.PinNew()
+	if err := bp.Evict(id); err == nil {
+		t.Error("Evict of pinned page succeeded")
+	}
+	bp.Unpin(id)
+	if err := bp.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Cached(id) {
+		t.Error("page still cached after Evict")
+	}
+	if err := bp.Evict(id); err != nil {
+		t.Errorf("Evict of absent page: %v", err)
+	}
+}
+
+func TestDiskErrors(t *testing.T) {
+	m := NewCostMeter(DefaultCostWeights())
+	d := NewDisk(m)
+	if _, err := d.Read(999); err == nil {
+		t.Error("read of unallocated page succeeded")
+	}
+	if err := d.Write(999, make([]byte, PageSize)); err == nil {
+		t.Error("write to unallocated page succeeded")
+	}
+	id := d.Allocate()
+	if err := d.Write(id, make([]byte, 10)); err == nil {
+		t.Error("short write succeeded")
+	}
+	d.Free(id)
+	if d.NumPages() != 0 {
+		t.Errorf("NumPages after free = %d", d.NumPages())
+	}
+}

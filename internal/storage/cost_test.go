@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCostMeterAccounting(t *testing.T) {
+	m := NewCostMeter(CostWeights{PageRead: 1, PageWrite: 2, TupleCPU: 0.5, StatCPU: 0.25})
+	m.ChargeRead(3)
+	m.ChargeWrite(2)
+	m.ChargeTuples(4)
+	m.ChargeStatTuples(8)
+	m.ChargeRaw(1.5)
+	want := 3.0 + 4.0 + 2.0 + 2.0 + 1.5
+	if got := m.Cost(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Cost() = %g, want %g", got, want)
+	}
+}
+
+func TestCostMeterSnapshotSub(t *testing.T) {
+	m := NewCostMeter(DefaultCostWeights())
+	m.ChargeRead(10)
+	before := m.Snapshot()
+	m.ChargeRead(5)
+	m.ChargeTuples(100)
+	delta := m.Snapshot().Sub(before)
+	if delta.PageReads != 5 || delta.TupleCPU != 100 {
+		t.Errorf("delta = %+v", delta)
+	}
+	if delta.Cost() != 5*1.0+100*0.002 {
+		t.Errorf("delta cost = %g", delta.Cost())
+	}
+}
+
+func TestCostMeterReset(t *testing.T) {
+	m := NewCostMeter(DefaultCostWeights())
+	m.ChargeRead(10)
+	m.Reset()
+	if m.Cost() != 0 {
+		t.Errorf("cost after Reset = %g", m.Cost())
+	}
+	if m.Weights().PageRead != 1.0 {
+		t.Error("Reset lost weights")
+	}
+}
+
+func TestCostMeterConcurrent(t *testing.T) {
+	m := NewCostMeter(DefaultCostWeights())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.ChargeRead(1)
+				m.ChargeTuples(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.PageReads != 8000 || s.TupleCPU != 8000 {
+		t.Errorf("concurrent counters: %+v", s)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	m := NewCostMeter(DefaultCostWeights())
+	m.ChargeRead(1)
+	if s := m.Snapshot().String(); s == "" {
+		t.Error("empty Snapshot.String()")
+	}
+}

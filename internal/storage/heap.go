@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// RID names a record: the page it lives on and its slot.
+type RID struct {
+	Page PageID
+	Slot int
+}
+
+// HeapFile is an unordered collection of tuples stored across slotted
+// pages. Base tables, temporary spill partitions, and materialized
+// intermediate results are all heap files.
+type HeapFile struct {
+	pool   *BufferPool
+	pages  []PageID
+	tuples int64
+	bytes  int64
+	temp   bool
+}
+
+// NewHeapFile creates an empty heap file backed by pool.
+func NewHeapFile(pool *BufferPool) *HeapFile {
+	return &HeapFile{pool: pool}
+}
+
+// NewTempFile creates a heap file whose pages are released by Drop. The
+// re-optimizer materializes intermediate results into temp files
+// (paper §2.4, Figure 6).
+func NewTempFile(pool *BufferPool) *HeapFile {
+	return &HeapFile{pool: pool, temp: true}
+}
+
+// NumPages returns the number of pages in the file.
+func (h *HeapFile) NumPages() int { return len(h.pages) }
+
+// NumTuples returns the number of tuples appended.
+func (h *HeapFile) NumTuples() int64 { return h.tuples }
+
+// ByteSize returns the total encoded bytes of all tuples, used for
+// average-tuple-size statistics.
+func (h *HeapFile) ByteSize() int64 { return h.bytes }
+
+// IsTemp reports whether Drop will free the file's pages.
+func (h *HeapFile) IsTemp() bool { return h.temp }
+
+// Append adds a tuple to the file and returns its RID.
+func (h *HeapFile) Append(t types.Tuple) (RID, error) {
+	rec := types.EncodeTuple(nil, t)
+	if len(rec) > PageSize-pageHeaderSize-4 {
+		return RID{}, fmt.Errorf("storage: tuple of %d bytes exceeds page capacity", len(rec))
+	}
+	// Try the last page first.
+	if n := len(h.pages); n > 0 {
+		id := h.pages[n-1]
+		buf, err := h.pool.Pin(id)
+		if err != nil {
+			return RID{}, err
+		}
+		page := LoadSlottedPage(buf)
+		if page.CanFit(len(rec)) {
+			slot, err := page.Insert(rec)
+			if err != nil {
+				h.pool.Unpin(id)
+				return RID{}, err
+			}
+			h.pool.MarkDirty(id)
+			h.pool.Unpin(id)
+			h.tuples++
+			h.bytes += int64(len(rec))
+			return RID{Page: id, Slot: slot}, nil
+		}
+		h.pool.Unpin(id)
+	}
+	id, buf, err := h.pool.PinNew()
+	if err != nil {
+		return RID{}, err
+	}
+	page := NewSlottedPage(buf)
+	slot, err := page.Insert(rec)
+	if err != nil {
+		h.pool.Unpin(id)
+		return RID{}, err
+	}
+	h.pool.MarkDirty(id)
+	h.pool.Unpin(id)
+	h.pages = append(h.pages, id)
+	h.tuples++
+	h.bytes += int64(len(rec))
+	return RID{Page: id, Slot: slot}, nil
+}
+
+// Fetch reads the tuple at rid.
+func (h *HeapFile) Fetch(rid RID) (types.Tuple, error) {
+	buf, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(rid.Page)
+	rec, err := LoadSlottedPage(buf).Record(rid.Slot)
+	if err != nil {
+		return nil, err
+	}
+	t, _, err := types.DecodeTuple(rec)
+	return t, err
+}
+
+// Scan returns an iterator over every tuple in the file, in storage order.
+func (h *HeapFile) Scan() *HeapScanner {
+	return &HeapScanner{file: h}
+}
+
+// Drop releases a temp file's pages from the pool and disk. Dropping a
+// non-temp file is a no-op so base tables cannot be freed accidentally.
+func (h *HeapFile) Drop() error {
+	if !h.temp {
+		return nil
+	}
+	for _, id := range h.pages {
+		if err := h.pool.Evict(id); err != nil {
+			return err
+		}
+		h.pool.Disk().Free(id)
+	}
+	h.pages = nil
+	h.tuples = 0
+	h.bytes = 0
+	return nil
+}
+
+// HeapScanner iterates a heap file page by page. Each page is pinned once
+// per visit, so a full scan of an uncached file charges exactly
+// NumPages() reads.
+type HeapScanner struct {
+	file    *HeapFile
+	pageIdx int
+	slot    int
+	err     error
+	cur     types.Tuple
+	curRID  RID
+}
+
+// Next advances to the next tuple, returning false at the end of the file
+// or on error.
+func (s *HeapScanner) Next() bool {
+	h := s.file
+	for s.pageIdx < len(h.pages) {
+		id := h.pages[s.pageIdx]
+		buf, err := h.pool.Pin(id)
+		if err != nil {
+			s.err = err
+			return false
+		}
+		page := LoadSlottedPage(buf)
+		for s.slot < page.NumSlots() {
+			slot := s.slot
+			s.slot++
+			rec, err := page.Record(slot)
+			if err != nil {
+				continue // deleted slot
+			}
+			t, _, err := types.DecodeTuple(rec)
+			h.pool.Unpin(id)
+			if err != nil {
+				s.err = err
+				return false
+			}
+			s.cur = t
+			s.curRID = RID{Page: id, Slot: slot}
+			return true
+		}
+		h.pool.Unpin(id)
+		s.pageIdx++
+		s.slot = 0
+	}
+	return false
+}
+
+// Tuple returns the current tuple after a successful Next.
+func (s *HeapScanner) Tuple() types.Tuple { return s.cur }
+
+// RID returns the current tuple's record ID.
+func (s *HeapScanner) RID() RID { return s.curRID }
+
+// Err returns the first error encountered, if any.
+func (s *HeapScanner) Err() error { return s.err }

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slotted page layout:
+//
+//	bytes 0..2   u16 slot count
+//	bytes 2..4   u16 free-space end (offset of the lowest data byte)
+//	bytes 4..    slot directory, u16 data offset per slot (0 = deleted)
+//	...free space...
+//	data region, growing downward from PageSize
+//
+// Each slot's data begins with a u16 record length followed by the record
+// bytes. The page never compacts; the engine is append-mostly, matching a
+// decision-support workload.
+
+const pageHeaderSize = 4
+
+// SlottedPage wraps a page buffer with record-level operations. It does
+// not own I/O; callers read and write the underlying buffer through the
+// buffer pool.
+type SlottedPage struct {
+	buf []byte
+}
+
+// NewSlottedPage formats buf (of PageSize bytes) as an empty slotted page.
+func NewSlottedPage(buf []byte) *SlottedPage {
+	p := &SlottedPage{buf: buf}
+	p.setNumSlots(0)
+	p.setFreeEnd(uint16(len(buf)))
+	return p
+}
+
+// LoadSlottedPage wraps an already-formatted buffer.
+func LoadSlottedPage(buf []byte) *SlottedPage {
+	return &SlottedPage{buf: buf}
+}
+
+func (p *SlottedPage) numSlots() int {
+	return int(binary.LittleEndian.Uint16(p.buf[0:2]))
+}
+
+func (p *SlottedPage) setNumSlots(n int) {
+	binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n))
+}
+
+func (p *SlottedPage) freeEnd() uint16 {
+	return binary.LittleEndian.Uint16(p.buf[2:4])
+}
+
+func (p *SlottedPage) setFreeEnd(v uint16) {
+	binary.LittleEndian.PutUint16(p.buf[2:4], v)
+}
+
+func (p *SlottedPage) slotOffset(i int) uint16 {
+	return binary.LittleEndian.Uint16(p.buf[pageHeaderSize+2*i : pageHeaderSize+2*i+2])
+}
+
+func (p *SlottedPage) setSlotOffset(i int, off uint16) {
+	binary.LittleEndian.PutUint16(p.buf[pageHeaderSize+2*i:pageHeaderSize+2*i+2], off)
+}
+
+// NumRecords returns the number of live records on the page.
+func (p *SlottedPage) NumRecords() int {
+	n := 0
+	for i := 0; i < p.numSlots(); i++ {
+		if p.slotOffset(i) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumSlots returns the number of slots, live or deleted.
+func (p *SlottedPage) NumSlots() int { return p.numSlots() }
+
+// FreeSpace returns the bytes available for one more record's data plus
+// its slot directory entry.
+func (p *SlottedPage) FreeSpace() int {
+	dirEnd := pageHeaderSize + 2*p.numSlots()
+	free := int(p.freeEnd()) - dirEnd
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// CanFit reports whether a record of n bytes fits on the page.
+func (p *SlottedPage) CanFit(n int) bool {
+	// 2 bytes slot entry + 2 bytes length prefix + data.
+	return p.FreeSpace() >= n+4
+}
+
+// Insert appends a record and returns its slot number.
+func (p *SlottedPage) Insert(rec []byte) (int, error) {
+	if !p.CanFit(len(rec)) {
+		return 0, fmt.Errorf("storage: record of %d bytes does not fit (free %d)", len(rec), p.FreeSpace())
+	}
+	end := int(p.freeEnd())
+	start := end - len(rec) - 2
+	binary.LittleEndian.PutUint16(p.buf[start:start+2], uint16(len(rec)))
+	copy(p.buf[start+2:end], rec)
+	slot := p.numSlots()
+	p.setNumSlots(slot + 1)
+	p.setSlotOffset(slot, uint16(start))
+	p.setFreeEnd(uint16(start))
+	return slot, nil
+}
+
+// Record returns the bytes of the record in the given slot. The returned
+// slice aliases the page buffer; callers must copy before retaining.
+func (p *SlottedPage) Record(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.numSlots() {
+		return nil, fmt.Errorf("storage: slot %d out of range [0,%d)", slot, p.numSlots())
+	}
+	off := p.slotOffset(slot)
+	if off == 0 {
+		return nil, fmt.Errorf("storage: slot %d is deleted", slot)
+	}
+	l := binary.LittleEndian.Uint16(p.buf[off : off+2])
+	return p.buf[off+2 : off+2+l], nil
+}
+
+// Delete marks a slot as deleted. The space is not reclaimed.
+func (p *SlottedPage) Delete(slot int) error {
+	if slot < 0 || slot >= p.numSlots() {
+		return fmt.Errorf("storage: slot %d out of range [0,%d)", slot, p.numSlots())
+	}
+	p.setSlotOffset(slot, 0)
+	return nil
+}

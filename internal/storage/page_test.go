@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSlottedPageInsertAndFetch(t *testing.T) {
+	p := NewSlottedPage(make([]byte, PageSize))
+	recs := [][]byte{[]byte("alpha"), []byte(""), []byte("a longer record with more bytes")}
+	for i, r := range recs {
+		slot, err := p.Insert(r)
+		if err != nil {
+			t.Fatalf("Insert #%d: %v", i, err)
+		}
+		if slot != i {
+			t.Errorf("Insert #%d got slot %d", i, slot)
+		}
+	}
+	if p.NumRecords() != len(recs) {
+		t.Errorf("NumRecords = %d", p.NumRecords())
+	}
+	for i, want := range recs {
+		got, err := p.Record(i)
+		if err != nil {
+			t.Fatalf("Record(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("Record(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestSlottedPageFill(t *testing.T) {
+	p := NewSlottedPage(make([]byte, PageSize))
+	rec := make([]byte, 100)
+	n := 0
+	for p.CanFit(len(rec)) {
+		if _, err := p.Insert(rec); err != nil {
+			t.Fatalf("Insert while CanFit: %v", err)
+		}
+		n++
+	}
+	if _, err := p.Insert(rec); err == nil {
+		t.Error("Insert beyond capacity succeeded")
+	}
+	// 104 bytes/record (2 slot + 2 len + 100 data) in 8188 usable bytes.
+	if want := (PageSize - pageHeaderSize) / 104; n != want {
+		t.Errorf("fitted %d records, want %d", n, want)
+	}
+	// Page still intact after the failed insert.
+	if p.NumRecords() != n {
+		t.Errorf("NumRecords = %d after failed insert", p.NumRecords())
+	}
+}
+
+func TestSlottedPageDelete(t *testing.T) {
+	p := NewSlottedPage(make([]byte, PageSize))
+	p.Insert([]byte("a"))
+	p.Insert([]byte("b"))
+	if err := p.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRecords() != 1 {
+		t.Errorf("NumRecords after delete = %d", p.NumRecords())
+	}
+	if _, err := p.Record(0); err == nil {
+		t.Error("Record of deleted slot succeeded")
+	}
+	if got, err := p.Record(1); err != nil || string(got) != "b" {
+		t.Errorf("Record(1) = %q, %v", got, err)
+	}
+	if err := p.Delete(99); err == nil {
+		t.Error("Delete out of range succeeded")
+	}
+	if _, err := p.Record(-1); err == nil {
+		t.Error("Record(-1) succeeded")
+	}
+}
+
+func TestSlottedPageSurvivesReload(t *testing.T) {
+	buf := make([]byte, PageSize)
+	p := NewSlottedPage(buf)
+	p.Insert([]byte("persistent"))
+	q := LoadSlottedPage(buf)
+	got, err := q.Record(0)
+	if err != nil || string(got) != "persistent" {
+		t.Errorf("reloaded Record(0) = %q, %v", got, err)
+	}
+}

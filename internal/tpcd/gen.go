@@ -1,0 +1,468 @@
+package tpcd
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/histogram"
+	"repro/internal/types"
+)
+
+// Config controls data generation.
+type Config struct {
+	// SF is the TPC-D scale factor. SF 1 corresponds to the standard
+	// row counts (150k customers, 1.5M orders, ~6M lineitems); the
+	// benchmarks use fractional factors with a proportionally small
+	// buffer pool so the data:memory ratio matches the paper's
+	// 3 GB : 32 MB regime.
+	SF float64
+	// Zipf skews all non-key attributes with parameter z when > 0
+	// (Figure 12 uses 0.3 and 0.6).
+	Zipf float64
+	Seed int64
+	// HistFamily selects the catalog histogram family built by the
+	// post-load ANALYZE.
+	HistFamily histogram.Family
+	// SkipHistograms loads statistics without histograms (the "high
+	// inaccuracy potential" catalog ablation).
+	SkipHistograms bool
+	// SkipIndexes suppresses primary-key index creation.
+	SkipIndexes bool
+	// FactIndexes additionally builds a secondary index on
+	// lineitem.l_orderkey. Off by default: fact-table secondary
+	// indexes invite indexed nested-loops joins over the fact table,
+	// which never block and therefore give the dispatcher no decision
+	// point — the paper's plans are hash-join-heavy, with indexed
+	// joins only on dimension tables.
+	FactIndexes bool
+	// SkipAnalyze leaves the catalog without statistics entirely.
+	SkipAnalyze bool
+	// StaleFrac, when in (0,1), runs ANALYZE after only this fraction
+	// of the data is loaded and then loads the rest without refreshing
+	// statistics. This reproduces one of the paper's named estimation
+	// error sources — "statistics are not kept up-to-date" (§1) — and
+	// is what lets the re-optimization experiments observe the
+	// systematic under-estimates a 1998 catalog would exhibit. The
+	// catalog's update-activity counters see the second phase, so the
+	// SCIA's staleness rule (§2.5) also engages.
+	StaleFrac float64
+}
+
+// Rows returns the scaled cardinality of each table.
+func (c Config) Rows() map[string]int {
+	scale := func(n float64) int {
+		v := int(c.SF * n)
+		if v < 5 {
+			v = 5
+		}
+		return v
+	}
+	orders := scale(1_500_000)
+	return map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": scale(10_000),
+		"customer": scale(150_000),
+		"part":     scale(200_000),
+		"partsupp": scale(200_000) * 4,
+		"orders":   orders,
+		"lineitem": orders * 4, // ~4 lines per order on average
+	}
+}
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationNames = []struct {
+	name   string
+	region int64
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+var partTypes = func() []string {
+	t1 := []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	t2 := []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	t3 := []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	var out []string
+	for _, a := range t1 {
+		for _, b := range t2 {
+			for _, c := range t3 {
+				out = append(out, a+" "+b+" "+c)
+			}
+		}
+	}
+	return out
+}()
+
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+// gen wraps the deterministic random state plus skew samplers. Each
+// table draws from its own random stream so that the generated data is
+// bit-identical whether the load runs in one phase or two (StaleFrac
+// splits every table's fill into two contiguous ranges).
+type gen struct {
+	cfg  Config
+	rngs map[string]*rand.Rand
+}
+
+// rng returns the named table's persistent random stream.
+func (g *gen) rng(table string) *rand.Rand {
+	if r, ok := g.rngs[table]; ok {
+		return r
+	}
+	var h int64
+	for _, c := range table {
+		h = h*131 + int64(c)
+	}
+	r := rand.New(rand.NewSource(g.cfg.Seed + 7 + h))
+	g.rngs[table] = r
+	return r
+}
+
+// pick draws an index in [0, n) — Zipf-skewed over a shuffled rank
+// assignment when skew is on, uniform otherwise. The shuffle (a cheap
+// multiplicative hash) keeps the heavy ranks from all being the low key
+// values, as dbgen's skewed variant does.
+func (g *gen) pick(r *rand.Rand, n int, zf *Zipf) int {
+	if n <= 1 {
+		return 0
+	}
+	if g.cfg.Zipf <= 0 || zf == nil {
+		return r.Intn(n)
+	}
+	rank := zf.Next()
+	return int((uint64(rank)*2654435761 + 12345) % uint64(n))
+}
+
+func dateOf(y, m, d int) types.Value {
+	return types.NewDateFromTime(time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC))
+}
+
+// Load creates the eight TPC-D tables in the catalog, fills them, builds
+// primary-key indexes, and refreshes catalog statistics. With StaleFrac
+// set, statistics are collected mid-load and the remaining data arrives
+// after them.
+func Load(cat *catalog.Catalog, cfg Config) error {
+	if cfg.SF <= 0 {
+		cfg.SF = 0.01
+	}
+	g := &gen{cfg: cfg, rngs: map[string]*rand.Rand{}}
+	rows := cfg.Rows()
+
+	cut := cfg.StaleFrac
+	twoPhase := cut > 0 && cut < 1
+	if !twoPhase {
+		cut = 1
+	}
+
+	fill := func(first bool, f0, f1 float64) error {
+		span := func(table string) (int, int) {
+			n := rows[table]
+			return int(f0*float64(n)) + 1, int(f1 * float64(n))
+		}
+		if first {
+			if err := g.loadRegion(cat); err != nil {
+				return err
+			}
+			if err := g.loadNation(cat); err != nil {
+				return err
+			}
+		}
+		sFrom, sTo := span("supplier")
+		if err := g.loadSupplier(cat, first, sFrom, sTo); err != nil {
+			return err
+		}
+		cFrom, cTo := span("customer")
+		if err := g.loadCustomer(cat, first, cFrom, cTo); err != nil {
+			return err
+		}
+		ptFrom, ptTo := span("part")
+		if err := g.loadPart(cat, first, ptFrom, ptTo); err != nil {
+			return err
+		}
+		pFrom, pTo := span("part")
+		if err := g.loadPartSupp(cat, first, pFrom, pTo, rows["supplier"]); err != nil {
+			return err
+		}
+		from, to := span("orders")
+		return g.loadOrdersAndLineitem(cat, first, from, to, rows["customer"], rows["part"], rows["supplier"])
+	}
+
+	if err := fill(true, 0, cut); err != nil {
+		return err
+	}
+	if !cfg.SkipIndexes {
+		indexes := [][2]string{
+			{"region", "r_regionkey"}, {"nation", "n_nationkey"},
+			{"supplier", "s_suppkey"}, {"customer", "c_custkey"},
+			{"part", "p_partkey"}, {"orders", "o_orderkey"},
+		}
+		if cfg.FactIndexes {
+			indexes = append(indexes, [2]string{"lineitem", "l_orderkey"})
+		}
+		for _, ix := range indexes {
+			if err := cat.CreateIndex(ix[0], ix[1]); err != nil {
+				return err
+			}
+		}
+	}
+	if !cfg.SkipAnalyze {
+		for _, name := range cat.Tables() {
+			opts := catalog.AnalyzeOptions{Family: cfg.HistFamily, SkipHistograms: cfg.SkipHistograms}
+			if err := cat.Analyze(name, opts); err != nil {
+				return err
+			}
+		}
+	}
+	if twoPhase {
+		return fill(false, cut, 1)
+	}
+	return nil
+}
+
+func intCol(name string, key bool) types.Column {
+	return types.Column{Name: name, Kind: types.KindInt, Key: key}
+}
+
+func floatCol(name string) types.Column {
+	return types.Column{Name: name, Kind: types.KindFloat}
+}
+
+func strCol(name string) types.Column {
+	return types.Column{Name: name, Kind: types.KindString}
+}
+
+func dateCol(name string) types.Column {
+	return types.Column{Name: name, Kind: types.KindDate}
+}
+
+func (g *gen) loadRegion(cat *catalog.Catalog) error {
+	t, err := cat.CreateTable("region", types.NewSchema(
+		intCol("r_regionkey", true), strCol("r_name"),
+	))
+	if err != nil {
+		return err
+	}
+	for i, name := range regionNames {
+		if err := t.Insert(types.Tuple{types.NewInt(int64(i)), types.NewString(name)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) loadNation(cat *catalog.Catalog) error {
+	t, err := cat.CreateTable("nation", types.NewSchema(
+		intCol("n_nationkey", true), strCol("n_name"), intCol("n_regionkey", false),
+	))
+	if err != nil {
+		return err
+	}
+	for i, n := range nationNames {
+		if err := t.Insert(types.Tuple{
+			types.NewInt(int64(i)), types.NewString(n.name), types.NewInt(n.region),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// table returns the named table, creating it with the schema on the
+// first fill phase.
+func (g *gen) table(cat *catalog.Catalog, first bool, name string, schema *types.Schema) (*catalog.Table, error) {
+	if first {
+		return cat.CreateTable(name, schema)
+	}
+	return cat.Table(name)
+}
+
+func (g *gen) loadSupplier(cat *catalog.Catalog, first bool, from, to int) error {
+	t, err := g.table(cat, first, "supplier", types.NewSchema(
+		intCol("s_suppkey", true), strCol("s_name"), intCol("s_nationkey", false), floatCol("s_acctbal"),
+	))
+	if err != nil {
+		return err
+	}
+	r := g.rng("supplier")
+	zf := NewZipf(len(nationNames), g.cfg.Zipf, r)
+	for i := from; i <= to; i++ {
+		if err := t.Insert(types.Tuple{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("Supplier#%09d", i)),
+			types.NewInt(int64(g.pick(r, len(nationNames), zf))),
+			types.NewFloat(float64(r.Intn(999999))/100 - 999.99),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) loadCustomer(cat *catalog.Catalog, first bool, from, to int) error {
+	t, err := g.table(cat, first, "customer", types.NewSchema(
+		intCol("c_custkey", true), strCol("c_name"), intCol("c_nationkey", false),
+		floatCol("c_acctbal"), strCol("c_mktsegment"),
+	))
+	if err != nil {
+		return err
+	}
+	r := g.rng("customer")
+	zfNation := NewZipf(len(nationNames), g.cfg.Zipf, r)
+	zfSeg := NewZipf(len(segments), g.cfg.Zipf, r)
+	for i := from; i <= to; i++ {
+		if err := t.Insert(types.Tuple{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("Customer#%09d", i)),
+			types.NewInt(int64(g.pick(r, len(nationNames), zfNation))),
+			types.NewFloat(float64(r.Intn(999999))/100 - 999.99),
+			types.NewString(segments[g.pick(r, len(segments), zfSeg)]),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) loadPart(cat *catalog.Catalog, first bool, from, to int) error {
+	t, err := g.table(cat, first, "part", types.NewSchema(
+		intCol("p_partkey", true), strCol("p_name"), strCol("p_type"),
+		intCol("p_size", false), floatCol("p_retailprice"),
+	))
+	if err != nil {
+		return err
+	}
+	r := g.rng("part")
+	zfType := NewZipf(len(partTypes), g.cfg.Zipf, r)
+	zfSize := NewZipf(50, g.cfg.Zipf, r)
+	for i := from; i <= to; i++ {
+		if err := t.Insert(types.Tuple{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("part %d", i)),
+			types.NewString(partTypes[g.pick(r, len(partTypes), zfType)]),
+			types.NewInt(int64(g.pick(r, 50, zfSize) + 1)),
+			types.NewFloat(900 + float64(i%1000)),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) loadPartSupp(cat *catalog.Catalog, first bool, partFrom, partTo, supps int) error {
+	t, err := g.table(cat, first, "partsupp", types.NewSchema(
+		intCol("ps_partkey", false), intCol("ps_suppkey", false),
+		intCol("ps_availqty", false), floatCol("ps_supplycost"),
+	))
+	if err != nil {
+		return err
+	}
+	r := g.rng("partsupp")
+	zfQty := NewZipf(9999, g.cfg.Zipf, r)
+	for p := partFrom; p <= partTo; p++ {
+		for k := 0; k < 4; k++ {
+			supp := (p+k*(supps/4+1))%supps + 1
+			if err := t.Insert(types.Tuple{
+				types.NewInt(int64(p)),
+				types.NewInt(int64(supp)),
+				types.NewInt(int64(g.pick(r, 9999, zfQty) + 1)),
+				types.NewFloat(float64(r.Intn(100000)) / 100),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *gen) loadOrdersAndLineitem(cat *catalog.Catalog, first bool, from, to, customers, parts, supps int) error {
+	ot, err := g.table(cat, first, "orders", types.NewSchema(
+		intCol("o_orderkey", true), intCol("o_custkey", false), strCol("o_orderstatus"),
+		floatCol("o_totalprice"), dateCol("o_orderdate"), strCol("o_orderpriority"),
+		intCol("o_shippriority", false),
+	))
+	if err != nil {
+		return err
+	}
+	lt, err := g.table(cat, first, "lineitem", types.NewSchema(
+		intCol("l_orderkey", false), intCol("l_partkey", false), intCol("l_suppkey", false),
+		intCol("l_linenumber", false), floatCol("l_quantity"), floatCol("l_extendedprice"),
+		floatCol("l_discount"), floatCol("l_tax"), strCol("l_returnflag"), strCol("l_linestatus"),
+		dateCol("l_shipdate"), strCol("l_shipmode"),
+	))
+	if err != nil {
+		return err
+	}
+
+	startDate := dateOf(1992, 1, 1).Days()
+	endDate := dateOf(1998, 8, 2).Days()
+	dateSpan := int(endDate - startDate)
+
+	r := g.rng("orders")
+	zfCust := NewZipf(customers, g.cfg.Zipf, r)
+	zfDate := NewZipf(dateSpan, g.cfg.Zipf, r)
+	zfPart := NewZipf(parts, g.cfg.Zipf, r)
+	zfSupp := NewZipf(supps, g.cfg.Zipf, r)
+	zfQty := NewZipf(50, g.cfg.Zipf, r)
+	zfDisc := NewZipf(11, g.cfg.Zipf, r)
+	zfFlag := NewZipf(3, g.cfg.Zipf, r)
+	shipModes := []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	flags := []string{"R", "A", "N"}
+	statuses := []string{"O", "F"}
+
+	for o := from; o <= to; o++ {
+		odate := startDate + int64(g.pick(r, dateSpan, zfDate))
+		status := statuses[o%2]
+		if err := ot.Insert(types.Tuple{
+			types.NewInt(int64(o)),
+			types.NewInt(int64(g.pick(r, customers, zfCust) + 1)),
+			types.NewString(status),
+			types.NewFloat(1000 + float64(r.Intn(400000))/100),
+			types.NewDate(odate),
+			types.NewString(priorities[r.Intn(len(priorities))]),
+			types.NewInt(0),
+		}); err != nil {
+			return err
+		}
+		lines := 1 + r.Intn(7)
+		for ln := 1; ln <= lines; ln++ {
+			qty := float64(g.pick(r, 50, zfQty) + 1)
+			price := qty * (900 + float64(r.Intn(1000)))
+			ship := odate + int64(1+r.Intn(121))
+			flag := "N"
+			if ship < dateOf(1995, 6, 17).Days() {
+				flag = flags[g.pick(r, 3, zfFlag)]
+				if flag == "N" {
+					flag = "A"
+				}
+			}
+			if err := lt.Insert(types.Tuple{
+				types.NewInt(int64(o)),
+				types.NewInt(int64(g.pick(r, parts, zfPart) + 1)),
+				types.NewInt(int64(g.pick(r, supps, zfSupp) + 1)),
+				types.NewInt(int64(ln)),
+				types.NewFloat(qty),
+				types.NewFloat(price),
+				types.NewFloat(float64(g.pick(r, 11, zfDisc)) / 100),
+				types.NewFloat(float64(r.Intn(9)) / 100),
+				types.NewString(flag),
+				types.NewString(statuses[r.Intn(2)]),
+				types.NewDate(ship),
+				types.NewString(shipModes[r.Intn(len(shipModes))]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

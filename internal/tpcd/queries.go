@@ -1,0 +1,143 @@
+package tpcd
+
+import "fmt"
+
+// The paper's query set (§3.2): Q1 and Q6 are "simple" (zero or one
+// join), Q3 and Q10 "medium" (two or three joins), Q5, Q7 and Q8
+// "complex" (four or more joins). Aggregates over expressions are
+// replaced with simple aggregates, exactly as the paper's footnote 4
+// describes ("SUM(L_EXTENDEDPRICE*(1-L_DISCOUNT)) → SUM(L_EXTENDEDPRICE)"),
+// and predicates outside our SQL subset (OR of nation pairs in Q7, CASE
+// in Q8) are fixed to one representative branch.
+
+// Class groups queries by the paper's join-count taxonomy.
+type Class string
+
+// The paper's three query classes.
+const (
+	Simple  Class = "simple"
+	Medium  Class = "medium"
+	Complex Class = "complex"
+)
+
+// Query is one benchmark query.
+type Query struct {
+	Name  string
+	Class Class
+	Joins int
+	SQL   string
+}
+
+// Queries returns the paper's seven TPC-D queries in report order.
+func Queries() []Query {
+	return []Query{
+		{Name: "Q1", Class: Simple, Joins: 0, SQL: q1},
+		{Name: "Q6", Class: Simple, Joins: 0, SQL: q6},
+		{Name: "Q3", Class: Medium, Joins: 2, SQL: q3},
+		{Name: "Q10", Class: Medium, Joins: 3, SQL: q10},
+		{Name: "Q5", Class: Complex, Joins: 5, SQL: q5},
+		{Name: "Q7", Class: Complex, Joins: 5, SQL: q7},
+		{Name: "Q8", Class: Complex, Joins: 7, SQL: q8},
+	}
+}
+
+// ByName returns one query.
+func ByName(name string) (Query, error) {
+	for _, q := range Queries() {
+		if q.Name == name {
+			return q, nil
+		}
+	}
+	return Query{}, fmt.Errorf("tpcd: no query %q", name)
+}
+
+const q1 = `
+select l_returnflag, l_linestatus,
+       sum(l_quantity) as sum_qty,
+       sum(l_extendedprice) as sum_price,
+       avg(l_quantity) as avg_qty,
+       avg(l_extendedprice) as avg_price,
+       avg(l_discount) as avg_disc,
+       count(*) as count_order
+from lineitem
+where l_shipdate <= date '1998-09-02'
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus`
+
+const q6 = `
+select sum(l_extendedprice) as revenue, count(*) as matched
+from lineitem
+where l_shipdate >= date '1994-01-01'
+  and l_shipdate < date '1995-01-01'
+  and l_discount between 0.05 and 0.07
+  and l_quantity < 24`
+
+const q3 = `
+select l_orderkey, sum(l_extendedprice) as revenue, o_orderdate, o_shippriority
+from customer, orders, lineitem
+where c_mktsegment = 'BUILDING'
+  and customer.c_custkey = orders.o_custkey
+  and lineitem.l_orderkey = orders.o_orderkey
+  and o_orderdate < date '1995-03-15'
+  and l_shipdate > date '1995-03-15'
+group by l_orderkey, o_orderdate, o_shippriority
+order by revenue desc
+limit 10`
+
+const q10 = `
+select c_custkey, c_name, sum(l_extendedprice) as revenue, n_name
+from customer, orders, lineitem, nation
+where customer.c_custkey = orders.o_custkey
+  and lineitem.l_orderkey = orders.o_orderkey
+  and o_orderdate >= date '1993-10-01'
+  and o_orderdate < date '1994-01-01'
+  and l_returnflag = 'R'
+  and customer.c_nationkey = nation.n_nationkey
+group by c_custkey, c_name, n_name
+order by revenue desc
+limit 20`
+
+const q5 = `
+select n_name, sum(l_extendedprice) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where customer.c_custkey = orders.o_custkey
+  and lineitem.l_orderkey = orders.o_orderkey
+  and lineitem.l_suppkey = supplier.s_suppkey
+  and customer.c_nationkey = supplier.s_nationkey
+  and supplier.s_nationkey = nation.n_nationkey
+  and nation.n_regionkey = region.r_regionkey
+  and r_name = 'ASIA'
+  and o_orderdate >= date '1994-01-01'
+  and o_orderdate < date '1995-01-01'
+group by n_name
+order by revenue desc`
+
+const q7 = `
+select n1.n_name as supp_nation, n2.n_name as cust_nation, sum(l_extendedprice) as revenue
+from supplier, lineitem, orders, customer, nation n1, nation n2
+where supplier.s_suppkey = lineitem.l_suppkey
+  and orders.o_orderkey = lineitem.l_orderkey
+  and customer.c_custkey = orders.o_custkey
+  and supplier.s_nationkey = n1.n_nationkey
+  and customer.c_nationkey = n2.n_nationkey
+  and n1.n_name = 'FRANCE'
+  and n2.n_name = 'GERMANY'
+  and l_shipdate between date '1995-01-01' and date '1996-12-31'
+group by n1.n_name, n2.n_name
+order by supp_nation`
+
+const q8 = `
+select n2.n_name as supp_nation, sum(l_extendedprice) as volume, count(*) as orders_cnt
+from part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+where part.p_partkey = lineitem.l_partkey
+  and supplier.s_suppkey = lineitem.l_suppkey
+  and lineitem.l_orderkey = orders.o_orderkey
+  and orders.o_custkey = customer.c_custkey
+  and customer.c_nationkey = n1.n_nationkey
+  and n1.n_regionkey = region.r_regionkey
+  and r_name = 'AMERICA'
+  and supplier.s_nationkey = n2.n_nationkey
+  and o_orderdate between date '1995-01-01' and date '1996-12-31'
+  and p_type = 'ECONOMY ANODIZED STEEL'
+group by n2.n_name
+order by supp_nation`

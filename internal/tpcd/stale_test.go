@@ -1,0 +1,74 @@
+package tpcd
+
+import (
+	"testing"
+)
+
+func TestStaleFracLeavesCardinalityBehind(t *testing.T) {
+	cfg := Config{SF: 0.002, Seed: 4, StaleFrac: 0.5}
+	cat := loadTest(t, cfg)
+	orders, _ := cat.Table("orders")
+	actual := float64(orders.Heap.NumTuples())
+	if orders.Cardinality <= 0 || orders.Cardinality >= actual {
+		t.Fatalf("stale cardinality %g not below actual %g", orders.Cardinality, actual)
+	}
+	ratio := actual / orders.Cardinality
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("staleness ratio = %.2f, want ~2 at StaleFrac 0.5", ratio)
+	}
+	if !orders.StaleStats() {
+		t.Error("catalog does not know it is stale (UpdatesSinceAnalyze)")
+	}
+}
+
+func TestStaleFracKeepsTotalsIdentical(t *testing.T) {
+	// The data itself must be identical regardless of when ANALYZE ran.
+	sum := func(stale float64) float64 {
+		cat := loadTest(t, Config{SF: 0.001, Seed: 9, StaleFrac: stale})
+		li, _ := cat.Table("lineitem")
+		col, _ := li.Schema.Resolve("", "l_extendedprice")
+		total := 0.0
+		s := li.Heap.Scan()
+		for s.Next() {
+			total += s.Tuple()[col].Float()
+		}
+		return total
+	}
+	if a, b := sum(0), sum(0.4); a != b {
+		t.Errorf("StaleFrac changed the generated data: %g vs %g", a, b)
+	}
+}
+
+func TestStaleFracIndexesComplete(t *testing.T) {
+	// Indexes are created mid-load; second-phase inserts must maintain
+	// them so every order key is probeable.
+	cat := loadTest(t, Config{SF: 0.001, Seed: 4, StaleFrac: 0.3})
+	orders, _ := cat.Table("orders")
+	col, _ := orders.Schema.Resolve("", "o_orderkey")
+	idx := orders.Indexes[col]
+	if idx == nil {
+		t.Fatal("no o_orderkey index")
+	}
+	if idx.Tree.Len() != orders.Heap.NumTuples() {
+		t.Errorf("index has %d entries for %d tuples", idx.Tree.Len(), orders.Heap.NumTuples())
+	}
+}
+
+func TestClusteringFactorsRecorded(t *testing.T) {
+	cat := loadTest(t, Config{SF: 0.001, Seed: 4, FactIndexes: true})
+	li, _ := cat.Table("lineitem")
+	col, _ := li.Schema.Resolve("", "l_orderkey")
+	idx := li.Indexes[col]
+	if idx == nil {
+		t.Fatal("no l_orderkey index despite FactIndexes")
+	}
+	// lineitem is generated in order-key order: near-perfect clustering.
+	if idx.Clustering < 0.95 {
+		t.Errorf("l_orderkey clustering = %.2f, want ~1", idx.Clustering)
+	}
+	cust, _ := cat.Table("customer")
+	ncol, _ := cust.Schema.Resolve("", "c_custkey")
+	if cidx := cust.Indexes[ncol]; cidx == nil || cidx.Clustering < 0.99 {
+		t.Errorf("primary key clustering should be 1, got %+v", cust.Indexes[ncol])
+	}
+}

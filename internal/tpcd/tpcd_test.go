@@ -1,0 +1,201 @@
+package tpcd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+func loadTest(t *testing.T, cfg Config) *catalog.Catalog {
+	t.Helper()
+	m := storage.NewCostMeter(storage.DefaultCostWeights())
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(m), 4096))
+	if err := Load(cat, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestLoadCreatesAllTables(t *testing.T) {
+	cat := loadTest(t, Config{SF: 0.001, Seed: 1})
+	want := []string{"customer", "lineitem", "nation", "orders", "part", "partsupp", "region", "supplier"}
+	got := cat.Tables()
+	if len(got) != len(want) {
+		t.Fatalf("tables = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("table[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRowCountsScale(t *testing.T) {
+	cfg := Config{SF: 0.002, Seed: 1}
+	cat := loadTest(t, cfg)
+	rows := cfg.Rows()
+	for _, name := range []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders"} {
+		tbl, _ := cat.Table(name)
+		if int(tbl.Heap.NumTuples()) != rows[name] {
+			t.Errorf("%s: %d rows, want %d", name, tbl.Heap.NumTuples(), rows[name])
+		}
+	}
+	// Lineitem is stochastic (1-7 lines per order, mean 4).
+	li, _ := cat.Table("lineitem")
+	orders := float64(rows["orders"])
+	if got := float64(li.Heap.NumTuples()); got < orders*2 || got > orders*6 {
+		t.Errorf("lineitem rows = %g for %g orders", got, orders)
+	}
+}
+
+func TestForeignKeysInRange(t *testing.T) {
+	cfg := Config{SF: 0.001, Seed: 3}
+	cat := loadTest(t, cfg)
+	rows := cfg.Rows()
+	orders, _ := cat.Table("orders")
+	custCol, _ := orders.Schema.Resolve("", "o_custkey")
+	s := orders.Heap.Scan()
+	for s.Next() {
+		ck := s.Tuple()[custCol].Int()
+		if ck < 1 || ck > int64(rows["customer"]) {
+			t.Fatalf("o_custkey %d out of range", ck)
+		}
+	}
+	nation, _ := cat.Table("nation")
+	regCol, _ := nation.Schema.Resolve("", "n_regionkey")
+	ns := nation.Heap.Scan()
+	for ns.Next() {
+		if rk := ns.Tuple()[regCol].Int(); rk < 0 || rk > 4 {
+			t.Fatalf("n_regionkey %d out of range", rk)
+		}
+	}
+}
+
+func TestStatisticsAndIndexesBuilt(t *testing.T) {
+	cat := loadTest(t, Config{SF: 0.001, Seed: 1})
+	orders, _ := cat.Table("orders")
+	if orders.Cardinality <= 0 {
+		t.Error("orders not analyzed")
+	}
+	okCol, _ := orders.Schema.Resolve("", "o_orderkey")
+	if orders.Indexes[okCol] == nil {
+		t.Error("no index on o_orderkey")
+	}
+	dateCol, _ := orders.Schema.Resolve("", "o_orderdate")
+	if cs := orders.ColStats[dateCol]; cs == nil || !cs.HasHistogram() {
+		t.Error("no histogram on o_orderdate")
+	}
+}
+
+func TestSkipFlags(t *testing.T) {
+	cat := loadTest(t, Config{SF: 0.001, Seed: 1, SkipIndexes: true, SkipAnalyze: true})
+	orders, _ := cat.Table("orders")
+	if len(orders.Indexes) != 0 {
+		t.Error("indexes built despite SkipIndexes")
+	}
+	if orders.Cardinality != 0 {
+		t.Error("analyzed despite SkipAnalyze")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	sum := func() float64 {
+		cat := loadTest(t, Config{SF: 0.001, Seed: 42})
+		li, _ := cat.Table("lineitem")
+		col, _ := li.Schema.Resolve("", "l_extendedprice")
+		total := 0.0
+		s := li.Heap.Scan()
+		for s.Next() {
+			total += s.Tuple()[col].Float()
+		}
+		return total
+	}
+	if a, b := sum(), sum(); a != b {
+		t.Errorf("same seed produced different data: %g vs %g", a, b)
+	}
+}
+
+func TestZipfSkewsDistribution(t *testing.T) {
+	// With z = 0.6, the most frequent supplier key in lineitem should
+	// carry far more than its uniform share.
+	maxShare := func(z float64) float64 {
+		cat := loadTest(t, Config{SF: 0.002, Seed: 5, Zipf: z})
+		li, _ := cat.Table("lineitem")
+		col, _ := li.Schema.Resolve("", "l_suppkey")
+		counts := map[int64]int{}
+		total := 0
+		s := li.Heap.Scan()
+		for s.Next() {
+			counts[s.Tuple()[col].Int()]++
+			total++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / float64(total)
+	}
+	uniform := maxShare(0)
+	skewed := maxShare(0.6)
+	if skewed <= uniform*1.5 {
+		t.Errorf("z=0.6 max share %.4f not clearly above uniform %.4f", skewed, uniform)
+	}
+}
+
+func TestZipfSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(100, 1.0, rng)
+	if z.N() != 100 {
+		t.Errorf("N = %d", z.N())
+	}
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 should be roughly 1/H(100) ≈ 19% of draws; rank 99 tiny.
+	share0 := float64(counts[0]) / 100000
+	if math.Abs(share0-0.19) > 0.05 {
+		t.Errorf("rank-0 share = %.3f, want ~0.19", share0)
+	}
+	if counts[99] >= counts[0] {
+		t.Error("tail rank as frequent as head")
+	}
+	// z=0 is uniform.
+	u := NewZipf(10, 0, rng)
+	uc := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		uc[u.Next()]++
+	}
+	for r, c := range uc {
+		if math.Abs(float64(c)-5000) > 600 {
+			t.Errorf("uniform rank %d count %d", r, c)
+		}
+	}
+}
+
+func TestQueriesWellFormed(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 7 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	classes := map[string]Class{
+		"Q1": Simple, "Q6": Simple, "Q3": Medium, "Q10": Medium,
+		"Q5": Complex, "Q7": Complex, "Q8": Complex,
+	}
+	for _, q := range qs {
+		if q.Class != classes[q.Name] {
+			t.Errorf("%s class = %s", q.Name, q.Class)
+		}
+	}
+	if _, err := ByName("Q5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("Q99"); err == nil {
+		t.Error("unknown query accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Tuple wire format, used by heap pages and temp files:
+//
+//	u16 column count
+//	per column: u8 kind, then payload
+//	  NULL:   nothing
+//	  INT:    varint-free fixed 8 bytes (little endian)
+//	  FLOAT:  8 bytes IEEE-754 bits
+//	  DATE:   8 bytes days
+//	  STRING: u32 length + bytes
+//
+// The format is self-describing so temp files materialized mid-query can
+// be re-read without consulting the catalog.
+
+// EncodedSize returns the number of bytes EncodeTuple will produce.
+func EncodedSize(t Tuple) int {
+	n := 2
+	for _, v := range t {
+		n++ // kind byte
+		switch v.kind {
+		case KindNull:
+		case KindString:
+			n += 4 + len(v.s)
+		default:
+			n += 8
+		}
+	}
+	return n
+}
+
+// EncodeTuple appends the wire form of t to dst and returns the extended
+// slice.
+func EncodeTuple(dst []byte, t Tuple) []byte {
+	var scratch [8]byte
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(t)))
+	dst = append(dst, scratch[:2]...)
+	for _, v := range t {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case KindNull:
+		case KindInt, KindDate:
+			binary.LittleEndian.PutUint64(scratch[:], uint64(v.i))
+			dst = append(dst, scratch[:]...)
+		case KindFloat:
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v.f))
+			dst = append(dst, scratch[:]...)
+		case KindString:
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(v.s)))
+			dst = append(dst, scratch[:4]...)
+			dst = append(dst, v.s...)
+		}
+	}
+	return dst
+}
+
+// DecodeTuple parses one tuple from the front of b, returning the tuple
+// and the number of bytes consumed.
+func DecodeTuple(b []byte) (Tuple, int, error) {
+	if len(b) < 2 {
+		return nil, 0, fmt.Errorf("types: truncated tuple header")
+	}
+	n := int(binary.LittleEndian.Uint16(b[:2]))
+	off := 2
+	t := make(Tuple, n)
+	for i := 0; i < n; i++ {
+		if off >= len(b) {
+			return nil, 0, fmt.Errorf("types: truncated tuple at column %d", i)
+		}
+		kind := Kind(b[off])
+		off++
+		switch kind {
+		case KindNull:
+			t[i] = Null()
+		case KindInt, KindDate:
+			if off+8 > len(b) {
+				return nil, 0, fmt.Errorf("types: truncated int at column %d", i)
+			}
+			raw := int64(binary.LittleEndian.Uint64(b[off : off+8]))
+			if kind == KindInt {
+				t[i] = NewInt(raw)
+			} else {
+				t[i] = NewDate(raw)
+			}
+			off += 8
+		case KindFloat:
+			if off+8 > len(b) {
+				return nil, 0, fmt.Errorf("types: truncated float at column %d", i)
+			}
+			t[i] = NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b[off : off+8])))
+			off += 8
+		case KindString:
+			if off+4 > len(b) {
+				return nil, 0, fmt.Errorf("types: truncated string length at column %d", i)
+			}
+			l := int(binary.LittleEndian.Uint32(b[off : off+4]))
+			off += 4
+			if off+l > len(b) {
+				return nil, 0, fmt.Errorf("types: truncated string at column %d", i)
+			}
+			t[i] = NewString(string(b[off : off+l]))
+			off += l
+		default:
+			return nil, 0, fmt.Errorf("types: unknown kind %d at column %d", kind, i)
+		}
+	}
+	return t, off, nil
+}

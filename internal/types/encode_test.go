@@ -1,0 +1,84 @@
+package types
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tuples := []Tuple{
+		{},
+		{NewInt(0)},
+		{NewInt(-1), NewFloat(math.Pi), NewString(""), NewString("hello"), Null(), NewDate(9500)},
+		{NewString(string(make([]byte, 1000)))},
+	}
+	for _, in := range tuples {
+		buf := EncodeTuple(nil, in)
+		if len(buf) != EncodedSize(in) {
+			t.Errorf("EncodedSize(%v) = %d, encoded %d bytes", in, EncodedSize(in), len(buf))
+		}
+		out, n, err := DecodeTuple(buf)
+		if err != nil {
+			t.Fatalf("DecodeTuple(%v): %v", in, err)
+		}
+		if n != len(buf) {
+			t.Errorf("DecodeTuple consumed %d of %d bytes", n, len(buf))
+		}
+		if len(out) != len(in) {
+			t.Fatalf("round trip %v -> %v", in, out)
+		}
+		for i := range in {
+			if in[i].Kind() != out[i].Kind() || !in[i].Equal(out[i]) {
+				t.Errorf("column %d: %v -> %v", i, in[i], out[i])
+			}
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := EncodeTuple(nil, Tuple{NewInt(7), NewString("abcdef")})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeTuple(full[:cut]); err == nil {
+			t.Errorf("DecodeTuple of %d/%d bytes did not error", cut, len(full))
+		}
+	}
+}
+
+func TestDecodeUnknownKind(t *testing.T) {
+	buf := []byte{1, 0, 0xEE}
+	if _, _, err := DecodeTuple(buf); err == nil {
+		t.Error("unknown kind byte did not error")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(i int64, fv float64, s string, days int32) bool {
+		if math.IsNaN(fv) {
+			fv = 0 // NaN breaks Equal; executor never stores NaN
+		}
+		in := Tuple{NewInt(i), NewFloat(fv), NewString(s), NewDate(int64(days)), Null()}
+		buf := EncodeTuple(nil, in)
+		out, n, err := DecodeTuple(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeAppendsToExisting(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	buf := EncodeTuple(prefix, Tuple{NewInt(1)})
+	if buf[0] != 0xAA || buf[1] != 0xBB {
+		t.Error("EncodeTuple clobbered the prefix")
+	}
+	out, _, err := DecodeTuple(buf[2:])
+	if err != nil || !out[0].Equal(NewInt(1)) {
+		t.Errorf("decode after prefix: %v, %v", out, err)
+	}
+}

@@ -1,0 +1,66 @@
+package types
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randomValue draws a value across all kinds for ordering properties.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return NewInt(int64(r.Intn(200) - 100))
+	case 1:
+		return NewFloat(float64(r.Intn(400))/4 - 50)
+	case 2:
+		return NewString(string(rune('a' + r.Intn(26))))
+	case 3:
+		return NewDate(int64(r.Intn(1000)))
+	default:
+		return Null()
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	// Antisymmetry and transitivity over random triples of mixed kinds.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomValue(r), randomValue(r), randomValue(r)
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortMixedKindsDoesNotPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	vs := make([]Value, 500)
+	for i := range vs {
+		vs[i] = randomValue(r)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1].Compare(vs[i]) > 0 {
+			t.Fatal("sorted sequence violates Compare")
+		}
+	}
+	// NULLs sort first.
+	sawNonNull := false
+	for _, v := range vs {
+		if v.IsNull() && sawNonNull {
+			t.Fatal("NULL after non-NULL")
+		}
+		if !v.IsNull() {
+			sawNonNull = true
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a schema: its qualified name and kind.
+// Table is the (possibly aliased) relation the column belongs to; it is
+// empty for computed columns such as aggregate outputs.
+type Column struct {
+	Table string
+	Name  string
+	Kind  Kind
+	// Key marks columns that are unique keys of their base table. The
+	// optimizer's inaccuracy-potential rules (paper §2.5) distinguish
+	// equi-joins on key attributes from joins on non-key attributes.
+	Key bool
+}
+
+// QualifiedName returns "table.name", or just "name" for computed columns.
+func (c Column) QualifiedName() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Schema is an ordered list of columns describing the tuples a plan node
+// produces.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema over the given columns.
+func NewSchema(cols ...Column) *Schema {
+	return &Schema{Columns: cols}
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// Resolve finds the index of a column reference. The reference may be
+// qualified ("lineitem.l_qty") or bare ("l_qty"). A bare reference that
+// matches columns from more than one table is ambiguous and returns an
+// error; an unknown reference also returns an error.
+func (s *Schema) Resolve(table, name string) (int, error) {
+	found := -1
+	for i, c := range s.Columns {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("types: ambiguous column reference %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		ref := name
+		if table != "" {
+			ref = table + "." + name
+		}
+		return -1, fmt.Errorf("types: unknown column %q", ref)
+	}
+	return found, nil
+}
+
+// Concat returns a new schema holding s's columns followed by o's. Join
+// operators use it to describe their output.
+func (s *Schema) Concat(o *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Columns)+len(o.Columns))
+	cols = append(cols, s.Columns...)
+	cols = append(cols, o.Columns...)
+	return &Schema{Columns: cols}
+}
+
+// Project returns a schema of the columns at the given indexes.
+func (s *Schema) Project(idx []int) *Schema {
+	cols := make([]Column, len(idx))
+	for i, j := range idx {
+		cols[i] = s.Columns[j]
+	}
+	return &Schema{Columns: cols}
+}
+
+// String renders the schema as "(t.a INTEGER, t.b VARCHAR)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.QualifiedName())
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Tuple is one row: a slice of values positionally matching a schema.
+type Tuple []Value
+
+// ByteSize returns the memory footprint the engine charges for the tuple.
+func (t Tuple) ByteSize() int {
+	n := 16 // slice header + bookkeeping
+	for _, v := range t {
+		n += v.ByteSize()
+	}
+	return n
+}
+
+// Clone returns a copy of the tuple safe to retain after the producing
+// operator advances. Values are immutable, so a shallow slice copy is a
+// deep copy.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Concat returns a new tuple holding t's values followed by o's.
+func (t Tuple) Concat(o Tuple) Tuple {
+	c := make(Tuple, 0, len(t)+len(o))
+	c = append(c, t...)
+	c = append(c, o...)
+	return c
+}
+
+// String renders the tuple for display: "[1, widget, 1996-03-01]".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}

@@ -1,0 +1,330 @@
+// Package types defines the value, tuple, and schema primitives shared by
+// every layer of the engine: storage, catalog, optimizer, and executor.
+//
+// A Value is a compact tagged union over the SQL types the engine supports
+// (64-bit integers, 64-bit floats, strings, and dates stored as days since
+// the Unix epoch). Values are immutable once constructed; all operations
+// return new Values.
+package types
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+// The supported SQL value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindDate
+)
+
+// String returns the SQL-facing name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether values of this kind participate in arithmetic.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Value is a tagged union over the engine's SQL types. The zero Value is
+// the SQL NULL.
+type Value struct {
+	kind Kind
+	i    int64 // int payload, or days-since-epoch for dates
+	f    float64
+	s    string
+}
+
+// NewInt returns an INTEGER value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a VARCHAR value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewDate returns a DATE value holding the given number of days since the
+// Unix epoch (1970-01-01).
+func NewDate(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// NewDateFromTime converts a time.Time (interpreted in UTC) to a DATE.
+func NewDateFromTime(t time.Time) Value {
+	return NewDate(t.UTC().Unix() / 86400)
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// Kind returns the value's runtime kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It panics if the value is not an
+// INTEGER or DATE.
+func (v Value) Int() int64 {
+	if v.kind != KindInt && v.kind != KindDate {
+		panic(fmt.Sprintf("types: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the float payload. It panics unless the value is a FLOAT.
+func (v Value) Float() float64 {
+	if v.kind != KindFloat {
+		panic(fmt.Sprintf("types: Float() on %s value", v.kind))
+	}
+	return v.f
+}
+
+// Str returns the string payload. It panics unless the value is a VARCHAR.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("types: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Days returns the DATE payload as days since the epoch. It panics unless
+// the value is a DATE.
+func (v Value) Days() int64 {
+	if v.kind != KindDate {
+		panic(fmt.Sprintf("types: Days() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat converts any numeric or date value to float64 for estimation
+// arithmetic (histogram bucket math, selectivity computation). Strings
+// return their hash folded into float space so that histograms can still
+// bucket them deterministically; NULL returns NaN.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt, KindDate:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	case KindString:
+		return float64(v.Hash() & 0x7fffffffffff)
+	default:
+		return math.NaN()
+	}
+}
+
+// Compare orders two values. NULL sorts before every non-NULL value.
+// Comparing an INTEGER against a FLOAT promotes the integer. Comparing
+// incomparable kinds (e.g. VARCHAR vs INTEGER) orders by kind so that
+// sorting remains a total order, which keeps the sort operator safe on
+// heterogeneous inputs.
+func (v Value) Compare(o Value) int {
+	if v.kind == KindNull || o.kind == KindNull {
+		switch {
+		case v.kind == o.kind:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	// Numeric promotion.
+	if v.kind.Numeric() && o.kind.Numeric() && v.kind != o.kind {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindInt, KindDate:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+	case KindFloat:
+		switch {
+		case v.f < o.f:
+			return -1
+		case v.f > o.f:
+			return 1
+		}
+	case KindString:
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports value equality under Compare semantics.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Hash returns a stable 64-bit hash of the value, suitable for hash joins
+// and hash aggregation. Equal values (including cross-kind numeric equals
+// like 2 and 2.0) hash identically.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	switch v.kind {
+	case KindNull:
+		return 0x9e3779b97f4a7c15
+	case KindInt, KindDate:
+		// Hash integers through their float image when exactly
+		// representable so that 2 and 2.0 collide, matching Equal.
+		f := float64(v.i)
+		if int64(f) == v.i {
+			putUint64(buf[:], math.Float64bits(f))
+		} else {
+			putUint64(buf[:], uint64(v.i))
+		}
+		h.Write(buf[:])
+	case KindFloat:
+		putUint64(buf[:], math.Float64bits(v.f))
+		h.Write(buf[:])
+	case KindString:
+		h.Write([]byte(v.s))
+	}
+	return h.Sum64()
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// String renders the value for display and plan output.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindDate:
+		return time.Unix(v.i*86400, 0).UTC().Format("2006-01-02")
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// ByteSize returns the in-memory footprint the engine charges for the
+// value: fixed 8 bytes for scalars, string length plus header for strings.
+// The memory manager and cost model use this to size hash tables and sort
+// runs.
+func (v Value) ByteSize() int {
+	switch v.kind {
+	case KindString:
+		return 16 + len(v.s)
+	default:
+		return 8
+	}
+}
+
+// Add returns v + o with numeric promotion. Adding anything to NULL
+// yields NULL, per SQL semantics.
+func (v Value) Add(o Value) (Value, error) { return arith(v, o, '+') }
+
+// Sub returns v - o with numeric promotion.
+func (v Value) Sub(o Value) (Value, error) { return arith(v, o, '-') }
+
+// Mul returns v * o with numeric promotion.
+func (v Value) Mul(o Value) (Value, error) { return arith(v, o, '*') }
+
+// Div returns v / o with numeric promotion. Integer division of integers
+// follows SQL and truncates; division by zero is an error.
+func (v Value) Div(o Value) (Value, error) { return arith(v, o, '/') }
+
+func arith(v, o Value, op byte) (Value, error) {
+	if v.IsNull() || o.IsNull() {
+		return Null(), nil
+	}
+	// DATE +/- INTEGER shifts by days.
+	if v.kind == KindDate && o.kind == KindInt && (op == '+' || op == '-') {
+		if op == '+' {
+			return NewDate(v.i + o.i), nil
+		}
+		return NewDate(v.i - o.i), nil
+	}
+	if !v.kind.Numeric() || !o.kind.Numeric() {
+		return Null(), fmt.Errorf("types: cannot apply %c to %s and %s", op, v.kind, o.kind)
+	}
+	if v.kind == KindInt && o.kind == KindInt {
+		switch op {
+		case '+':
+			return NewInt(v.i + o.i), nil
+		case '-':
+			return NewInt(v.i - o.i), nil
+		case '*':
+			return NewInt(v.i * o.i), nil
+		case '/':
+			if o.i == 0 {
+				return Null(), fmt.Errorf("types: integer division by zero")
+			}
+			return NewInt(v.i / o.i), nil
+		}
+	}
+	a, b := v.AsFloat(), o.AsFloat()
+	switch op {
+	case '+':
+		return NewFloat(a + b), nil
+	case '-':
+		return NewFloat(a - b), nil
+	case '*':
+		return NewFloat(a * b), nil
+	case '/':
+		if b == 0 {
+			return Null(), fmt.Errorf("types: division by zero")
+		}
+		return NewFloat(a / b), nil
+	}
+	return Null(), fmt.Errorf("types: unknown operator %c", op)
+}

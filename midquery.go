@@ -1,0 +1,383 @@
+// Package midquery is a from-scratch reproduction of Kabra & DeWitt,
+// "Efficient Mid-Query Re-Optimization of Sub-Optimal Query Execution
+// Plans" (SIGMOD 1998): a single-process relational query engine — paged
+// storage over a simulated cost-accounted disk, catalog with histogram
+// statistics, a System-R style optimizer producing annotated plans, a
+// Memory Manager, and an iterator executor — with the paper's Dynamic
+// Re-Optimization layered on top: statistics collectors inserted by the
+// SCIA, mid-query memory re-allocation, and plan modification by
+// materializing the running join and re-submitting SQL for the remainder
+// of the query.
+//
+// Quick start:
+//
+//	db := midquery.Open(midquery.Options{})
+//	db.LoadTPCD(midquery.TPCDConfig{SF: 0.01})
+//	res, err := db.Exec(midquery.Q("Q5").SQL, midquery.ExecOptions{Mode: midquery.ReoptFull})
+//
+// Execution time is reported in simulated cost units (page I/Os plus
+// weighted tuple CPU), which makes runs deterministic and directly
+// comparable with the optimizer's estimates — see DESIGN.md for the
+// substitution rationale.
+package midquery
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/histogram"
+	"repro/internal/parametric"
+	"repro/internal/plan"
+	"repro/internal/reopt"
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+	"repro/internal/types"
+)
+
+// Re-exported value and schema types: these are the currency of query
+// results and table definitions.
+type (
+	// Value is one SQL value (integer, float, string, date, or NULL).
+	Value = types.Value
+	// Tuple is one result row.
+	Tuple = types.Tuple
+	// Column describes one table column.
+	Column = types.Column
+	// Kind is a SQL type tag.
+	Kind = types.Kind
+	// Stats reports what the re-optimizing dispatcher did for a query.
+	Stats = reopt.Stats
+	// HistFamily selects a histogram construction algorithm.
+	HistFamily = histogram.Family
+	// TPCDConfig controls the TPC-D-style data generator.
+	TPCDConfig = tpcd.Config
+	// TPCDQuery is one of the paper's benchmark queries.
+	TPCDQuery = tpcd.Query
+	// CostWeights maps physical events to simulated time units.
+	CostWeights = storage.CostWeights
+)
+
+// Value constructors and kind tags, re-exported for building tuples.
+var (
+	NewInt    = types.NewInt
+	NewFloat  = types.NewFloat
+	NewString = types.NewString
+	NewDate   = types.NewDate
+	Null      = types.Null
+)
+
+// SQL type kinds.
+const (
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+	KindDate   = types.KindDate
+)
+
+// Histogram families for Analyze and AnalyzeOptions.
+const (
+	EquiWidth = histogram.EquiWidth
+	EquiDepth = histogram.EquiDepth
+	MaxDiff   = histogram.MaxDiff
+	EndBiased = histogram.EndBiased
+)
+
+// Mode selects how much of Dynamic Re-Optimization runs for a query.
+type Mode = reopt.Mode
+
+// Re-optimization modes (Figure 10 compares ReoptOff with ReoptFull;
+// Figure 11 isolates the memory-only and plan-only variants).
+const (
+	ReoptOff        = reopt.ModeOff
+	ReoptMemoryOnly = reopt.ModeMemoryOnly
+	ReoptPlanOnly   = reopt.ModePlanOnly
+	ReoptFull       = reopt.ModeFull
+	ReoptRestart    = reopt.ModeRestart
+)
+
+// Options configures a database instance.
+type Options struct {
+	// BufferPoolPages is the shared buffer pool size in 8 KB pages
+	// (default 4096 = 32 MB, the paper's per-node pool).
+	BufferPoolPages int
+	// Weights prices simulated I/O and CPU (zero value = defaults).
+	Weights CostWeights
+}
+
+// DB is an in-process database instance over a simulated disk.
+type DB struct {
+	cat   *catalog.Catalog
+	pool  *storage.BufferPool
+	meter *storage.CostMeter
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	if opts.BufferPoolPages <= 0 {
+		opts.BufferPoolPages = 4096
+	}
+	zero := CostWeights{}
+	if opts.Weights == zero {
+		opts.Weights = storage.DefaultCostWeights()
+	}
+	meter := storage.NewCostMeter(opts.Weights)
+	pool := storage.NewBufferPool(storage.NewDisk(meter), opts.BufferPoolPages)
+	return &DB{cat: catalog.New(pool), pool: pool, meter: meter}
+}
+
+// Catalog exposes the underlying catalog for advanced use (the examples
+// and benchmarks stay on the DB API).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Cost returns the total simulated cost charged so far.
+func (db *DB) Cost() float64 { return db.meter.Cost() }
+
+// ResetCost zeroes the cost meter (between benchmark phases).
+func (db *DB) ResetCost() { db.meter.Reset() }
+
+// DropCaches empties the buffer pool so the next query runs cold. The
+// benchmark harness calls it before every measured execution so that
+// run-order effects cannot masquerade as re-optimization effects.
+func (db *DB) DropCaches() error { return db.pool.EvictAll() }
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(name string, cols ...Column) error {
+	_, err := db.cat.CreateTable(name, types.NewSchema(cols...))
+	return err
+}
+
+// Insert appends one row of Go values (int/int64, float64, string,
+// Value) to a table.
+func (db *DB) Insert(table string, values ...any) error {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	tup := make(Tuple, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case int:
+			tup[i] = types.NewInt(int64(x))
+		case int64:
+			tup[i] = types.NewInt(x)
+		case float64:
+			tup[i] = types.NewFloat(x)
+		case string:
+			tup[i] = types.NewString(x)
+		case Value:
+			tup[i] = x
+		case nil:
+			tup[i] = types.Null()
+		default:
+			return fmt.Errorf("midquery: cannot convert %T to a SQL value", v)
+		}
+	}
+	return t.Insert(tup)
+}
+
+// CreateIndex builds a B+tree index on one column.
+func (db *DB) CreateIndex(table, column string) error {
+	return db.cat.CreateIndex(table, column)
+}
+
+// Analyze refreshes a table's statistics with the given histogram
+// family.
+func (db *DB) Analyze(table string, family HistFamily) error {
+	return db.cat.Analyze(table, catalog.AnalyzeOptions{Family: family})
+}
+
+// LoadTPCD generates and loads the TPC-D-style dataset (§3.2).
+func (db *DB) LoadTPCD(cfg TPCDConfig) error {
+	return tpcd.Load(db.cat, cfg)
+}
+
+// TPCDQueries returns the paper's seven benchmark queries.
+func TPCDQueries() []TPCDQuery { return tpcd.Queries() }
+
+// Q fetches one benchmark query by name ("Q1", "Q3", ...), panicking on
+// unknown names (it is a test/example convenience).
+func Q(name string) TPCDQuery {
+	q, err := tpcd.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ExecOptions tunes one query execution.
+type ExecOptions struct {
+	// Mode selects the re-optimization variant (default ReoptOff).
+	Mode Mode
+	// Params binds host variables (":name" in the SQL).
+	Params map[string]Value
+	// MemBudget is the per-query operator memory in bytes (default
+	// 32 MB). Distinct from the buffer pool.
+	MemBudget float64
+	// Mu, Theta1, Theta2 override the paper's μ=0.05, θ₁=0.05, θ₂=0.2.
+	Mu, Theta1, Theta2 float64
+	// HistFamily for run-time histograms (default MaxDiff).
+	HistFamily HistFamily
+	// SpliceSwitch uses the Figure 5 suspend-and-splice strategy for
+	// plan switches instead of Figure 6's materialize-and-resubmit
+	// (falls back to materialization when splicing is impossible).
+	SpliceSwitch bool
+	// DisableIndexJoin restricts plans to hash joins (ablations).
+	DisableIndexJoin bool
+	Seed             int64
+}
+
+func (db *DB) dispatcher(o ExecOptions) *reopt.Dispatcher {
+	cfg := reopt.DefaultConfig(o.Mode)
+	cfg.Weights = db.meter.Weights()
+	if o.MemBudget > 0 {
+		cfg.MemBudget = o.MemBudget
+	}
+	if o.Mu > 0 {
+		cfg.Mu = o.Mu
+	}
+	if o.Theta1 > 0 {
+		cfg.Theta1 = o.Theta1
+	}
+	if o.Theta2 > 0 {
+		cfg.Theta2 = o.Theta2
+	}
+	cfg.HistFamily = o.HistFamily // zero value is MaxDiff, the default
+	if o.SpliceSwitch {
+		cfg.Strategy = reopt.StrategySplice
+	}
+	cfg.DisableIndexJoin = o.DisableIndexJoin
+	cfg.Seed = o.Seed
+	cfg.PoolPages = float64(db.pool.Capacity())
+	return reopt.New(db.cat, cfg)
+}
+
+// Result is one query's outcome.
+type Result struct {
+	// Columns are the output column names.
+	Columns []string
+	// Rows are the result tuples.
+	Rows []Tuple
+	// Stats reports the dispatcher's re-optimization activity.
+	Stats *Stats
+	// Cost is the simulated execution time of this query alone.
+	Cost float64
+}
+
+// Exec compiles and runs one SQL query.
+func (db *DB) Exec(src string, opts ExecOptions) (*Result, error) {
+	d := db.dispatcher(opts)
+	params := plan.Params{}
+	for k, v := range opts.Params {
+		params[k] = v
+	}
+	ctx := &exec.Ctx{Pool: db.pool, Meter: db.meter, Params: params}
+	before := db.meter.Snapshot()
+	rows, st, err := d.RunSQL(src, params, ctx)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := db.outputColumns(d, src)
+	if err != nil {
+		cols = nil // column names are best-effort
+	}
+	return &Result{
+		Columns: cols,
+		Rows:    rows,
+		Stats:   st,
+		Cost:    db.meter.Snapshot().Sub(before).Cost(),
+	}, nil
+}
+
+// Explain compiles a query and returns its annotated plan text, with
+// statistics collectors inserted when mode is not ReoptOff.
+func (db *DB) Explain(src string, opts ExecOptions) (string, error) {
+	d := db.dispatcher(opts)
+	res, err := d.EstimateOnly(src)
+	if err != nil {
+		return "", err
+	}
+	return plan.Format(res.Root), nil
+}
+
+// Prepared is a parametric plan: candidate plans enumerated across
+// anticipated host-variable selectivity scenarios at prepare time, one
+// of which is chosen per execution from the actual bindings — the
+// parametric/dynamic hybrid the paper proposes as future work (§4).
+type Prepared struct {
+	db   *DB
+	p    *parametric.Prepared
+	opts ExecOptions
+}
+
+// Prepare compiles a parametric plan for a statement with host
+// variables. The options' Mode governs whether executions also run
+// under Dynamic Re-Optimization (the full hybrid) or as-is.
+func (db *DB) Prepare(src string, opts ExecOptions) (*Prepared, error) {
+	cfg := parametric.OptimizerConfig{
+		Weights:          db.meter.Weights(),
+		MemBudget:        opts.MemBudget,
+		PoolPages:        float64(db.pool.Capacity()),
+		DisableIndexJoin: opts.DisableIndexJoin,
+	}
+	if cfg.MemBudget <= 0 {
+		cfg.MemBudget = 32 << 20
+	}
+	p, err := parametric.Prepare(db.cat, src, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{db: db, p: p, opts: opts}, nil
+}
+
+// Candidates returns the structural signatures of the parametric plan's
+// candidates, with the scenarios that produced each.
+func (pq *Prepared) Candidates() []string {
+	out := make([]string, len(pq.p.Candidates))
+	for i, c := range pq.p.Candidates {
+		out[i] = fmt.Sprintf("%v -> %s", c.Scenarios, c.Shape)
+	}
+	return out
+}
+
+// Exec chooses the candidate nearest the actual bindings' selectivity
+// and executes it through the re-optimizing dispatcher.
+func (pq *Prepared) Exec(params map[string]Value) (*Result, error) {
+	bound := plan.Params{}
+	for k, v := range params {
+		bound[k] = v
+	}
+	res, scenario, err := pq.p.Choose(bound)
+	if err != nil {
+		return nil, err
+	}
+	d := pq.db.dispatcher(pq.opts)
+	ctx := &exec.Ctx{Pool: pq.db.pool, Meter: pq.db.meter, Params: bound}
+	before := pq.db.meter.Snapshot()
+	rows, st, err := d.RunPlan(res, bound, ctx)
+	if err != nil {
+		return nil, err
+	}
+	st.Decisions = append([]string{
+		fmt.Sprintf("parametric: chose scenario %.3g for actual selectivity %.3g",
+			scenario, pq.p.ActualSelectivity(bound)),
+	}, st.Decisions...)
+	return &Result{
+		Rows:  rows,
+		Stats: st,
+		Cost:  pq.db.meter.Snapshot().Sub(before).Cost(),
+	}, nil
+}
+
+func (db *DB) outputColumns(d *reopt.Dispatcher, src string) ([]string, error) {
+	res, err := d.EstimateOnly(src)
+	if err != nil {
+		return nil, err
+	}
+	sch := res.Root.Schema()
+	cols := make([]string, sch.Len())
+	for i, c := range sch.Columns {
+		cols[i] = c.Name
+	}
+	return cols, nil
+}

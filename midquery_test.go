@@ -1,0 +1,169 @@
+package midquery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func openTPCD(t *testing.T, sf, zipf float64) *DB {
+	t.Helper()
+	db := Open(Options{BufferPoolPages: 2048})
+	if err := db.LoadTPCD(TPCDConfig{SF: sf, Zipf: zipf, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenCreateInsertQuery(t *testing.T) {
+	db := Open(Options{})
+	err := db.CreateTable("emp",
+		Column{Name: "id", Kind: KindInt, Key: true},
+		Column{Name: "dept", Kind: KindString},
+		Column{Name: "salary", Kind: KindFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := db.Insert("emp", i, fmt.Sprintf("dept%d", i%4), float64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Analyze("emp", MaxDiff); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("select dept, count(*) as n, avg(salary) as pay from emp group by dept order by dept", ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	if res.Rows[0][1].Int() != 25 {
+		t.Errorf("count = %v", res.Rows[0][1])
+	}
+	if res.Cost <= 0 {
+		t.Error("no cost recorded")
+	}
+	if len(res.Columns) != 3 || res.Columns[1] != "n" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestInsertConversions(t *testing.T) {
+	db := Open(Options{})
+	db.CreateTable("x",
+		Column{Name: "a", Kind: KindInt},
+		Column{Name: "b", Kind: KindString},
+		Column{Name: "c", Kind: KindFloat},
+		Column{Name: "d", Kind: KindInt},
+	)
+	if err := db.Insert("x", int64(1), "s", 2.5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("x", struct{}{}, "s", 1.0, 1); err == nil {
+		t.Error("bad type accepted")
+	}
+	if err := db.Insert("nope", 1); err == nil {
+		t.Error("insert into missing table accepted")
+	}
+	res, _ := db.Exec("select a, b, c, d from x", ExecOptions{})
+	if !res.Rows[0][3].IsNull() {
+		t.Error("nil not converted to NULL")
+	}
+}
+
+func TestAllTPCDQueriesRunInAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full TPC-D run")
+	}
+	db := openTPCD(t, 0.002, 0)
+	for _, q := range TPCDQueries() {
+		var base []Tuple
+		for _, mode := range []Mode{ReoptOff, ReoptFull} {
+			res, err := db.Exec(q.SQL, ExecOptions{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s mode %v: %v", q.Name, mode, err)
+			}
+			if mode == ReoptOff {
+				base = res.Rows
+				continue
+			}
+			compareRows(t, q.Name, res.Rows, base)
+		}
+	}
+}
+
+func compareRows(t *testing.T, label string, got, want []Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows vs %d", label, len(got), len(want))
+	}
+	key := func(tp Tuple) string {
+		parts := make([]string, len(tp))
+		for i, v := range tp {
+			parts[i] = v.String()
+		}
+		return strings.Join(parts, "|")
+	}
+	a := make([]string, len(got))
+	b := make([]string, len(want))
+	for i := range got {
+		a[i] = key(got[i])
+		b[i] = key(want[i])
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s row %d: %s vs %s", label, i, a[i], b[i])
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db := openTPCD(t, 0.001, 0)
+	text, err := db.Explain(Q("Q5").SQL, ExecOptions{Mode: ReoptFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hash-join", "statistics-collector", "aggregate", "seq-scan"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Explain missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := db.Explain("select nothing from nowhere", ExecOptions{}); err == nil {
+		t.Error("bad SQL explained")
+	}
+}
+
+func TestHostVariables(t *testing.T) {
+	db := openTPCD(t, 0.001, 0)
+	res, err := db.Exec(
+		"select count(*) as n from orders where o_totalprice < :cap",
+		ExecOptions{Params: map[string]Value{"cap": NewFloat(2000)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _ := db.Exec("select count(*) as n from orders", ExecOptions{})
+	if res.Rows[0][0].Int() >= all.Rows[0][0].Int() {
+		t.Error("host-var filter did not filter")
+	}
+	if _, err := db.Exec("select count(*) as n from orders where o_totalprice < :cap", ExecOptions{}); err == nil {
+		t.Error("unbound host variable accepted")
+	}
+}
+
+func TestResetCost(t *testing.T) {
+	db := openTPCD(t, 0.001, 0)
+	if db.Cost() <= 0 {
+		t.Error("load charged nothing")
+	}
+	db.ResetCost()
+	if db.Cost() != 0 {
+		t.Error("ResetCost did not zero the meter")
+	}
+}
