@@ -1,0 +1,76 @@
+// Command mqr-server serves the mid-query re-optimization engine to
+// concurrent clients over HTTP: it loads the TPC-D-style dataset once,
+// then accepts SQL sessions that share the catalog, buffer pool, plan
+// cache, and one brokered operator-memory pool (the multi-query setting
+// that motivates the paper's §2.3 re-allocation).
+//
+// Usage:
+//
+//	mqr-server [flags]
+//
+// Flags:
+//
+//	-addr     listen address (default :7744)
+//	-sf       TPC-D scale factor (default 0.01)
+//	-stale    fraction of data present at ANALYZE time (default 0.5)
+//	-zipf     Zipfian skew for non-key attributes (default 0)
+//	-pool     buffer pool pages (default 1024)
+//	-mempool  shared operator-memory pool in bytes (default 16 MiB)
+//	-mem      per-query optimize-time budget in bytes (default 4 MiB)
+//	-cache    plan cache capacity in plans; -1 disables (default 256)
+//	-seed     data generator seed
+//
+// Try it:
+//
+//	mqr-server &
+//	mqr -connect localhost:7744 @Q3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	midquery "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7744", "listen address")
+		sf      = flag.Float64("sf", 0.01, "TPC-D scale factor")
+		stale   = flag.Float64("stale", 0.5, "fraction of data loaded when ANALYZE ran (0 = fresh)")
+		zipf    = flag.Float64("zipf", 0, "Zipfian skew z for non-key attributes")
+		pool    = flag.Int("pool", 1024, "buffer pool pages (8 KiB each)")
+		mempool = flag.Float64("mempool", 16<<20, "shared operator-memory pool in bytes")
+		mem     = flag.Float64("mem", 4<<20, "per-query optimize-time memory budget in bytes")
+		cache   = flag.Int("cache", 256, "plan cache capacity in plans (-1 disables)")
+		seed    = flag.Int64("seed", 1, "data generator seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("loading TPC-D SF %g (stale=%.2f zipf=%.1f) ...\n", *sf, *stale, *zipf)
+	db := midquery.Open(midquery.Options{BufferPoolPages: *pool})
+	if err := db.LoadTPCD(midquery.TPCDConfig{
+		SF: *sf, Zipf: *zipf, Seed: *seed, StaleFrac: *stale,
+	}); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded (%.0f simulated cost units)\n", db.Cost())
+
+	m := db.NewSessionManager(midquery.SessionConfig{
+		MemPoolBytes:  *mempool,
+		MemBudget:     *mem,
+		PlanCacheSize: *cache,
+	})
+	fmt.Printf("serving on %s (memory pool %.0f MiB, per-query budget %.0f MiB)\n",
+		*addr, *mempool/(1<<20), *mem/(1<<20))
+	if err := server.New(m).ListenAndServe(*addr); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mqr-server:", err)
+	os.Exit(1)
+}

@@ -9,7 +9,8 @@
 //	mqr [flags] [SQL | @Q5]
 //
 // With no query argument it runs the paper's whole query set. A query of
-// the form @Q5 names one of the paper's TPC-D queries.
+// the form @Q5 names one of the paper's TPC-D queries. mqr exits
+// non-zero if any query fails (remaining queries still run).
 //
 // Flags:
 //
@@ -21,6 +22,10 @@
 //	-mem      per-query memory budget in bytes (default 2 MiB)
 //	-explain  print the annotated plan instead of executing
 //	-rows     print at most this many result rows (default 10)
+//	-server   serve the loaded database over HTTP on this address
+//	          instead of running queries locally
+//	-connect  run as a thin client against a running mqr-server at this
+//	          address (no local data is loaded)
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"strings"
 
 	midquery "repro"
+	"repro/internal/server"
 )
 
 func main() {
@@ -43,12 +49,19 @@ func main() {
 		explain = flag.Bool("explain", false, "print the annotated plan instead of executing")
 		maxRows = flag.Int("rows", 10, "result rows to print")
 		seed    = flag.Int64("seed", 1, "data generator seed")
+		serveOn = flag.String("server", "", "serve the database over HTTP on this address instead of querying")
+		connect = flag.String("connect", "", "run queries against a running mqr-server at this address")
 	)
 	flag.Parse()
 
-	m, err := parseMode(*mode)
-	if err != nil {
-		fatal(err)
+	if *serveOn != "" && *connect != "" {
+		fatal(fmt.Errorf("-server and -connect are mutually exclusive"))
+	}
+
+	queries := selectQueries()
+
+	if *connect != "" {
+		os.Exit(runThinClient(*connect, *mode, queries, *maxRows))
 	}
 
 	fmt.Printf("loading TPC-D SF %g (stale=%.2f zipf=%.1f) ...\n", *sf, *stale, *zipf)
@@ -60,29 +73,28 @@ func main() {
 	}
 	fmt.Printf("loaded (%.0f simulated cost units)\n\n", db.Cost())
 
-	opts := midquery.ExecOptions{Mode: m, MemBudget: *mem}
-
-	var queries []namedQuery
-	if flag.NArg() == 0 {
-		for _, q := range midquery.TPCDQueries() {
-			queries = append(queries, namedQuery{q.Name + " (" + string(q.Class) + ")", q.SQL})
+	if *serveOn != "" {
+		m := db.NewSessionManager(midquery.SessionConfig{})
+		fmt.Printf("serving on %s\n", *serveOn)
+		if err := server.New(m).ListenAndServe(*serveOn); err != nil {
+			fatal(err)
 		}
-	} else {
-		arg := strings.Join(flag.Args(), " ")
-		if strings.HasPrefix(arg, "@") {
-			q := midquery.Q(strings.TrimPrefix(arg, "@"))
-			queries = []namedQuery{{q.Name, q.SQL}}
-		} else {
-			queries = []namedQuery{{"query", arg}}
-		}
+		return
 	}
 
+	md, err := parseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	opts := midquery.ExecOptions{Mode: md, MemBudget: *mem}
+	failed := 0
 	for _, nq := range queries {
 		fmt.Printf("=== %s\n", nq.name)
 		if *explain {
 			text, err := db.Explain(nq.sql, opts)
 			if err != nil {
-				fatal(err)
+				queryError(nq.name, err, &failed)
+				continue
 			}
 			fmt.Println(text)
 			continue
@@ -90,7 +102,8 @@ func main() {
 		db.DropCaches()
 		res, err := db.Exec(nq.sql, opts)
 		if err != nil {
-			fatal(err)
+			queryError(nq.name, err, &failed)
+			continue
 		}
 		fmt.Printf("cost=%.0f rows=%d collectors=%d reallocs=%d switches=%d\n",
 			res.Cost, len(res.Rows), res.Stats.CollectorsInserted,
@@ -110,6 +123,67 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mqr: %d of %d queries failed\n", failed, len(queries))
+		os.Exit(1)
+	}
+}
+
+// runThinClient sends the queries to a running mqr-server and renders
+// the responses; returns the process exit code.
+func runThinClient(addr, mode string, queries []namedQuery, maxRows int) int {
+	c, err := server.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mqr:", err)
+		return 1
+	}
+	failed := 0
+	for _, nq := range queries {
+		fmt.Printf("=== %s\n", nq.name)
+		res, err := c.Exec(server.QueryRequest{SQL: nq.sql, Mode: mode})
+		if err != nil {
+			queryError(nq.name, err, &failed)
+			continue
+		}
+		fmt.Printf("cost=%.0f rows=%d tag=%s cache_hit=%t", res.Cost, len(res.Rows), res.Query, res.CacheHit)
+		if res.Stats != nil {
+			fmt.Printf(" collectors=%d reallocs=%d switches=%d",
+				res.Stats.CollectorsInserted, res.Stats.MemReallocs, res.Stats.PlanSwitches)
+		}
+		fmt.Println()
+		if len(res.Columns) > 0 {
+			fmt.Println("  " + strings.Join(res.Columns, " | "))
+		}
+		for i, r := range res.Rows {
+			if i >= maxRows {
+				fmt.Printf("  ... %d more rows\n", len(res.Rows)-i)
+				break
+			}
+			fmt.Println("  (" + strings.Join(r, ", ") + ")")
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mqr: %d of %d queries failed\n", failed, len(queries))
+		return 1
+	}
+	return 0
+}
+
+func selectQueries() []namedQuery {
+	var queries []namedQuery
+	if flag.NArg() == 0 {
+		for _, q := range midquery.TPCDQueries() {
+			queries = append(queries, namedQuery{q.Name + " (" + string(q.Class) + ")", q.SQL})
+		}
+		return queries
+	}
+	arg := strings.Join(flag.Args(), " ")
+	if strings.HasPrefix(arg, "@") {
+		q := midquery.Q(strings.TrimPrefix(arg, "@"))
+		return []namedQuery{{q.Name, q.SQL}}
+	}
+	return []namedQuery{{"query", arg}}
 }
 
 type namedQuery struct {
@@ -132,6 +206,13 @@ func parseMode(s string) (midquery.Mode, error) {
 	default:
 		return 0, fmt.Errorf("unknown mode %q", s)
 	}
+}
+
+// queryError reports one failed query and keeps going; the process
+// exits non-zero at the end.
+func queryError(name string, err error, failed *int) {
+	fmt.Fprintf(os.Stderr, "mqr: %s: %v\n", name, err)
+	*failed++
 }
 
 func fatal(err error) {

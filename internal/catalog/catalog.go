@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/histogram"
 	"repro/internal/storage"
@@ -60,6 +61,12 @@ type Table struct {
 	// UpdatesSinceAnalyze counts tuples inserted since statistics were
 	// last collected.
 	UpdatesSinceAnalyze int64
+
+	// Temp marks a table registered via RegisterTemp: a materialized
+	// intermediate private to one query. Temp tables do not bump the
+	// catalog's statistics version — they come and go on every plan
+	// switch and are invisible to other queries' plans.
+	Temp bool
 }
 
 // NumPages returns the table's size in pages.
@@ -97,7 +104,18 @@ type Catalog struct {
 	mu     sync.RWMutex
 	pool   *storage.BufferPool
 	tables map[string]*Table
+
+	// version counts persistent-statistics changes: CREATE TABLE, DROP
+	// of a non-temp table, CREATE INDEX, and ANALYZE. The plan cache
+	// keys entry validity on it — any plan optimized against an older
+	// version may embed stale estimates or miss an access path.
+	version atomic.Int64
 }
+
+// StatsVersion returns the current persistent-statistics version. It
+// increases monotonically whenever table DDL or ANALYZE changes what the
+// optimizer would see; temp-table registration does not affect it.
+func (c *Catalog) StatsVersion() int64 { return c.version.Load() }
 
 // New returns an empty catalog over the given buffer pool.
 func New(pool *storage.BufferPool) *Catalog {
@@ -129,6 +147,7 @@ func (c *Catalog) CreateTable(name string, schema *types.Schema) (*Table, error)
 		ColStats: make(map[int]*ColumnStats),
 	}
 	c.tables[key] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -143,6 +162,9 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("catalog: no table %q", name)
 	}
 	delete(c.tables, key)
+	if !t.Temp {
+		c.version.Add(1)
+	}
 	return t.Heap.Drop()
 }
 
@@ -167,6 +189,7 @@ func (c *Catalog) RegisterTemp(name string, schema *types.Schema, heap *storage.
 		Heap:     heap,
 		Indexes:  make(map[int]*Index),
 		ColStats: make(map[int]*ColumnStats),
+		Temp:     true,
 	}
 	t.Cardinality = float64(heap.NumTuples())
 	if heap.NumTuples() > 0 {
@@ -242,6 +265,7 @@ func (c *Catalog) CreateIndex(table, column string) error {
 		clustering = ordered / total
 	}
 	t.Indexes[col] = &Index{Tree: tree, Clustering: clustering}
+	c.version.Add(1)
 	return nil
 }
 
@@ -335,5 +359,6 @@ func (c *Catalog) Analyze(table string, opts AnalyzeOptions) error {
 		t.ColStats[col] = cs
 	}
 	t.UpdatesSinceAnalyze = 0
+	c.version.Add(1)
 	return nil
 }

@@ -1,0 +1,306 @@
+package memmgr
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// Broker generalizes the Memory Manager's fixed per-query budget to a
+// shared pool serving many concurrent queries — the multi-query
+// environment that motivates the paper's §2.3: memory a query frees (or
+// turns out not to need once run-time statistics arrive) should flow to
+// other queries, not sit idle against a private budget.
+//
+// Admission control is FIFO: a query whose plan minimum does not fit in
+// the free pool waits, and no later arrival may overtake it (so a large
+// query cannot starve behind a stream of small ones). Mid-query, the
+// re-optimizing dispatcher returns surplus grants through Lease.Return —
+// which is what lets a queued query start before the donor finishes —
+// and may opportunistically Grow a lease when improved estimates raise
+// its demands.
+type Broker struct {
+	mu    sync.Mutex
+	pool  float64
+	avail float64
+	queue []*waiter // FIFO; head is the oldest
+
+	admitted int64
+	waits    int64
+	returned float64
+	grown    float64
+
+	// trace, when set, receives one Event per state transition,
+	// synchronously and in a total order (emitted under the broker
+	// lock). Tests use it to assert admission orderings; it must not
+	// call back into the broker.
+	trace func(Event)
+}
+
+// Event is one broker state transition, for tracing and tests.
+type Event struct {
+	// Kind is "admit", "queue", "return", "grow", or "release".
+	Kind string
+	// Query is the query tag the event concerns.
+	Query string
+	// Bytes is the amount admitted, returned, grown, or released.
+	Bytes float64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s %.0f", e.Kind, e.Query, e.Bytes)
+}
+
+type waiter struct {
+	query string
+	min   float64
+	want  float64
+	done  chan *Lease // receives the lease when admitted; closed on cancel
+}
+
+// NewBroker returns a broker over a pool of the given size in bytes.
+func NewBroker(pool float64) *Broker {
+	if pool <= 0 {
+		pool = 32 << 20
+	}
+	return &Broker{pool: pool, avail: pool}
+}
+
+// SetTrace installs an event hook. Install before any Admit; the hook
+// runs under the broker lock and must not call back into the broker.
+func (b *Broker) SetTrace(fn func(Event)) {
+	b.mu.Lock()
+	b.trace = fn
+	b.mu.Unlock()
+}
+
+func (b *Broker) emit(kind, query string, bytes float64) {
+	if b.trace != nil {
+		b.trace(Event{Kind: kind, Query: query, Bytes: bytes})
+	}
+}
+
+// Lease is one query's reservation against the broker pool. It is not
+// safe for concurrent use by multiple goroutines — a lease belongs to
+// the one dispatcher executing its query.
+type Lease struct {
+	b     *Broker
+	query string
+	held  float64
+
+	admitted float64
+	returns  int
+	returned float64
+	growths  int
+	grown    float64
+	waited   bool
+	released bool
+}
+
+// Admit blocks until at least min bytes are free (FIFO order), then
+// reserves up to want bytes and returns the lease. A min larger than the
+// whole pool is capped at the pool — the query would otherwise never
+// run; it over-commits exactly as the single-query Memory Manager does.
+// The context cancels waiting.
+func (b *Broker) Admit(ctx context.Context, query string, min, want float64) (*Lease, error) {
+	min = math.Min(min, b.pool)
+	want = math.Max(math.Min(want, b.pool), min)
+
+	b.mu.Lock()
+	if len(b.queue) == 0 && b.avail >= min {
+		l := b.admitLocked(query, min, want, false)
+		b.mu.Unlock()
+		return l, nil
+	}
+	w := &waiter{query: query, min: min, want: want, done: make(chan *Lease, 1)}
+	b.queue = append(b.queue, w)
+	b.waits++
+	b.emit("queue", query, min)
+	b.mu.Unlock()
+
+	select {
+	case l := <-w.done:
+		return l, nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		for i, q := range b.queue {
+			if q == w {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				b.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		b.mu.Unlock()
+		// Already admitted between ctx.Done and acquiring the lock:
+		// surrender the lease.
+		if l := <-w.done; l != nil {
+			l.Release()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// admitLocked reserves memory for one query. Caller holds b.mu.
+func (b *Broker) admitLocked(query string, min, want float64, waited bool) *Lease {
+	grant := math.Min(want, b.avail)
+	if grant < min {
+		grant = min // over-commit: min was capped at pool size
+	}
+	b.avail -= grant
+	b.admitted++
+	b.emit("admit", query, grant)
+	return &Lease{b: b, query: query, held: grant, admitted: grant, waited: waited}
+}
+
+// wakeLocked admits queued queries, in order, while the head's minimum
+// fits. Caller holds b.mu. Strict FIFO: if the head does not fit, no
+// later waiter is considered.
+func (b *Broker) wakeLocked() {
+	for len(b.queue) > 0 {
+		w := b.queue[0]
+		if b.avail < w.min {
+			return
+		}
+		b.queue = b.queue[1:]
+		w.done <- b.admitLocked(w.query, w.min, w.want, true)
+	}
+}
+
+// Held returns the lease's current reservation in bytes.
+func (l *Lease) Held() float64 { return l.held }
+
+// Query returns the query tag the lease was admitted under.
+func (l *Lease) Query() string { return l.query }
+
+// Waited reports whether admission had to queue.
+func (l *Lease) Waited() bool { return l.waited }
+
+// Return gives surplus bytes back to the pool mid-query, waking queued
+// queries whose minimums now fit. Returns the amount actually returned
+// (clamped to the held reservation).
+func (l *Lease) Return(bytes float64) float64 {
+	if bytes <= 0 || l.released {
+		return 0
+	}
+	b := l.b
+	b.mu.Lock()
+	bytes = math.Min(bytes, l.held)
+	l.held -= bytes
+	l.returns++
+	l.returned += bytes
+	b.avail += bytes
+	b.returned += bytes
+	b.emit("return", l.query, bytes)
+	b.wakeLocked()
+	b.mu.Unlock()
+	return bytes
+}
+
+// Grow tries to reserve up to bytes more from the free pool without
+// blocking and without overtaking queued queries. Returns the amount
+// actually obtained.
+func (l *Lease) Grow(bytes float64) float64 {
+	if bytes <= 0 || l.released {
+		return 0
+	}
+	b := l.b
+	b.mu.Lock()
+	if len(b.queue) > 0 {
+		// Queued queries have priority over incumbents' top-ups; a
+		// growing query taking the last free bytes could starve them.
+		b.mu.Unlock()
+		return 0
+	}
+	got := math.Min(bytes, b.avail)
+	if got > 0 {
+		b.avail -= got
+		l.held += got
+		l.growths++
+		l.grown += got
+		b.grown += got
+		b.emit("grow", l.query, got)
+	}
+	b.mu.Unlock()
+	return got
+}
+
+// Release returns the whole reservation on query completion. Safe to
+// call more than once.
+func (l *Lease) Release() {
+	if l.released {
+		return
+	}
+	b := l.b
+	b.mu.Lock()
+	l.released = true
+	b.avail += l.held
+	b.emit("release", l.query, l.held)
+	l.held = 0
+	b.wakeLocked()
+	b.mu.Unlock()
+}
+
+// LeaseStats reports one query's traffic against the broker.
+type LeaseStats struct {
+	Admitted      float64 // bytes granted at admission
+	Waited        bool    // admission had to queue
+	Returns       int     // mid-query surplus returns
+	ReturnedBytes float64
+	Growths       int // mid-query top-ups
+	GrownBytes    float64
+}
+
+// Stats returns the lease's per-query accounting.
+func (l *Lease) Stats() LeaseStats {
+	l.b.mu.Lock()
+	defer l.b.mu.Unlock()
+	return LeaseStats{
+		Admitted:      l.admitted,
+		Waited:        l.waited,
+		Returns:       l.returns,
+		ReturnedBytes: l.returned,
+		Growths:       l.growths,
+		GrownBytes:    l.grown,
+	}
+}
+
+// BrokerStats is a snapshot of the pool.
+type BrokerStats struct {
+	PoolBytes  float64
+	AvailBytes float64
+	Waiting    int   // queries queued right now
+	Admitted   int64 // total admissions
+	Waits      int64 // admissions that had to queue
+	Returned   float64
+	Grown      float64
+}
+
+// Stats snapshots the broker.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BrokerStats{
+		PoolBytes:  b.pool,
+		AvailBytes: b.avail,
+		Waiting:    len(b.queue),
+		Admitted:   b.admitted,
+		Waits:      b.waits,
+		Returned:   b.returned,
+		Grown:      b.grown,
+	}
+}
+
+// Demands sums a plan's memory requirements: the least memory its
+// consumers can run with, and the most they can use. Admission control
+// queues a query until min fits in the broker's free pool.
+func Demands(root plan.Node) (min, max float64) {
+	for _, op := range Consumers(root) {
+		e := op.Est()
+		min += math.Min(e.MemMin, e.MemMax)
+		max += e.MemMax
+	}
+	return min, max
+}

@@ -1,0 +1,241 @@
+package memmgr
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBrokerNeverOversubscribes hammers the broker with concurrent
+// admissions and verifies the sum of outstanding grants never exceeds
+// the pool (tracked at every admission under the broker's own trace
+// hook, so no transition is missed).
+func TestBrokerNeverOversubscribes(t *testing.T) {
+	const pool = 1 << 20
+	b := NewBroker(pool)
+	var outstanding float64
+	var worst float64
+	b.SetTrace(func(e Event) {
+		switch e.Kind {
+		case "admit", "grow":
+			outstanding += e.Bytes
+		case "return", "release":
+			outstanding -= e.Bytes
+		}
+		if outstanding > worst {
+			worst = outstanding
+		}
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			min := float64(64 << 10)
+			want := float64((i%8 + 1) * 128 << 10)
+			l, err := b.Admit(context.Background(), "q", min, want)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			l.Grow(32 << 10)
+			l.Return(16 << 10)
+			l.Release()
+		}(i)
+	}
+	wg.Wait()
+
+	if worst > pool {
+		t.Errorf("pool oversubscribed: peak %v bytes granted against %v", worst, float64(pool))
+	}
+	st := b.Stats()
+	if st.AvailBytes != pool {
+		t.Errorf("pool did not drain back: avail %v of %v", st.AvailBytes, float64(pool))
+	}
+	if st.Admitted != 64 {
+		t.Errorf("admitted %d queries, want 64", st.Admitted)
+	}
+}
+
+// TestBrokerReturnWakesWaiter verifies the §2.3 flow: a queued query is
+// admitted the moment a running query's mid-query re-allocation returns
+// surplus — before the donor releases.
+func TestBrokerReturnWakesWaiter(t *testing.T) {
+	b := NewBroker(1 << 20)
+	var events []Event
+	b.SetTrace(func(e Event) { events = append(events, e) })
+
+	big, err := b.Admit(context.Background(), "big", 1<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	admitted := make(chan *Lease, 1)
+	go func() {
+		l, err := b.Admit(context.Background(), "small", 256<<10, 256<<10)
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- l
+	}()
+	waitFor(t, func() bool { return b.Stats().Waiting == 1 })
+
+	// A surplus smaller than the waiter's minimum must not admit it.
+	big.Return(64 << 10)
+	select {
+	case <-admitted:
+		t.Fatal("waiter admitted on an insufficient return")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Returning enough memory admits the waiter mid-query.
+	big.Return(512 << 10)
+	small := <-admitted
+	if small.Held() != 256<<10 {
+		t.Errorf("waiter granted %v, want %v", small.Held(), float64(256<<10))
+	}
+	if !small.Waited() {
+		t.Error("waiter lease does not record the wait")
+	}
+
+	// Event order: small admitted after big's return, before big's release.
+	big.Release()
+	small.Release()
+	idx := func(kind, query string) int {
+		for i, e := range events {
+			if e.Kind == kind && e.Query == query {
+				return i
+			}
+		}
+		return -1
+	}
+	if !(idx("return", "big") < idx("admit", "small") && idx("admit", "small") < idx("release", "big")) {
+		t.Errorf("bad admission order: %v", events)
+	}
+
+	st := big.Stats()
+	if st.Returns != 2 || st.ReturnedBytes != (64<<10)+(512<<10) {
+		t.Errorf("donor stats wrong: %+v", st)
+	}
+}
+
+// TestBrokerFIFONoStarvation is the fairness regression test: a large
+// query queued behind the pool must not be starved by a stream of small
+// queries that would individually fit — FIFO admission holds the line.
+func TestBrokerFIFONoStarvation(t *testing.T) {
+	b := NewBroker(1 << 20)
+	first, err := b.Admit(context.Background(), "first", 768<<10, 768<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bigDone := make(chan struct{})
+	go func() {
+		l, err := b.Admit(context.Background(), "big", 1<<20, 1<<20)
+		if err != nil {
+			t.Error(err)
+		} else {
+			l.Release()
+		}
+		close(bigDone)
+	}()
+	waitFor(t, func() bool { return b.Stats().Waiting == 1 })
+
+	// Small queries that would fit in the free 256 KiB must queue behind
+	// the big one, and an incumbent's Grow must not overtake it either.
+	var smallAdmitted atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l, err := b.Admit(context.Background(), "small", 64<<10, 64<<10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			smallAdmitted.Add(1)
+			l.Release()
+		}()
+	}
+	waitFor(t, func() bool { return b.Stats().Waiting == 9 })
+	if got := smallAdmitted.Load(); got != 0 {
+		t.Fatalf("%d small queries overtook the queued big query", got)
+	}
+	if got := first.Grow(64 << 10); got != 0 {
+		t.Fatalf("incumbent grew by %v past a queued query", got)
+	}
+
+	select {
+	case <-bigDone:
+		t.Fatal("big query admitted while first still holds the pool")
+	default:
+	}
+	first.Release()
+	<-bigDone
+	wg.Wait()
+	if got := smallAdmitted.Load(); got != 8 {
+		t.Errorf("only %d of 8 small queries admitted", got)
+	}
+}
+
+// TestBrokerAdmitCancel verifies a cancelled wait leaves the queue and
+// pool intact.
+func TestBrokerAdmitCancel(t *testing.T) {
+	b := NewBroker(1 << 20)
+	l, err := b.Admit(context.Background(), "holder", 1<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Admit(ctx, "cancelled", 1024, 1024)
+		errc <- err
+	}()
+	waitFor(t, func() bool { return b.Stats().Waiting == 1 })
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled Admit returned no error")
+	}
+	if b.Stats().Waiting != 0 {
+		t.Error("cancelled waiter still queued")
+	}
+	l.Release()
+	if st := b.Stats(); st.AvailBytes != st.PoolBytes {
+		t.Errorf("pool leaked: %v of %v available", st.AvailBytes, st.PoolBytes)
+	}
+}
+
+// TestBrokerMinCappedAtPool: a query whose plan minimum exceeds the
+// whole pool must still run (over-committing like the single-query
+// manager) rather than deadlock.
+func TestBrokerMinCappedAtPool(t *testing.T) {
+	b := NewBroker(1 << 20)
+	l, err := b.Admit(context.Background(), "huge", 8<<20, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Held() != 1<<20 {
+		t.Errorf("granted %v, want the whole pool", l.Held())
+	}
+	l.Release()
+	if st := b.Stats(); math.Abs(st.AvailBytes-st.PoolBytes) > 0.5 {
+		t.Errorf("pool corrupted: %v of %v", st.AvailBytes, st.PoolBytes)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,222 @@
+// Package plancache caches optimized query plans so re-submitted SQL
+// skips analysis and join enumeration. Entries are keyed on the
+// normalized statement text plus the host-variable signature — the
+// engine's plans are parameter-independent (host variables get a default
+// selectivity at optimize time and bind at execution), so one cached
+// plan serves every binding of the same parameterized query — and on an
+// optimizer fingerprint (memory budget, cost weights, ablation flags)
+// so differently-configured sessions never share a plan shaped for the
+// wrong cost model.
+//
+// Every hit hands out a deep clone of the pristine plan: the dispatcher
+// mutates plan annotations (improved estimates, memory grants) and the
+// tree itself (SCIA collector insertion) during execution, so the cached
+// original must never be executed directly.
+//
+// Invalidation is versioned, not evented: entries record the catalog's
+// statistics version at insertion and are dropped lazily when a lookup
+// finds the version has moved (ANALYZE, CREATE TABLE/INDEX, DROP).
+// Temp tables materialized by mid-query re-optimization do not bump the
+// version — they are private to one query and would otherwise flush the
+// cache on every plan switch.
+package plancache
+
+import (
+	"container/list"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// Cache is a concurrency-safe LRU of optimized plans.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*entry
+	lru     *list.List // front = most recent; elements hold keys
+	version func() int64
+
+	hits, misses, invalidations, evictions int64
+}
+
+type entry struct {
+	res     *optimizer.Result
+	version int64
+	elem    *list.Element
+}
+
+// New returns a cache of at most capacity plans. version reports the
+// catalog's current statistics version; entries stored under an older
+// version are invalid. A nil version function disables invalidation.
+func New(capacity int, version func() int64) *Cache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if version == nil {
+		version = func() int64 { return 0 }
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+		version: version,
+	}
+}
+
+// Get returns a deep clone of the cached plan for key, or nil on a miss.
+// A stale entry (catalog statistics changed since it was stored) counts
+// as a miss and is dropped.
+func (c *Cache) Get(key string) *optimizer.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	if e.version != c.version() {
+		c.removeLocked(key, e)
+		c.invalidations++
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.lru.MoveToFront(e.elem)
+	return cloneResult(e.res)
+}
+
+// Put stores a pristine plan under key. The cache keeps its own clone,
+// so the caller may execute (and thereby mutate) res afterwards.
+func (c *Cache) Put(key string, res *optimizer.Result) {
+	clone := cloneResult(res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.res = clone
+		e.version = c.version()
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	for len(c.entries) >= c.cap {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		k := back.Value.(string)
+		c.removeLocked(k, c.entries[k])
+		c.evictions++
+	}
+	e := &entry{res: clone, version: c.version()}
+	e.elem = c.lru.PushFront(key)
+	c.entries[key] = e
+}
+
+func (c *Cache) removeLocked(key string, e *entry) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, key)
+}
+
+// Stats reports cache traffic.
+type Stats struct {
+	Entries       int
+	Hits          int64
+	Misses        int64
+	Invalidations int64 // misses caused by a statistics-version change
+	Evictions     int64
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:       len(c.entries),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+		Evictions:     c.evictions,
+	}
+}
+
+// cloneResult copies the parts of an optimizer result that execution
+// mutates: the plan tree (annotations and collector insertion) and the
+// join order slice. The analyzed Query is shared — the dispatcher only
+// reads it (predicate ASTs, relation bindings) when generating
+// remainder SQL.
+func cloneResult(res *optimizer.Result) *optimizer.Result {
+	return &optimizer.Result{
+		Root:            plan.Clone(res.Root),
+		Query:           res.Query,
+		Order:           append([]int(nil), res.Order...),
+		PlansConsidered: res.PlansConsidered,
+	}
+}
+
+// Key builds the cache key for a parsed statement: normalized SQL text
+// (rendered from the AST, so whitespace and case differences in the
+// source collapse), the sorted host-variable signature, and the
+// caller's optimizer fingerprint.
+func Key(stmt *sql.SelectStmt, fingerprint string) string {
+	vars := HostVars(stmt)
+	return stmt.SQL() + "|vars=" + strings.Join(vars, ",") + "|" + fingerprint
+}
+
+// HostVars returns the sorted set of host-variable names a statement
+// binds — the parameter signature of a prepared query.
+func HostVars(stmt *sql.SelectStmt) []string {
+	seen := map[string]bool{}
+	var walkExpr func(e sql.Expr)
+	walkExpr = func(e sql.Expr) {
+		switch x := e.(type) {
+		case *sql.HostVar:
+			seen[x.Name] = true
+		case *sql.BinaryExpr:
+			walkExpr(x.Left)
+			walkExpr(x.Right)
+		case *sql.AggExpr:
+			if x.Arg != nil {
+				walkExpr(x.Arg)
+			}
+		}
+	}
+	walkPred := func(p sql.Predicate) {
+		switch x := p.(type) {
+		case *sql.ComparePred:
+			walkExpr(x.Left)
+			walkExpr(x.Right)
+		case *sql.BetweenPred:
+			walkExpr(x.Expr)
+			walkExpr(x.Lo)
+			walkExpr(x.Hi)
+		case *sql.InPred:
+			walkExpr(x.Expr)
+			for _, e := range x.List {
+				walkExpr(e)
+			}
+		case *sql.LikePred:
+			walkExpr(x.Expr)
+		}
+	}
+	for _, item := range stmt.Select {
+		walkExpr(item.Expr)
+	}
+	for _, p := range stmt.Where {
+		walkPred(p)
+	}
+	for _, g := range stmt.GroupBy {
+		walkExpr(g)
+	}
+	for _, o := range stmt.OrderBy {
+		walkExpr(o.Expr)
+	}
+	vars := make([]string, 0, len(seen))
+	for v := range seen {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}

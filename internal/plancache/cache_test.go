@@ -1,0 +1,235 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/histogram"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+type env struct {
+	cat  *catalog.Catalog
+	pool *storage.BufferPool
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	m := storage.NewCostMeter(storage.DefaultCostWeights())
+	pool := storage.NewBufferPool(storage.NewDisk(m), 512)
+	cat := catalog.New(pool)
+	for _, spec := range []struct {
+		name string
+		rows int
+	}{{"t1", 400}, {"t2", 100}} {
+		tbl, err := cat.CreateTable(spec.name, types.NewSchema(
+			types.Column{Name: spec.name + "_pk", Kind: types.KindInt, Key: true},
+			types.Column{Name: spec.name + "_fk", Kind: types.KindInt},
+			types.Column{Name: spec.name + "_val", Kind: types.KindFloat},
+		))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < spec.rows; i++ {
+			if err := tbl.Insert(types.Tuple{
+				types.NewInt(int64(i)),
+				types.NewInt(int64(i % 100)),
+				types.NewFloat(float64(i)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cat.Analyze(spec.name, catalog.AnalyzeOptions{Family: histogram.MaxDiff}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &env{cat: cat, pool: pool}
+}
+
+func (e *env) optimize(t *testing.T, src string) (*sql.SelectStmt, *optimizer.Result) {
+	t.Helper()
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := optimizer.Analyze(e.cat, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := &optimizer.Optimizer{Weights: storage.DefaultCostWeights(), MemBudget: 32 << 20}
+	res, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt, res
+}
+
+const paramQuery = `select t1_val from t1, t2
+	where t1.t1_fk = t2.t2_pk and t1_val < :cut`
+
+func TestHitOnResubmittedParameterizedSQL(t *testing.T) {
+	e := newEnv(t)
+	c := New(16, e.cat.StatsVersion)
+	stmt, res := e.optimize(t, paramQuery)
+	key := Key(stmt, "fp")
+	if c.Get(key) != nil {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key, res)
+
+	// Re-submission with different whitespace normalizes to the same key.
+	stmt2, _ := e.optimize(t, "select t1_val from t1, t2 where t1.t1_fk = t2.t2_pk and t1_val < :cut")
+	if Key(stmt2, "fp") != key {
+		t.Fatalf("normalized keys differ:\n%s\n%s", Key(stmt2, "fp"), key)
+	}
+	got := c.Get(key)
+	if got == nil {
+		t.Fatal("miss on re-submitted SQL")
+	}
+	if got == res || got.Root == res.Root {
+		t.Fatal("cache returned the stored plan itself, not a clone")
+	}
+	if plan.Format(got.Root) != plan.Format(res.Root) {
+		t.Errorf("cloned plan differs:\n%s\nvs\n%s", plan.Format(got.Root), plan.Format(res.Root))
+	}
+	// Mutating the clone (as execution does) must not poison the cache.
+	got.Root.Est().Rows = -1
+	again := c.Get(key)
+	if again.Root.Est().Rows == -1 {
+		t.Error("executing a hit mutated the cached plan")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 hits 1 miss", st)
+	}
+}
+
+func TestDifferentFingerprintsDoNotShare(t *testing.T) {
+	e := newEnv(t)
+	stmt, _ := e.optimize(t, paramQuery)
+	if Key(stmt, "mem=1048576") == Key(stmt, "mem=2097152") {
+		t.Error("different optimizer fingerprints share a key")
+	}
+}
+
+func TestHostVarSignatureInKey(t *testing.T) {
+	e := newEnv(t)
+	stmt, _ := e.optimize(t, paramQuery)
+	vars := HostVars(stmt)
+	if len(vars) != 1 || vars[0] != "cut" {
+		t.Errorf("HostVars = %v, want [cut]", vars)
+	}
+	stmt2, _ := e.optimize(t, `select t1_val from t1, t2
+		where t1.t1_fk = t2.t2_pk and t1_val < 5`)
+	if len(HostVars(stmt2)) != 0 {
+		t.Errorf("literal query has host vars: %v", HostVars(stmt2))
+	}
+}
+
+func TestMissAfterCatalogStatsChange(t *testing.T) {
+	e := newEnv(t)
+	c := New(16, e.cat.StatsVersion)
+	stmt, res := e.optimize(t, paramQuery)
+	key := Key(stmt, "fp")
+	c.Put(key, res)
+	if c.Get(key) == nil {
+		t.Fatal("warm entry missed")
+	}
+
+	// ANALYZE bumps the statistics version: the entry is now stale.
+	if err := e.cat.Analyze("t1", catalog.AnalyzeOptions{Family: histogram.MaxDiff}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(key) != nil {
+		t.Fatal("hit on a plan optimized against stale statistics")
+	}
+	if st := c.Stats(); st.Invalidations != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 1 invalidation and 0 entries", st)
+	}
+
+	// Re-populated under the new version, it serves hits again.
+	c.Put(key, res)
+	if c.Get(key) == nil {
+		t.Error("miss after re-population")
+	}
+}
+
+func TestTempTablesDoNotInvalidate(t *testing.T) {
+	e := newEnv(t)
+	c := New(16, e.cat.StatsVersion)
+	stmt, res := e.optimize(t, paramQuery)
+	key := Key(stmt, "fp")
+	c.Put(key, res)
+
+	// A mid-query materialization registers and drops a temp table;
+	// the cache must survive it or every plan switch flushes it.
+	heap := storage.NewHeapFile(e.pool)
+	if _, err := e.cat.RegisterTemp("mqr_temp_x_1", types.NewSchema(
+		types.Column{Name: "c", Kind: types.KindInt}), heap); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.cat.DropTable("mqr_temp_x_1"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(key) == nil {
+		t.Error("temp-table churn invalidated the plan cache")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := newEnv(t)
+	c := New(2, e.cat.StatsVersion)
+	stmt, res := e.optimize(t, paramQuery)
+	c.Put("k1", res)
+	c.Put("k2", res)
+	if c.Get("k1") == nil { // k1 now most recent
+		t.Fatal("k1 missing")
+	}
+	c.Put("k3", res) // evicts k2
+	if c.Get("k2") != nil {
+		t.Error("LRU evicted the wrong entry")
+	}
+	if c.Get("k1") == nil || c.Get("k3") == nil {
+		t.Error("recently-used entries evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	_ = stmt
+}
+
+// TestConcurrentGetPut races gets, puts, and invalidating ANALYZEs; run
+// under -race this is the cache's thread-safety regression test.
+func TestConcurrentGetPut(t *testing.T) {
+	e := newEnv(t)
+	c := New(8, e.cat.StatsVersion)
+	stmt, res := e.optimize(t, paramQuery)
+	_ = stmt
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", g%4)
+			for i := 0; i < 200; i++ {
+				if got := c.Get(key); got == nil {
+					c.Put(key, res)
+				} else {
+					// Execution-style mutation of the clone.
+					got.Root.Est().Rows += 1
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("stress saw no traffic: %+v", st)
+	}
+}

@@ -322,6 +322,44 @@ func (d *Dispatcher) reallocate(dec *decomposed, i int, st *Stats) {
 		return
 	}
 	held := dec.steps[i].join.Est().Grant // the running join's hash table
+	if lease := d.Cfg.Lease; lease != nil {
+		// Brokered pool: grants follow the improved demands both ways.
+		// If the remainder needs more than the lease holds, try to grow
+		// it (non-blocking, never overtaking queued queries); whatever
+		// the re-allocation then leaves uncommitted is surplus the
+		// broker can hand to *other* queries — the paper's §2.3
+		// multi-query motivation. Unlike the single-query path below,
+		// shrinking a pending operator's grant here is worth the
+		// estimate risk: idle bytes in this query are admission delays
+		// for the ones behind it.
+		need := held
+		for _, op := range notStarted {
+			e := op.Est()
+			need += math.Min(e.MemMin, e.MemMax)
+		}
+		if need > lease.Held() {
+			if got := lease.Grow(need - lease.Held()); got > 0 {
+				st.BrokerGrowths++
+				st.BrokerGrownBytes += got
+			}
+		}
+		budget := math.Max(0, lease.Held()-held)
+		memmgr.New(budget).AllocateOps(notStarted, budget)
+		committed := held
+		for _, op := range notStarted {
+			committed += op.Est().Grant
+		}
+		if surplus := lease.Held() - committed; surplus > 0 {
+			if returned := lease.Return(surplus); returned > 0 {
+				st.BrokerReturns++
+				st.BrokerReturnedBytes += returned
+				st.Decisions = append(st.Decisions, fmt.Sprintf(
+					"checkpoint %d: returned %.0f surplus bytes to the memory broker", i, returned))
+			}
+		}
+		st.MemReallocs++
+		return
+	}
 	budget := math.Max(0, d.Cfg.MemBudget-held)
 	// Re-allocation must never leave an operator worse off than the
 	// initial allocation did: the earlier joins' grants are freed by
@@ -484,7 +522,7 @@ func (d *Dispatcher) trialOptimize(res *optimizer.Result, dec *decomposed, i int
 		return 0, false, nil
 	}
 	d.tempSeq++
-	tempName := fmt.Sprintf("mqr_trial_%d", d.tempSeq)
+	tempName := d.tempName("trial")
 	heap := storage.NewHeapFile(ctx.Pool) // placeholder; never populated
 	tbl, err := d.Cat.RegisterTemp(tempName, tempSchema(matNode.Schema()), heap)
 	if err != nil {
@@ -505,7 +543,7 @@ func (d *Dispatcher) trialOptimize(res *optimizer.Result, dec *decomposed, i int
 	}
 	opt := &optimizer.Optimizer{
 		Weights:          d.Cfg.Weights,
-		MemBudget:        d.Cfg.MemBudget,
+		MemBudget:        d.budget(),
 		DisableIndexJoin: d.Cfg.DisableIndexJoin,
 		PoolPages:        d.Cfg.PoolPages,
 	}

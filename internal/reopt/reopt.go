@@ -2,6 +2,7 @@ package reopt
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
@@ -96,6 +97,17 @@ type Config struct {
 
 	// MemBudget is the per-query operator memory in bytes.
 	MemBudget float64
+	// Lease, when set, ties the query's operator memory to a shared
+	// broker pool instead of the fixed MemBudget: the budget is
+	// whatever the lease currently holds, mid-query re-allocation
+	// returns surplus grants to the broker for other queries (§2.3's
+	// multi-query motivation), and grows the lease when improved
+	// estimates raise the remainder's demands.
+	Lease *memmgr.Lease
+	// QueryTag uniquely names this query across concurrent sessions;
+	// it is woven into temp-table names so plan switches by different
+	// queries never collide in the shared catalog.
+	QueryTag string
 	// PoolPages is the shared buffer pool size, for cache-aware
 	// index-join costing; 0 assumes cold fetches.
 	PoolPages float64
@@ -138,7 +150,15 @@ type Stats struct {
 	MemReallocs        int
 	ReoptConsidered    int // checkpoints where Equations 1 & 2 were evaluated
 	PlanSwitches       int
-	Plans              []string // plan text, initial plus one per switch
+	// Broker traffic (zero unless the query runs under a Lease):
+	// re-allocations that returned surplus operator memory to the
+	// shared pool, and ones that grew the lease to cover demands the
+	// initial admission under-estimated.
+	BrokerReturns       int
+	BrokerReturnedBytes float64
+	BrokerGrowths       int
+	BrokerGrownBytes    float64
+	Plans               []string // plan text, initial plus one per switch
 	// Decisions logs every checkpoint's reasoning, for diagnostics.
 	Decisions []string
 }
@@ -152,6 +172,34 @@ type Dispatcher struct {
 	Calib *optimizer.Calibrator
 
 	tempSeq int
+}
+
+// tempCounter issues engine-wide unique temp-table numbers. A
+// per-dispatcher sequence is not enough once queries run concurrently
+// against one shared catalog: two dispatchers both naming their first
+// materialization "mqr_temp_1" would collide in RegisterTemp and fail
+// otherwise-healthy queries.
+var tempCounter atomic.Int64
+
+// tempName generates a catalog-unique temporary table name. The query
+// tag (session/query id) keeps names attributable under concurrency;
+// the global counter guarantees uniqueness even without a tag.
+func (d *Dispatcher) tempName(kind string) string {
+	n := tempCounter.Add(1)
+	if d.Cfg.QueryTag != "" {
+		return fmt.Sprintf("mqr_%s_%s_%d", kind, d.Cfg.QueryTag, n)
+	}
+	return fmt.Sprintf("mqr_%s_%d", kind, n)
+}
+
+// budget returns the operator-memory budget the query runs under right
+// now: the lease's current holding when brokered, the fixed configured
+// budget otherwise.
+func (d *Dispatcher) budget() float64 {
+	if d.Cfg.Lease != nil {
+		return d.Cfg.Lease.Held()
+	}
+	return d.Cfg.MemBudget
 }
 
 // New returns a dispatcher over the catalog.
@@ -197,7 +245,7 @@ func (d *Dispatcher) run(stmt *sql.SelectStmt, params plan.Params, ctx *exec.Ctx
 	}
 	opt := &optimizer.Optimizer{
 		Weights:          d.Cfg.Weights,
-		MemBudget:        d.Cfg.MemBudget,
+		MemBudget:        d.budget(),
 		DisableIndexJoin: d.Cfg.DisableIndexJoin,
 		PoolPages:        d.Cfg.PoolPages,
 	}
@@ -217,7 +265,7 @@ func (d *Dispatcher) run(stmt *sql.SelectStmt, params plan.Params, ctx *exec.Ctx
 		}
 		st.CollectorsInserted += len(ins)
 	}
-	memmgr.New(d.Cfg.MemBudget).Allocate(res.Root)
+	memmgr.New(d.budget()).Allocate(res.Root)
 	st.Plans = append(st.Plans, plan.Format(res.Root))
 
 	if d.Cfg.Mode == ModeOff {
@@ -251,7 +299,7 @@ func (d *Dispatcher) RunPlan(res *optimizer.Result, params plan.Params, ctx *exe
 		}
 		st.CollectorsInserted += len(ins)
 	}
-	memmgr.New(d.Cfg.MemBudget).Allocate(res.Root)
+	memmgr.New(d.budget()).Allocate(res.Root)
 	st.Plans = append(st.Plans, plan.Format(res.Root))
 	if d.Cfg.Mode == ModeOff {
 		op, err := exec.Build(res.Root, ctx)
@@ -278,7 +326,7 @@ func (d *Dispatcher) EstimateOnly(src string) (*optimizer.Result, error) {
 	}
 	opt := &optimizer.Optimizer{
 		Weights:          d.Cfg.Weights,
-		MemBudget:        d.Cfg.MemBudget,
+		MemBudget:        d.budget(),
 		DisableIndexJoin: d.Cfg.DisableIndexJoin,
 		PoolPages:        d.Cfg.PoolPages,
 	}
@@ -293,6 +341,6 @@ func (d *Dispatcher) EstimateOnly(src string) (*optimizer.Result, error) {
 			return nil, err
 		}
 	}
-	memmgr.New(d.Cfg.MemBudget).Allocate(res.Root)
+	memmgr.New(d.budget()).Allocate(res.Root)
 	return res, nil
 }

@@ -54,7 +54,7 @@ func (d *Dispatcher) switchPlan(res *optimizer.Result, dec *decomposed, i int, t
 func (d *Dispatcher) splicePlan(res *optimizer.Result, matNode plan.Node, liveOp exec.Operator, obs *plan.Observed, cnode *plan.Collector, consumed uint32, params plan.Params, ctx *exec.Ctx, st *Stats, switchesLeft int) ([]types.Tuple, bool, error) {
 	matEst := matNode.Est()
 	d.tempSeq++
-	tempName := fmt.Sprintf("mqr_splice_%d", d.tempSeq)
+	tempName := d.tempName("splice")
 	heap := storage.NewHeapFile(ctx.Pool) // never populated: the stream is live
 	tbl, err := d.Cat.RegisterTemp(tempName, tempSchema(matNode.Schema()), heap)
 	if err != nil {
@@ -81,7 +81,7 @@ func (d *Dispatcher) splicePlan(res *optimizer.Result, matNode plan.Node, liveOp
 	}
 	opt := &optimizer.Optimizer{
 		Weights:          d.Cfg.Weights,
-		MemBudget:        d.Cfg.MemBudget,
+		MemBudget:        d.budget(),
 		DisableIndexJoin: d.Cfg.DisableIndexJoin,
 		PoolPages:        d.Cfg.PoolPages,
 	}
@@ -109,7 +109,7 @@ func (d *Dispatcher) splicePlan(res *optimizer.Result, matNode plan.Node, liveOp
 		}
 		st.CollectorsInserted += len(ins)
 	}
-	memmgr.New(d.Cfg.MemBudget).Allocate(newRes.Root)
+	memmgr.New(d.budget()).Allocate(newRes.Root)
 	st.PlanSwitches++
 	st.Plans = append(st.Plans, plan.Format(newRes.Root))
 	st.Decisions = append(st.Decisions, fmt.Sprintf("splice: remainder spliced onto live stream as %s", tempName))
@@ -162,9 +162,10 @@ func (d *Dispatcher) materializeAndResubmit(res *optimizer.Result, matNode plan.
 	}
 
 	d.tempSeq++
-	tempName := fmt.Sprintf("mqr_temp_%d", d.tempSeq)
+	tempName := d.tempName("temp")
 	tbl, err := d.Cat.RegisterTemp(tempName, tempSchema(matSchema), heap)
 	if err != nil {
+		heap.Drop() // free the materialized pages; nobody owns them now
 		return nil, err
 	}
 	if matObs != nil {

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a thin client for a running mqr-server. Each client owns
+// one server-side session; clients are safe for concurrent use (their
+// queries simply interleave within the session).
+type Client struct {
+	base    string
+	hc      *http.Client
+	session int64
+}
+
+// Dial opens a session on the server at addr ("host:port" or a full
+// http:// URL).
+func Dial(addr string) (*Client, error) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	c := &Client{base: base, hc: &http.Client{Timeout: 10 * time.Minute}}
+	var out struct {
+		Session int64 `json:"session"`
+	}
+	if err := c.post("/session", struct{}{}, &out); err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	c.session = out.Session
+	return c, nil
+}
+
+// Session returns the server-side session id.
+func (c *Client) Session() int64 { return c.session }
+
+// Exec submits one query. A QueryResponse with a non-empty Error field
+// is returned as (response, error) so callers can inspect both.
+func (c *Client) Exec(req QueryRequest) (*QueryResponse, error) {
+	req.Session = c.session
+	var out QueryResponse
+	if err := c.post("/query", req, &out); err != nil {
+		if out.Error != "" {
+			return &out, err
+		}
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Analyze refreshes a table's statistics server-side.
+func (c *Client) Analyze(table, family string) error {
+	return c.post("/analyze", AnalyzeRequest{Table: table, Family: family}, &struct{}{})
+}
+
+// Status snapshots the server's broker and plan cache.
+func (c *Client) Status() (*StatusResponse, error) {
+	resp, err := c.hc.Get(c.base + "/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// post sends a JSON request and decodes the JSON response into out. On
+// a non-2xx status the body is still decoded into out (so structured
+// fields like QueryResponse.Error survive) and the error message is
+// surfaced.
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		json.Unmarshal(data, out)
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", path, e.Error)
+		}
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,337 @@
+// Package server exposes the multi-query engine over HTTP: concurrent
+// clients open sessions and submit SQL, all against one shared catalog,
+// buffer pool, memory broker, and plan cache. The protocol is JSON —
+// deliberately plain, since the point of the reproduction is the
+// engine, not the wire format.
+//
+// Endpoints:
+//
+//	POST /session          -> {"session": id}
+//	POST /query            QueryRequest -> QueryResponse
+//	POST /analyze          AnalyzeRequest -> {}
+//	GET  /status           -> StatusResponse
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/histogram"
+	"repro/internal/memmgr"
+	"repro/internal/plancache"
+	"repro/internal/reopt"
+	"repro/internal/session"
+	"repro/internal/types"
+)
+
+// QueryRequest is one SQL submission.
+type QueryRequest struct {
+	// Session routes the query to a session opened via POST /session;
+	// 0 uses the server's shared default session.
+	Session int64  `json:"session,omitempty"`
+	SQL     string `json:"sql"`
+	// Mode is "off", "memory", "plan", "full", or "restart"
+	// (default "off").
+	Mode string `json:"mode,omitempty"`
+	// Params binds host variables. Values are tagged strings —
+	// "int:42", "float:1.5", "string:ASIA", "date:1995-03-15" — or
+	// bare literals, which are parsed as int, then float, then string.
+	Params           map[string]string `json:"params,omitempty"`
+	NoCache          bool              `json:"no_cache,omitempty"`
+	Splice           bool              `json:"splice,omitempty"`
+	DisableIndexJoin bool              `json:"disable_index_join,omitempty"`
+	Seed             int64             `json:"seed,omitempty"`
+}
+
+// QueryResponse is one query's outcome. Rows are rendered to strings
+// with the engine's display formatting.
+type QueryResponse struct {
+	Columns  []string          `json:"columns"`
+	Rows     [][]string        `json:"rows"`
+	Cost     float64           `json:"cost"`
+	Query    string            `json:"query"`
+	CacheHit bool              `json:"cache_hit"`
+	Stats    *reopt.Stats      `json:"stats,omitempty"`
+	Broker   memmgr.LeaseStats `json:"broker"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// AnalyzeRequest refreshes one table's statistics.
+type AnalyzeRequest struct {
+	Table string `json:"table"`
+	// Family is "equiwidth", "equidepth", "maxdiff" (default), or
+	// "endbiased".
+	Family string `json:"family,omitempty"`
+}
+
+// StatusResponse snapshots the shared engine.
+type StatusResponse struct {
+	Broker memmgr.BrokerStats `json:"broker"`
+	Cache  plancache.Stats    `json:"cache"`
+}
+
+// Server serves one session.Manager over HTTP.
+type Server struct {
+	m *session.Manager
+
+	mu       sync.Mutex
+	sessions map[int64]*session.Session
+	shared   *session.Session
+}
+
+// New wraps a manager.
+func New(m *session.Manager) *Server {
+	return &Server{
+		m:        m,
+		sessions: map[int64]*session.Session{},
+		shared:   m.Session(),
+	}
+}
+
+// Handler returns the server's HTTP handler (httptest and embedding).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/session", s.handleSession)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/status", s.handleStatus)
+	return mux
+}
+
+// Serve accepts connections on l until it is closed.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return srv.Serve(l)
+}
+
+// ListenAndServe binds addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	sess := s.m.Session()
+	s.mu.Lock()
+	s.sessions[sess.ID()] = sess
+	s.mu.Unlock()
+	writeJSON(w, map[string]int64{"session": sess.ID()})
+}
+
+func (s *Server) session(id int64) (*session.Session, error) {
+	if id == 0 {
+		return s.shared, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown session %d", id)
+	}
+	return sess, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts, err := execOptions(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := sess.Exec(r.Context(), req.SQL, opts)
+	if err != nil {
+		// A query error is a well-formed response, not a transport
+		// failure: clients distinguish "your SQL is wrong" from "the
+		// server is down".
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		writeJSON(w, QueryResponse{Error: err.Error()})
+		return
+	}
+	rows := make([][]string, len(res.Rows))
+	for i, tup := range res.Rows {
+		row := make([]string, len(tup))
+		for j, v := range tup {
+			row[j] = v.String()
+		}
+		rows[i] = row
+	}
+	writeJSON(w, QueryResponse{
+		Columns:  res.Columns,
+		Rows:     rows,
+		Cost:     res.Cost,
+		Query:    res.Query,
+		CacheHit: res.CacheHit,
+		Stats:    res.Stats,
+		Broker:   res.Broker,
+	})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req AnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	family, err := parseFamily(req.Family)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.m.Analyze(req.Table, family); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, StatusResponse{
+		Broker: s.m.Broker().Stats(),
+		Cache:  s.m.CacheStats(),
+	})
+}
+
+func execOptions(req QueryRequest) (session.Options, error) {
+	mode, err := ParseMode(req.Mode)
+	if err != nil {
+		return session.Options{}, err
+	}
+	params, err := ParseParams(req.Params)
+	if err != nil {
+		return session.Options{}, err
+	}
+	return session.Options{
+		Mode:             mode,
+		Params:           params,
+		SpliceSwitch:     req.Splice,
+		DisableIndexJoin: req.DisableIndexJoin,
+		Seed:             req.Seed,
+		NoCache:          req.NoCache,
+	}, nil
+}
+
+// ParseMode maps a wire mode name to the dispatcher mode.
+func ParseMode(s string) (reopt.Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "off", "normal":
+		return reopt.ModeOff, nil
+	case "memory", "memory-only":
+		return reopt.ModeMemoryOnly, nil
+	case "plan", "plan-only":
+		return reopt.ModePlanOnly, nil
+	case "full":
+		return reopt.ModeFull, nil
+	case "restart":
+		return reopt.ModeRestart, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func parseFamily(s string) (histogram.Family, error) {
+	switch strings.ToLower(s) {
+	case "", "maxdiff":
+		return histogram.MaxDiff, nil
+	case "equiwidth":
+		return histogram.EquiWidth, nil
+	case "equidepth":
+		return histogram.EquiDepth, nil
+	case "endbiased":
+		return histogram.EndBiased, nil
+	default:
+		return 0, fmt.Errorf("unknown histogram family %q", s)
+	}
+}
+
+// ParseParams decodes the wire parameter map: tagged "kind:value"
+// strings, or bare literals tried as int, float, then string.
+func ParseParams(raw map[string]string) (map[string]types.Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]types.Value, len(raw))
+	for name, s := range raw {
+		v, err := ParseValue(s)
+		if err != nil {
+			return nil, fmt.Errorf("param %s: %w", name, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+// ParseValue decodes one wire value.
+func ParseValue(s string) (types.Value, error) {
+	if kind, rest, ok := strings.Cut(s, ":"); ok {
+		switch kind {
+		case "int":
+			n, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.NewInt(n), nil
+		case "float":
+			f, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.NewFloat(f), nil
+		case "string":
+			return types.NewString(rest), nil
+		case "date":
+			t, err := time.Parse("2006-01-02", rest)
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.NewDateFromTime(t), nil
+		}
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return types.NewInt(n), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return types.NewFloat(f), nil
+	}
+	return types.NewString(s), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/session"
+	"repro/internal/storage"
+	"repro/internal/tpcd"
+	"repro/internal/types"
+)
+
+// startTPCD loads a small TPC-D instance and serves it over httptest.
+func startTPCD(t *testing.T, cfg session.Config) (*httptest.Server, *session.Manager) {
+	t.Helper()
+	meter := storage.NewCostMeter(storage.DefaultCostWeights())
+	pool := storage.NewBufferPool(storage.NewDisk(meter), 2048)
+	cat := catalog.New(pool)
+	if err := tpcd.Load(cat, tpcd.Config{SF: 0.005, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	m := session.NewManager(cat, pool, meter, cfg)
+	ts := httptest.NewServer(New(m).Handler())
+	t.Cleanup(ts.Close)
+	return ts, m
+}
+
+func TestServerQueryRoundTrip(t *testing.T) {
+	ts, _ := startTPCD(t, session.Config{})
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec(QueryRequest{SQL: tpcd.Queries()[0].SQL, Mode: "full"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("Q1 returned no rows")
+	}
+	if len(res.Columns) != 8 || res.Columns[0] != "l_returnflag" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if res.Cost <= 0 {
+		t.Errorf("cost = %g", res.Cost)
+	}
+	if res.Query == "" {
+		t.Error("no query tag assigned")
+	}
+}
+
+func TestServerQueryErrorIsStructured(t *testing.T) {
+	ts, _ := startTPCD(t, session.Config{})
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec(QueryRequest{SQL: "select nope from nothing"})
+	if err == nil {
+		t.Fatal("bad SQL did not error")
+	}
+	if res == nil || res.Error == "" {
+		t.Fatalf("no structured error came back: %v", err)
+	}
+}
+
+func TestServerPlanCacheAndAnalyze(t *testing.T) {
+	ts, _ := startTPCD(t, session.Config{})
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3 := tpcd.Queries()[2].SQL // Q3: a 2-join query worth caching
+	r1, err := c.Exec(QueryRequest{SQL: q3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Exec(QueryRequest{SQL: q3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit || !r2.CacheHit {
+		t.Errorf("cache hits: first=%t second=%t", r1.CacheHit, r2.CacheHit)
+	}
+	// Statistics refresh invalidates the cached plan.
+	if err := c.Analyze("orders", "maxdiff"); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := c.Exec(QueryRequest{SQL: q3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheHit {
+		t.Error("cache hit on a plan from before ANALYZE")
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Invalidations == 0 {
+		t.Errorf("status reports no invalidations: %+v", st.Cache)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want types.Value
+	}{
+		{"int:42", types.NewInt(42)},
+		{"float:1.5", types.NewFloat(1.5)},
+		{"string:ASIA", types.NewString("ASIA")},
+		{"string:has:colon", types.NewString("has:colon")},
+		{"date:1995-03-15", types.NewDateFromTime(time.Date(1995, 3, 15, 0, 0, 0, 0, time.UTC))},
+		{"42", types.NewInt(42)},
+		{"1.5", types.NewFloat(1.5)},
+		{"BUILDING", types.NewString("BUILDING")},
+	}
+	for _, tc := range cases {
+		got, err := ParseValue(tc.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", tc.in, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("ParseValue(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := ParseValue("date:not-a-date"); err == nil {
+		t.Error("bad date parsed")
+	}
+}
+
+// TestServerConcurrentStress is the acceptance stress: 16 concurrent
+// clients issue a mix of TPC-D queries in mixed re-optimization modes
+// through the server, all against one shared engine; results must match
+// the single-stream answers and the race detector must stay quiet.
+func TestServerConcurrentStress(t *testing.T) {
+	ts, m := startTPCD(t, session.Config{MemPoolBytes: 16 << 20, MemBudget: 8 << 20})
+	mix := []string{"Q1", "Q6", "Q3", "Q10"}
+	modes := []string{"off", "memory", "full"}
+
+	// Single-stream reference answers.
+	ref := map[string]*QueryResponse{}
+	c0, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range mix {
+		q, qerr := tpcd.ByName(name)
+		if qerr != nil {
+			t.Fatal(qerr)
+		}
+		r, rerr := c0.Exec(QueryRequest{SQL: q.SQL, NoCache: true})
+		if rerr != nil {
+			t.Fatalf("%s: %v", name, rerr)
+		}
+		ref[name] = r
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(ts.URL)
+			if err != nil {
+				t.Errorf("client %d: %v", g, err)
+				return
+			}
+			for i := 0; i < 3; i++ {
+				name := mix[(g+i)%len(mix)]
+				q, _ := tpcd.ByName(name)
+				r, err := c.Exec(QueryRequest{SQL: q.SQL, Mode: modes[(g+i)%len(modes)]})
+				if err != nil {
+					t.Errorf("client %d %s: %v", g, name, err)
+					return
+				}
+				want := ref[name]
+				if len(r.Rows) != len(want.Rows) {
+					t.Errorf("client %d %s: %d rows, want %d", g, name, len(r.Rows), len(want.Rows))
+					return
+				}
+				if fmt.Sprint(r.Rows) != fmt.Sprint(want.Rows) {
+					t.Errorf("client %d %s: rows diverged from single-stream answer", g, name)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := m.Broker().Stats()
+	if st.AvailBytes != st.PoolBytes {
+		t.Errorf("broker leaked: %.0f of %.0f free after drain", st.AvailBytes, st.PoolBytes)
+	}
+	if st.Admitted < 48 {
+		t.Errorf("only %d admissions for 48+ queries", st.Admitted)
+	}
+	if cs := m.CacheStats(); cs.Hits == 0 {
+		t.Errorf("no plan-cache hits during the stress: %+v", cs)
+	}
+}
+
+// TestServerConstrainedPoolQueues re-runs part of the mix with a pool
+// small enough that admissions must queue, exercising the broker's
+// FIFO path over the wire.
+func TestServerConstrainedPoolQueues(t *testing.T) {
+	ts, m := startTPCD(t, session.Config{MemPoolBytes: 256 << 10, MemBudget: 256 << 10})
+	q3, _ := tpcd.ByName("Q3")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(ts.URL)
+			if err != nil {
+				t.Errorf("client %d: %v", g, err)
+				return
+			}
+			if _, err := c.Exec(QueryRequest{SQL: q3.SQL, Mode: "memory"}); err != nil {
+				t.Errorf("client %d: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := m.Broker().Stats()
+	if st.Waits == 0 {
+		t.Error("no admission ever queued despite the tiny pool; the test constrains nothing")
+	}
+	if st.AvailBytes != st.PoolBytes {
+		t.Errorf("broker leaked: %.0f of %.0f free", st.AvailBytes, st.PoolBytes)
+	}
+}

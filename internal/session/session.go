@@ -1,0 +1,293 @@
+// Package session turns the single-query engine into a concurrent
+// multi-query one. A Manager owns the shared resources — catalog,
+// buffer pool, cost meter, the global memory Broker, and the plan cache
+// — and hands out Sessions whose Exec calls run concurrently against
+// them.
+//
+// Operator memory is the coordination point (the paper's §2.3 motivates
+// mid-query re-allocation precisely by the multi-query setting): each
+// query's plan-derived demands are admitted against one shared pool, a
+// query whose minimum does not fit queues FIFO, and the re-optimizing
+// dispatcher returns surplus grants mid-query so queued queries start
+// before the donor finishes.
+//
+// Statements that change statistics (ANALYZE, index creation) quiesce
+// the engine: they take the schema lock exclusively while every Exec
+// holds it shared for the duration of its query.
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/histogram"
+	"repro/internal/memmgr"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/plancache"
+	"repro/internal/reopt"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Config sizes the shared multi-query resources.
+type Config struct {
+	// MemPoolBytes is the broker's shared operator-memory pool
+	// (default 64 MB). Queries queue when the sum of admitted
+	// minimums would exceed it.
+	MemPoolBytes float64
+	// MemBudget is the per-query optimize-time budget (default 32 MB,
+	// capped at the pool): the optimizer shapes plans assuming this
+	// much; the broker grants what is actually free at admission.
+	MemBudget float64
+	// PlanCacheSize bounds the plan cache (default 256 entries;
+	// negative disables caching).
+	PlanCacheSize int
+}
+
+// Manager owns one engine instance shared by all sessions.
+type Manager struct {
+	cat    *catalog.Catalog
+	pool   *storage.BufferPool
+	meter  *storage.CostMeter
+	broker *memmgr.Broker
+	cache  *plancache.Cache
+	cfg    Config
+
+	// schemaMu quiesces DDL/ANALYZE against running queries: Exec
+	// holds it shared for the whole query, Analyze takes it
+	// exclusively. Coarse, but statistics refreshes are rare and the
+	// alternative is per-table latching through every operator.
+	schemaMu sync.RWMutex
+
+	sessions atomic.Int64
+	queries  atomic.Int64
+}
+
+// NewManager wraps an engine's shared state for concurrent use.
+func NewManager(cat *catalog.Catalog, pool *storage.BufferPool, meter *storage.CostMeter, cfg Config) *Manager {
+	if cfg.MemPoolBytes <= 0 {
+		cfg.MemPoolBytes = 64 << 20
+	}
+	if cfg.MemBudget <= 0 {
+		cfg.MemBudget = 32 << 20
+	}
+	if cfg.MemBudget > cfg.MemPoolBytes {
+		cfg.MemBudget = cfg.MemPoolBytes
+	}
+	m := &Manager{
+		cat:    cat,
+		pool:   pool,
+		meter:  meter,
+		broker: memmgr.NewBroker(cfg.MemPoolBytes),
+		cfg:    cfg,
+	}
+	if cfg.PlanCacheSize >= 0 {
+		size := cfg.PlanCacheSize
+		if size == 0 {
+			size = 256
+		}
+		m.cache = plancache.New(size, cat.StatsVersion)
+	}
+	return m
+}
+
+// Broker exposes the shared memory broker (status endpoints, tests).
+func (m *Manager) Broker() *memmgr.Broker { return m.broker }
+
+// CacheStats snapshots plan-cache traffic (zero value when disabled).
+func (m *Manager) CacheStats() plancache.Stats {
+	if m.cache == nil {
+		return plancache.Stats{}
+	}
+	return m.cache.Stats()
+}
+
+// Catalog returns the shared catalog.
+func (m *Manager) Catalog() *catalog.Catalog { return m.cat }
+
+// Analyze refreshes a table's statistics under the exclusive schema
+// lock, waiting for running queries to drain and blocking new ones
+// until the histograms are consistent again. The statistics-version
+// bump invalidates cached plans lazily.
+func (m *Manager) Analyze(table string, family histogram.Family) error {
+	m.schemaMu.Lock()
+	defer m.schemaMu.Unlock()
+	return m.cat.Analyze(table, catalog.AnalyzeOptions{Family: family})
+}
+
+// Session is one client's handle on the shared engine. Sessions are
+// cheap; a session's Exec calls may themselves run concurrently (each
+// query gets its own tag and lease).
+type Session struct {
+	m  *Manager
+	id int64
+}
+
+// Session opens a new session.
+func (m *Manager) Session() *Session {
+	return &Session{m: m, id: m.sessions.Add(1)}
+}
+
+// ID returns the session's engine-unique id.
+func (s *Session) ID() int64 { return s.id }
+
+// Options tunes one query execution (mirrors the top-level ExecOptions,
+// minus the fixed MemBudget — memory comes from the broker).
+type Options struct {
+	Mode               reopt.Mode
+	Params             map[string]types.Value
+	Mu, Theta1, Theta2 float64
+	HistFamily         histogram.Family
+	SpliceSwitch       bool
+	DisableIndexJoin   bool
+	Seed               int64
+	// NoCache bypasses the plan cache for this statement.
+	NoCache bool
+}
+
+// Result is one query's outcome, extending the single-query result with
+// the multi-query accounting.
+type Result struct {
+	Columns []string
+	Rows    []types.Tuple
+	Stats   *reopt.Stats
+	// Cost is the simulated time charged to the shared meter during
+	// this query's window. Under concurrency it includes overlapping
+	// queries' charges; single-stream it matches DB.Exec.
+	Cost float64
+	// Query is the engine-unique tag ("s3_q17") the query ran under —
+	// the same tag appears in broker traces and temp-table names.
+	Query string
+	// CacheHit reports whether the plan came from the plan cache.
+	CacheHit bool
+	// Broker is the query's traffic against the shared memory pool.
+	Broker memmgr.LeaseStats
+}
+
+// Exec compiles (or fetches from the plan cache) and runs one SQL
+// query, admitting its memory demands against the shared broker pool.
+// The context cancels waiting for admission.
+func (s *Session) Exec(ctx context.Context, src string, opts Options) (*Result, error) {
+	m := s.m
+	tag := fmt.Sprintf("s%d_q%d", s.id, m.queries.Add(1))
+
+	m.schemaMu.RLock()
+	defer m.schemaMu.RUnlock()
+
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, hit, err := s.plan(stmt, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Column names come from the pristine root: dispatch may wrap or
+	// replace it (collector insertion, plan switches).
+	sch := res.Root.Schema()
+	cols := make([]string, sch.Len())
+	for i, c := range sch.Columns {
+		cols[i] = c.Name
+	}
+
+	min, max := memmgr.Demands(res.Root)
+	lease, err := m.broker.Admit(ctx, tag, min, max)
+	if err != nil {
+		return nil, err
+	}
+	defer lease.Release()
+
+	d := reopt.New(m.cat, s.dispatcherConfig(opts, lease, tag))
+	params := plan.Params{}
+	for k, v := range opts.Params {
+		params[k] = v
+	}
+	ectx := &exec.Ctx{Pool: m.pool, Meter: m.meter, Params: params}
+	before := m.meter.Snapshot()
+	rows, st, err := d.RunPlan(res, params, ectx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns:  cols,
+		Rows:     rows,
+		Stats:    st,
+		Cost:     m.meter.Snapshot().Sub(before).Cost(),
+		Query:    tag,
+		CacheHit: hit,
+		Broker:   lease.Stats(),
+	}, nil
+}
+
+// plan resolves the statement to an executable optimizer result,
+// consulting the plan cache. The optimizer runs under the manager's
+// fixed budget so the cache key is stable across admissions; the
+// broker's actual grant reshapes memory at allocation time, not plan
+// shape.
+func (s *Session) plan(stmt *sql.SelectStmt, opts Options) (*optimizer.Result, bool, error) {
+	m := s.m
+	var key string
+	if m.cache != nil && !opts.NoCache {
+		key = plancache.Key(stmt, s.fingerprint(opts))
+		if res := m.cache.Get(key); res != nil {
+			return res, true, nil
+		}
+	}
+	q, err := optimizer.Analyze(m.cat, stmt)
+	if err != nil {
+		return nil, false, err
+	}
+	opt := &optimizer.Optimizer{
+		Weights:          m.meter.Weights(),
+		MemBudget:        m.cfg.MemBudget,
+		DisableIndexJoin: opts.DisableIndexJoin,
+		PoolPages:        float64(m.pool.Capacity()),
+	}
+	res, err := opt.Optimize(q)
+	if err != nil {
+		return nil, false, err
+	}
+	if key != "" {
+		m.cache.Put(key, res)
+	}
+	return res, false, nil
+}
+
+// fingerprint names every option that changes what the optimizer would
+// produce. Options that only steer execution (mode, thresholds, seed)
+// are deliberately absent so differently-tuned sessions share plans.
+func (s *Session) fingerprint(opts Options) string {
+	return fmt.Sprintf("mem=%.0f|idxjoin=%t|pool=%d",
+		s.m.cfg.MemBudget, !opts.DisableIndexJoin, s.m.pool.Capacity())
+}
+
+func (s *Session) dispatcherConfig(opts Options, lease *memmgr.Lease, tag string) reopt.Config {
+	cfg := reopt.DefaultConfig(opts.Mode)
+	cfg.Weights = s.m.meter.Weights()
+	cfg.MemBudget = s.m.cfg.MemBudget
+	cfg.Lease = lease
+	cfg.QueryTag = tag
+	if opts.Mu > 0 {
+		cfg.Mu = opts.Mu
+	}
+	if opts.Theta1 > 0 {
+		cfg.Theta1 = opts.Theta1
+	}
+	if opts.Theta2 > 0 {
+		cfg.Theta2 = opts.Theta2
+	}
+	cfg.HistFamily = opts.HistFamily
+	if opts.SpliceSwitch {
+		cfg.Strategy = reopt.StrategySplice
+	}
+	cfg.DisableIndexJoin = opts.DisableIndexJoin
+	cfg.Seed = opts.Seed
+	cfg.PoolPages = float64(s.m.pool.Capacity())
+	return cfg
+}

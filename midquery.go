@@ -30,6 +30,7 @@ import (
 	"repro/internal/parametric"
 	"repro/internal/plan"
 	"repro/internal/reopt"
+	"repro/internal/session"
 	"repro/internal/storage"
 	"repro/internal/tpcd"
 	"repro/internal/types"
@@ -203,6 +204,24 @@ func Q(name string) TPCDQuery {
 		panic(err)
 	}
 	return q
+}
+
+// Multi-query server mode: a SessionManager shares this database among
+// concurrent sessions, brokering operator memory from one pool and
+// caching optimized plans (see internal/session and internal/server).
+type (
+	// SessionManager coordinates concurrent sessions over one engine.
+	SessionManager = session.Manager
+	// SessionConfig sizes the shared memory pool and plan cache.
+	SessionConfig = session.Config
+)
+
+// NewSessionManager wraps the database for concurrent multi-query
+// execution. Queries submitted through the manager's sessions are
+// admitted against a shared memory broker instead of each assuming a
+// private MemBudget; cmd/mqr-server serves one of these over HTTP.
+func (db *DB) NewSessionManager(cfg SessionConfig) *SessionManager {
+	return session.NewManager(db.cat, db.pool, db.meter, cfg)
 }
 
 // ExecOptions tunes one query execution.
