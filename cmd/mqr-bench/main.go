@@ -12,9 +12,16 @@
 //	mqr-bench -fig hist      # catalog histogram families
 //	mqr-bench -fig hybrid    # parametric/dynamic hybrid (paper §4)
 //	mqr-bench -fig all       # everything
+//
+// With -json FILE ("-" for stdout) the run also emits a
+// machine-readable report: the configuration, every figure's rows, and
+// a per-figure metrics summary with estimate-error (geometric mean of
+// actual/estimated cost) and switch-rate columns, for tracking the
+// engine's behavior across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,14 +29,27 @@ import (
 	"repro/internal/bench"
 )
 
+// figure is one figure's entry in the JSON report.
+type figure struct {
+	Rows    any            `json:"rows"`
+	Summary *bench.Summary `json:"summary,omitempty"`
+}
+
+// report is the -json output document.
+type report struct {
+	Config  bench.Config      `json:"config"`
+	Figures map[string]figure `json:"figures"`
+}
+
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "which figure to regenerate: 10|11|12|mu|sens|abl|hist|all")
-		sf    = flag.Float64("sf", 0.01, "TPC-D scale factor")
-		pool  = flag.Int("pool", 256, "buffer pool pages")
-		mem   = flag.Float64("mem", 2<<20, "per-query memory budget in bytes")
-		stale = flag.Float64("stale", 0.5, "fraction of data loaded when ANALYZE ran")
-		seed  = flag.Int64("seed", 0, "data generator seed")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 10|11|12|mu|sens|abl|hist|hybrid|all")
+		sf      = flag.Float64("sf", 0.01, "TPC-D scale factor")
+		pool    = flag.Int("pool", 256, "buffer pool pages")
+		mem     = flag.Float64("mem", 2<<20, "per-query memory budget in bytes")
+		stale   = flag.Float64("stale", 0.5, "fraction of data loaded when ANALYZE ran")
+		seed    = flag.Int64("seed", 0, "data generator seed")
+		jsonOut = flag.String("json", "", `write a JSON report to this file ("-" for stdout)`)
 	)
 	flag.Parse()
 
@@ -40,21 +60,33 @@ func main() {
 	cfg.StaleFrac = *stale
 	cfg.Seed = *seed
 
+	rep := report{Config: cfg, Figures: map[string]figure{}}
+	record := func(name string, rows any, sum *bench.Summary) {
+		rep.Figures[name] = figure{Rows: rows, Summary: sum}
+	}
+	summarized := func(name string, rows []bench.Row) {
+		s := bench.Summarize(rows)
+		record(name, rows, &s)
+	}
+
 	run := func(name string) {
 		switch name {
 		case "10":
 			rows, err := bench.Figure10(cfg)
 			check(err)
 			fmt.Println(bench.FormatRows("Figure 10: Normal vs Re-Optimized", rows))
+			summarized("figure10", rows)
 		case "11":
 			rows, err := bench.Figure11(cfg)
 			check(err)
 			fmt.Println(bench.FormatRows("Figure 11: memory-only vs plan-only", rows))
+			summarized("figure11", rows)
 		case "12":
 			for _, z := range []float64{0.3, 0.6} {
 				rows, err := bench.Figure12(cfg, z)
 				check(err)
 				fmt.Println(bench.FormatRows(fmt.Sprintf("Figure 12: Zipf z=%.1f", z), rows))
+				summarized(fmt.Sprintf("figure12_z%.1f", z), rows)
 			}
 		case "mu":
 			rows, err := bench.MuGuarantee(cfg, []float64{0.01, 0.05, 0.2})
@@ -64,6 +96,7 @@ func main() {
 				fmt.Printf("  mu=%.2f %-4s overhead=%+.2f%%\n", r.Mu, r.Query, r.Overhead*100)
 			}
 			fmt.Println()
+			record("mu_guarantee", rows, nil)
 		case "sens":
 			rows, err := bench.Sensitivity(cfg, []float64{0.05, 0.2, 0.5, 1.0})
 			check(err)
@@ -73,6 +106,7 @@ func main() {
 					r.Theta2, r.Query, r.Full, r.Off, r.Switches)
 			}
 			fmt.Println()
+			record("sensitivity", rows, nil)
 		case "abl":
 			rows, err := bench.Ablations(cfg)
 			check(err)
@@ -81,6 +115,7 @@ func main() {
 				fmt.Printf("  %-4s %-12s %8.0f\n", r.Query, r.Variant, r.Cost)
 			}
 			fmt.Println()
+			record("ablations", rows, nil)
 		case "hybrid":
 			rows, err := bench.Hybrid(cfg)
 			check(err)
@@ -89,6 +124,7 @@ func main() {
 				fmt.Printf("  %-12s %8.0f (switches=%d)\n", r.Variant, r.Cost, r.Switches)
 			}
 			fmt.Println()
+			record("hybrid", rows, nil)
 		case "hist":
 			rows, err := bench.HistFamilies(cfg)
 			check(err)
@@ -98,6 +134,7 @@ func main() {
 					r.Family, r.Query, r.Off, r.Full, r.Switches)
 			}
 			fmt.Println()
+			record("hist_families", rows, nil)
 		default:
 			fmt.Fprintf(os.Stderr, "mqr-bench: unknown figure %q\n", name)
 			os.Exit(2)
@@ -108,9 +145,26 @@ func main() {
 		for _, name := range []string{"10", "11", "12", "mu", "sens", "abl", "hist", "hybrid"} {
 			run(name)
 		}
-		return
+	} else {
+		run(*fig)
 	}
-	run(*fig)
+
+	if *jsonOut != "" {
+		check(writeReport(*jsonOut, rep))
+	}
+}
+
+func writeReport(path string, rep report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func check(err error) {

@@ -19,16 +19,22 @@
 //	-mem      per-query optimize-time budget in bytes (default 4 MiB)
 //	-cache    plan cache capacity in plans; -1 disables (default 256)
 //	-seed     data generator seed
+//	-v        verbose (debug-level) logging
+//
+// Logs are structured (log/slog text format) on stderr; every query
+// request is logged with its session, engine tag, duration, and plan
+// switch count. Prometheus metrics are at GET /metrics.
 //
 // Try it:
 //
 //	mqr-server &
 //	mqr -connect localhost:7744 @Q3
+//	curl -s localhost:7744/metrics | grep reopt_
 package main
 
 import (
 	"flag"
-	"fmt"
+	"log/slog"
 	"os"
 
 	midquery "repro"
@@ -46,31 +52,40 @@ func main() {
 		mem     = flag.Float64("mem", 4<<20, "per-query optimize-time memory budget in bytes")
 		cache   = flag.Int("cache", 256, "plan cache capacity in plans (-1 disables)")
 		seed    = flag.Int64("seed", 1, "data generator seed")
+		verbose = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
 	flag.Parse()
 
-	fmt.Printf("loading TPC-D SF %g (stale=%.2f zipf=%.1f) ...\n", *sf, *stale, *zipf)
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	log.Info("loading TPC-D", "sf", *sf, "stale", *stale, "zipf", *zipf)
 	db := midquery.Open(midquery.Options{BufferPoolPages: *pool})
 	if err := db.LoadTPCD(midquery.TPCDConfig{
 		SF: *sf, Zipf: *zipf, Seed: *seed, StaleFrac: *stale,
 	}); err != nil {
-		fatal(err)
+		log.Error("load failed", "err", err)
+		os.Exit(1)
 	}
-	fmt.Printf("loaded (%.0f simulated cost units)\n", db.Cost())
+	log.Info("loaded", "cost_units", db.Cost())
 
 	m := db.NewSessionManager(midquery.SessionConfig{
 		MemPoolBytes:  *mempool,
 		MemBudget:     *mem,
 		PlanCacheSize: *cache,
 	})
-	fmt.Printf("serving on %s (memory pool %.0f MiB, per-query budget %.0f MiB)\n",
-		*addr, *mempool/(1<<20), *mem/(1<<20))
-	if err := server.New(m).ListenAndServe(*addr); err != nil {
-		fatal(err)
+	srv := server.New(m)
+	srv.SetLogger(log)
+	log.Info("serving",
+		"addr", *addr,
+		"mem_pool_bytes", *mempool,
+		"mem_budget_bytes", *mem,
+		"plan_cache", *cache)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Error("server failed", "err", err)
+		os.Exit(1)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mqr-server:", err)
-	os.Exit(1)
 }

@@ -21,6 +21,9 @@
 //	-pool     buffer pool pages (default 256)
 //	-mem      per-query memory budget in bytes (default 2 MiB)
 //	-explain  print the annotated plan instead of executing
+//	-analyze  EXPLAIN ANALYZE: execute, then print the plan annotated
+//	          with per-operator actual rows, time, and memory
+//	-trace    print the query's lifecycle event log
 //	-rows     print at most this many result rows (default 10)
 //	-server   serve the loaded database over HTTP on this address
 //	          instead of running queries locally
@@ -47,6 +50,8 @@ func main() {
 		pool    = flag.Int("pool", 256, "buffer pool pages (8 KiB each)")
 		mem     = flag.Float64("mem", 2<<20, "per-query memory budget in bytes")
 		explain = flag.Bool("explain", false, "print the annotated plan instead of executing")
+		analyze = flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute and print the plan with actuals")
+		trace   = flag.Bool("trace", false, "print the query's lifecycle event log")
 		maxRows = flag.Int("rows", 10, "result rows to print")
 		seed    = flag.Int64("seed", 1, "data generator seed")
 		serveOn = flag.String("server", "", "serve the database over HTTP on this address instead of querying")
@@ -61,7 +66,7 @@ func main() {
 	queries := selectQueries()
 
 	if *connect != "" {
-		os.Exit(runThinClient(*connect, *mode, queries, *maxRows))
+		os.Exit(runThinClient(*connect, *mode, queries, *maxRows, *analyze, *trace))
 	}
 
 	fmt.Printf("loading TPC-D SF %g (stale=%.2f zipf=%.1f) ...\n", *sf, *stale, *zipf)
@@ -86,7 +91,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := midquery.ExecOptions{Mode: md, MemBudget: *mem}
+	opts := midquery.ExecOptions{Mode: md, MemBudget: *mem, Trace: *trace}
 	failed := 0
 	for _, nq := range queries {
 		fmt.Printf("=== %s\n", nq.name)
@@ -100,7 +105,13 @@ func main() {
 			continue
 		}
 		db.DropCaches()
-		res, err := db.Exec(nq.sql, opts)
+		var res *midquery.Result
+		var err error
+		if *analyze {
+			res, err = db.ExplainAnalyze(nq.sql, opts)
+		} else {
+			res, err = db.Exec(nq.sql, opts)
+		}
 		if err != nil {
 			queryError(nq.name, err, &failed)
 			continue
@@ -110,6 +121,12 @@ func main() {
 			res.Stats.MemReallocs, res.Stats.PlanSwitches)
 		for _, d := range res.Stats.Decisions {
 			fmt.Println("  " + d)
+		}
+		if res.Plan != "" {
+			fmt.Print(res.Plan)
+		}
+		for _, ev := range res.Trace {
+			fmt.Println("  " + ev.String())
 		}
 		if len(res.Columns) > 0 {
 			fmt.Println("  " + strings.Join(res.Columns, " | "))
@@ -131,7 +148,7 @@ func main() {
 
 // runThinClient sends the queries to a running mqr-server and renders
 // the responses; returns the process exit code.
-func runThinClient(addr, mode string, queries []namedQuery, maxRows int) int {
+func runThinClient(addr, mode string, queries []namedQuery, maxRows int, analyze, trace bool) int {
 	c, err := server.Dial(addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mqr:", err)
@@ -140,7 +157,7 @@ func runThinClient(addr, mode string, queries []namedQuery, maxRows int) int {
 	failed := 0
 	for _, nq := range queries {
 		fmt.Printf("=== %s\n", nq.name)
-		res, err := c.Exec(server.QueryRequest{SQL: nq.sql, Mode: mode})
+		res, err := c.Exec(server.QueryRequest{SQL: nq.sql, Mode: mode, Explain: analyze, Trace: trace})
 		if err != nil {
 			queryError(nq.name, err, &failed)
 			continue
@@ -151,6 +168,12 @@ func runThinClient(addr, mode string, queries []namedQuery, maxRows int) int {
 				res.Stats.CollectorsInserted, res.Stats.MemReallocs, res.Stats.PlanSwitches)
 		}
 		fmt.Println()
+		if res.Plan != "" {
+			fmt.Print(res.Plan)
+		}
+		for _, ev := range res.Trace {
+			fmt.Println("  " + ev.String())
+		}
 		if len(res.Columns) > 0 {
 			fmt.Println("  " + strings.Join(res.Columns, " | "))
 		}

@@ -15,6 +15,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/catalog"
@@ -138,14 +139,60 @@ func (e *Env) RunWith(q tpcd.Query, mode reopt.Mode, tweak func(*reopt.Config)) 
 
 // Row is one query's measurements across modes. Zero cells were not run.
 type Row struct {
-	Query    string
-	Class    tpcd.Class
-	Off      float64
-	Mem      float64
-	Plan     float64
-	Full     float64
-	Switches int
-	Reallocs int
+	Query string     `json:"query"`
+	Class tpcd.Class `json:"class"`
+	Off   float64    `json:"off"`
+	Mem   float64    `json:"mem,omitempty"`
+	Plan  float64    `json:"plan,omitempty"`
+	Full  float64    `json:"full,omitempty"`
+	// EstCost is the optimizer's estimated cost of the initial plan in
+	// the re-optimized run; comparing it against the measured cost gives
+	// the estimate error the JSON report summarizes.
+	EstCost  float64 `json:"est_cost,omitempty"`
+	Switches int     `json:"switches"`
+	Reallocs int     `json:"reallocs"`
+}
+
+// Summary condenses a figure's rows into the two columns the JSON
+// report tracks across runs: how wrong the optimizer's cost estimates
+// were, and how often the engine decided to switch plans.
+type Summary struct {
+	// EstimateError is the geometric mean of actual/estimated cost over
+	// the re-optimized runs (1.0 = perfect estimates; the geometric mean
+	// keeps 10x-under and 10x-over errors from cancelling only when they
+	// genuinely offset).
+	EstimateError float64 `json:"estimate_error"`
+	// SwitchRate is the fraction of queries that switched plans at
+	// least once.
+	SwitchRate float64 `json:"switch_rate"`
+}
+
+// Summarize computes the estimate-error and switch-rate columns over a
+// figure's rows.
+func Summarize(rows []Row) Summary {
+	var s Summary
+	var logSum float64
+	n, switched := 0, 0
+	for _, r := range rows {
+		actual := r.Full
+		if actual == 0 {
+			actual = r.Plan
+		}
+		if r.EstCost > 0 && actual > 0 {
+			logSum += math.Log(actual / r.EstCost)
+			n++
+		}
+		if r.Switches > 0 {
+			switched++
+		}
+	}
+	if n > 0 {
+		s.EstimateError = math.Exp(logSum / float64(n))
+	}
+	if len(rows) > 0 {
+		s.SwitchRate = float64(switched) / float64(len(rows))
+	}
+	return s
 }
 
 // pct formats a relative change against Off.
@@ -174,7 +221,7 @@ func Figure10(cfg Config) ([]Row, error) {
 		}
 		rows = append(rows, Row{
 			Query: q.Name, Class: q.Class, Off: off, Full: full,
-			Switches: st.PlanSwitches, Reallocs: st.MemReallocs,
+			EstCost: st.EstimatedCost, Switches: st.PlanSwitches, Reallocs: st.MemReallocs,
 		})
 	}
 	return rows, nil
@@ -207,7 +254,7 @@ func Figure11(cfg Config) ([]Row, error) {
 		}
 		rows = append(rows, Row{
 			Query: q.Name, Class: q.Class, Off: off, Mem: mem, Plan: pl,
-			Switches: st.PlanSwitches,
+			EstCost: st.EstimatedCost, Switches: st.PlanSwitches,
 		})
 	}
 	return rows, nil
@@ -244,9 +291,9 @@ func FormatRows(title string, rows []Row) string {
 
 // MuRow is one point of the μ-overhead guarantee check.
 type MuRow struct {
-	Query    string
-	Mu       float64
-	Overhead float64 // fractional slowdown of full vs off
+	Query    string  `json:"query"`
+	Mu       float64 `json:"mu"`
+	Overhead float64 `json:"overhead"` // fractional slowdown of full vs off
 }
 
 // MuGuarantee measures the worst-case overhead of running with
@@ -283,11 +330,11 @@ func MuGuarantee(cfg Config, mus []float64) ([]MuRow, error) {
 
 // SensRow is one point of the θ₂ sensitivity sweep.
 type SensRow struct {
-	Theta2   float64
-	Query    string
-	Full     float64
-	Off      float64
-	Switches int
+	Theta2   float64 `json:"theta2"`
+	Query    string  `json:"query"`
+	Full     float64 `json:"full"`
+	Off      float64 `json:"off"`
+	Switches int     `json:"switches"`
 }
 
 // Sensitivity sweeps θ₂ (the sub-optimality indicator threshold) over
@@ -324,9 +371,9 @@ func Sensitivity(cfg Config, theta2s []float64) ([]SensRow, error) {
 
 // AblationRow compares design-choice variants on one query.
 type AblationRow struct {
-	Query   string
-	Variant string
-	Cost    float64
+	Query   string  `json:"query"`
+	Variant string  `json:"variant"`
+	Cost    float64 `json:"cost"`
 }
 
 // Ablations runs the DESIGN.md §5 variants over the complex queries:
@@ -381,9 +428,9 @@ const hybridQuery = `select l_orderkey, sum(l_extendedprice) as revenue
 
 // HybridRow is one variant of the parametric/dynamic comparison.
 type HybridRow struct {
-	Variant  string
-	Cost     float64
-	Switches int
+	Variant  string  `json:"variant"`
+	Cost     float64 `json:"cost"`
+	Switches int     `json:"switches"`
 }
 
 // Hybrid compares the paper's §4 future-work proposal end to end on
@@ -474,11 +521,11 @@ func Hybrid(cfg Config) ([]HybridRow, error) {
 // re-optimization fires and what it buys depends on base-estimate
 // quality — the premise of the SCIA's inaccuracy-potential rules).
 type HistFamilyRow struct {
-	Family   string
-	Query    string
-	Off      float64
-	Full     float64
-	Switches int
+	Family   string  `json:"family"`
+	Query    string  `json:"query"`
+	Off      float64 `json:"off"`
+	Full     float64 `json:"full"`
+	Switches int     `json:"switches"`
 }
 
 // HistFamilies re-runs Figure 10's complex queries with each histogram

@@ -21,9 +21,10 @@ type Agg struct {
 	in   Operator
 	ctx  *Ctx
 
-	grant  float64
-	groups map[uint64][]*group
-	size   float64
+	grant   float64
+	groups  map[uint64][]*group
+	size    float64
+	peakMem float64 // high-water group-table memory, for EXPLAIN ANALYZE
 
 	spilled bool
 	parts   []*storage.HeapFile
@@ -96,6 +97,9 @@ func (a *Agg) absorb(t types.Tuple) error {
 		a.groups[h] = append(a.groups[h], g)
 		stateSize := float64(types.EncodedSize(key)) + float64(aggStateWidth*8*len(a.node.Aggs)) + 48
 		a.size += stateSize
+		if a.size > a.peakMem {
+			a.peakMem = a.size
+		}
 		if a.grant > 0 && a.size > a.grant && !a.spilled {
 			if err := a.spill(); err != nil {
 				return err
@@ -336,6 +340,9 @@ func (a *Agg) Next() (types.Tuple, error) {
 
 // Spilled reports whether the aggregate degraded to partitioned mode.
 func (a *Agg) Spilled() bool { return a.spilled }
+
+// MemUsed reports the peak group-table memory in bytes.
+func (a *Agg) MemUsed() float64 { return a.peakMem }
 
 // Close implements Operator.
 func (a *Agg) Close() error {

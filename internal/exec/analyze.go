@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// memReporter is implemented by operators that can report their peak
+// memory use (hash join, aggregate, sort).
+type memReporter interface {
+	MemUsed() float64
+}
+
+// instrument wraps op with EXPLAIN ANALYZE instrumentation when
+// ctx.Analyze is set. It is the single gate: with analysis off (the
+// default) the operator is returned untouched, so the normal path
+// never allocates or indirects through a wrapper.
+func instrument(op Operator, n plan.Node, ctx *Ctx) Operator {
+	if ctx.Analyze == nil || op == nil {
+		return op
+	}
+	return &analyzedOp{op: op, ctx: ctx, acc: ctx.Analyze.Op(n)}
+}
+
+// analyzedOp records per-operator actuals — output rows, inclusive
+// simulated cost, peak memory — into the context's Analyze. Cost is
+// measured as meter deltas around each call, so a wrapper's inclusive
+// cost covers its whole subtree; the renderer subtracts children to
+// get self time.
+type analyzedOp struct {
+	op  Operator
+	ctx *Ctx
+	acc *obs.OpActual
+}
+
+// Open implements Operator.
+func (a *analyzedOp) Open() error {
+	before := a.ctx.Meter.Snapshot()
+	err := a.op.Open()
+	a.acc.Cost += a.ctx.Meter.Snapshot().Sub(before).Cost()
+	return err
+}
+
+// Next implements Operator.
+func (a *analyzedOp) Next() (types.Tuple, error) {
+	before := a.ctx.Meter.Snapshot()
+	t, err := a.op.Next()
+	a.acc.Cost += a.ctx.Meter.Snapshot().Sub(before).Cost()
+	if t != nil && err == nil {
+		a.acc.Rows++
+	}
+	return t, err
+}
+
+// Close implements Operator.
+func (a *analyzedOp) Close() error {
+	before := a.ctx.Meter.Snapshot()
+	err := a.op.Close()
+	a.acc.Cost += a.ctx.Meter.Snapshot().Sub(before).Cost()
+	if m, ok := a.op.(memReporter); ok {
+		if used := m.MemUsed(); used > a.acc.Mem {
+			a.acc.Mem = used
+		}
+	}
+	return err
+}
+
+// Schema implements Operator.
+func (a *analyzedOp) Schema() *types.Schema { return a.op.Schema() }
+
+// Spilled forwards the wrapped operator's spill report so diagnostics
+// that look for it keep working under ANALYZE.
+func (a *analyzedOp) Spilled() bool {
+	if s, ok := a.op.(interface{ Spilled() bool }); ok {
+		return s.Spilled()
+	}
+	return false
+}
+
+// MemUsed forwards the wrapped operator's peak memory.
+func (a *analyzedOp) MemUsed() float64 {
+	if m, ok := a.op.(memReporter); ok {
+		return m.MemUsed()
+	}
+	return 0
+}
+
+// Unwrap exposes the wrapped operator (diagnostics).
+func (a *analyzedOp) Unwrap() Operator { return a.op }

@@ -34,6 +34,7 @@ type Collector struct {
 	uniq   map[string]*sketch.HybridDistinct
 	mins   map[int]types.Value
 	maxs   map[int]types.Value
+	est    float64 // optimizer's row estimate at this point, for tracing
 	sent   bool
 	opened bool
 }
@@ -52,6 +53,7 @@ func (c *Collector) Open() error {
 		return nil
 	}
 	c.opened = true
+	c.est = c.node.Est().Rows
 	spec := c.node.Spec
 	size := spec.ReservoirSize
 	if size <= 0 {
@@ -153,6 +155,19 @@ func (c *Collector) report() {
 			est = c.rows
 		}
 		o.Uniques[key] = est
+	}
+	if c.ctx.Trace.Enabled() {
+		ratio := 0.0
+		if c.est > 0 {
+			ratio = c.rows / c.est
+		}
+		c.ctx.Trace.Emit("collector", "statistics collector report",
+			"collector_id", c.node.ID,
+			"est_rows", c.est,
+			"actual_rows", c.rows,
+			"bytes", c.bytes,
+			"ratio", ratio,
+		)
 	}
 	if c.ctx.StatsSink != nil {
 		c.ctx.StatsSink(o)

@@ -12,6 +12,7 @@ package exec
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -26,6 +27,14 @@ type Ctx struct {
 	// its input is exhausted. The re-optimizing dispatcher wires this
 	// to its decision logic; nil sinks discard reports.
 	StatsSink func(*plan.Observed)
+	// Trace, when non-nil, receives lifecycle events (collector
+	// reports, dispatcher decisions). Nil disables tracing at the cost
+	// of a nil check.
+	Trace *obs.Trace
+	// Analyze, when non-nil, turns on EXPLAIN ANALYZE instrumentation:
+	// Build and BuildStep wrap every operator to record per-operator
+	// rows, cost, and peak memory. Nil skips wrapping entirely.
+	Analyze *obs.Analyze
 }
 
 // Operator is a Volcano-style iterator. Next returns a nil tuple at end
@@ -80,6 +89,14 @@ func Collect(op Operator) ([]types.Tuple, error) {
 // paper's mid-query checkpoints. Probe sides and other inputs are built
 // recursively as usual.
 func BuildStep(n plan.Node, left Operator, ctx *Ctx) (Operator, error) {
+	op, err := buildStep(n, left, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return instrument(op, n, ctx), nil
+}
+
+func buildStep(n plan.Node, left Operator, ctx *Ctx) (Operator, error) {
 	switch x := n.(type) {
 	case *plan.HashJoin:
 		probe, err := Build(x.Probe, ctx)
@@ -108,6 +125,14 @@ func BuildStep(n plan.Node, left Operator, ctx *Ctx) (Operator, error) {
 
 // Build instantiates the operator tree for a physical plan.
 func Build(n plan.Node, ctx *Ctx) (Operator, error) {
+	op, err := build(n, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return instrument(op, n, ctx), nil
+}
+
+func build(n plan.Node, ctx *Ctx) (Operator, error) {
 	switch x := n.(type) {
 	case *plan.Scan:
 		return NewSeqScan(x, ctx), nil

@@ -33,6 +33,7 @@ type HashJoin struct {
 	// In-memory mode.
 	table     map[uint64][]types.Tuple
 	tableSize float64
+	peakMem   float64 // high-water hash-table memory, for EXPLAIN ANALYZE
 
 	// Partitioned (spilled) mode.
 	spilled    bool
@@ -113,6 +114,9 @@ func (j *HashJoin) Open() error {
 			// optimizer's size estimates use; the buildFudge factor
 			// covers hash-table overhead in both places.
 			j.tableSize += float64(types.EncodedSize(t))
+			if m := j.tableSize * buildFudge; m > j.peakMem {
+				j.peakMem = m
+			}
 			if j.grant > 0 && j.tableSize*buildFudge > j.grant {
 				if err := j.spillBuild(); err != nil {
 					return err
@@ -296,11 +300,16 @@ func (j *HashJoin) nextSpilled() error {
 		// Load this build partition into memory.
 		j.partTable = make(map[uint64][]types.Tuple)
 		s := j.buildParts[j.curPart].Scan()
+		partSize := 0.0
 		for s.Next() {
 			t := s.Tuple()
 			j.ctx.Meter.ChargeTuples(1)
 			h := hashKeys(t, j.node.BuildKeys)
 			j.partTable[h] = append(j.partTable[h], t)
+			partSize += float64(types.EncodedSize(t))
+		}
+		if m := partSize * buildFudge; m > j.peakMem {
+			j.peakMem = m
 		}
 		if err := s.Err(); err != nil {
 			return err
@@ -313,6 +322,10 @@ func (j *HashJoin) nextSpilled() error {
 // observable difference the dynamic memory re-allocation experiments
 // measure.
 func (j *HashJoin) Spilled() bool { return j.spilled }
+
+// MemUsed reports the peak hash-table memory in bytes (EXPLAIN
+// ANALYZE's actual-memory column).
+func (j *HashJoin) MemUsed() float64 { return j.peakMem }
 
 // Close implements Operator.
 func (j *HashJoin) Close() error {

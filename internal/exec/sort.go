@@ -18,10 +18,11 @@ type Sort struct {
 	in   Operator
 	ctx  *Ctx
 
-	grant float64
-	buf   []types.Tuple
-	size  float64
-	runs  []*storage.HeapFile
+	grant   float64
+	buf     []types.Tuple
+	size    float64
+	peakMem float64 // high-water sort-buffer memory, for EXPLAIN ANALYZE
+	runs    []*storage.HeapFile
 
 	// Emission state.
 	mem    []types.Tuple
@@ -69,6 +70,9 @@ func (s *Sort) Open() error {
 		t = t.Clone()
 		s.buf = append(s.buf, t)
 		s.size += float64(types.EncodedSize(t))
+		if s.size > s.peakMem {
+			s.peakMem = s.size
+		}
 		if s.grant > 0 && s.size > s.grant {
 			if err := s.flushRun(); err != nil {
 				return err
@@ -173,6 +177,9 @@ func (s *Sort) Next() (types.Tuple, error) {
 
 // Spilled reports whether external runs were written.
 func (s *Sort) Spilled() bool { return len(s.runs) > 0 }
+
+// MemUsed reports the peak sort-buffer memory in bytes.
+func (s *Sort) MemUsed() float64 { return s.peakMem }
 
 // Close implements Operator.
 func (s *Sort) Close() error {

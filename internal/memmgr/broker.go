@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/plan"
 )
@@ -28,10 +29,11 @@ type Broker struct {
 	avail float64
 	queue []*waiter // FIFO; head is the oldest
 
-	admitted int64
-	waits    int64
-	returned float64
-	grown    float64
+	admitted  int64
+	waits     int64
+	waitNanos int64 // total wall-clock time queries spent queued
+	returned  float64
+	grown     float64
 
 	// trace, when set, receives one Event per state transition,
 	// synchronously and in a total order (emitted under the broker
@@ -121,8 +123,12 @@ func (b *Broker) Admit(ctx context.Context, query string, min, want float64) (*L
 	b.emit("queue", query, min)
 	b.mu.Unlock()
 
+	start := time.Now()
 	select {
 	case l := <-w.done:
+		b.mu.Lock()
+		b.waitNanos += int64(time.Since(start))
+		b.mu.Unlock()
 		return l, nil
 	case <-ctx.Done():
 		b.mu.Lock()
@@ -274,6 +280,7 @@ type BrokerStats struct {
 	Waiting    int   // queries queued right now
 	Admitted   int64 // total admissions
 	Waits      int64 // admissions that had to queue
+	WaitNanos  int64 // total wall-clock time spent queued
 	Returned   float64
 	Grown      float64
 }
@@ -288,6 +295,7 @@ func (b *Broker) Stats() BrokerStats {
 		Waiting:    len(b.queue),
 		Admitted:   b.admitted,
 		Waits:      b.waits,
+		WaitNanos:  b.waitNanos,
 		Returned:   b.returned,
 		Grown:      b.grown,
 	}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// OpActual accumulates one operator's measured execution during EXPLAIN
+// ANALYZE: output rows, inclusive simulated cost (the operator and its
+// whole subtree), and peak operator memory where the operator reports
+// it. Fields are written by the single goroutine executing the query.
+type OpActual struct {
+	Rows int64
+	Cost float64 // inclusive simulated cost units
+	Mem  float64 // peak operator memory in bytes, 0 when unreported
+}
+
+// Analyze collects per-operator actuals for EXPLAIN ANALYZE. The
+// dispatcher registers each plan it executes (the initial plan, plus
+// one per mid-query switch) via StartPlan; the executor's analyzing
+// operator wrappers feed Op entries as tuples flow.
+//
+// A nil *Analyze is the disabled instance: methods are no-ops and the
+// executor skips wrapping entirely.
+type Analyze struct {
+	mu   sync.Mutex
+	ops  map[plan.Node]*OpActual
+	runs []plan.Node
+}
+
+// NewAnalyze returns an enabled collector.
+func NewAnalyze() *Analyze {
+	return &Analyze{ops: map[plan.Node]*OpActual{}}
+}
+
+// Enabled reports whether actuals are being recorded. Safe on nil.
+func (a *Analyze) Enabled() bool { return a != nil }
+
+// StartPlan registers the root of a plan about to execute. The first
+// registration is the optimizer's initial plan; later ones are
+// re-optimized remainders spliced in by plan switches. Safe on nil.
+func (a *Analyze) StartPlan(root plan.Node) {
+	if a == nil || root == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.runs = append(a.runs, root)
+}
+
+// Plans returns the registered plan roots in execution order. Safe on
+// nil.
+func (a *Analyze) Plans() []plan.Node {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]plan.Node(nil), a.runs...)
+}
+
+// Op returns the actuals accumulator for a plan node, creating it on
+// first use.
+func (a *Analyze) Op(n plan.Node) *OpActual {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	acc := a.ops[n]
+	if acc == nil {
+		acc = &OpActual{}
+		a.ops[n] = acc
+	}
+	return acc
+}
+
+// Actual returns the recorded actuals for a node, or nil if the node
+// never executed. Safe on nil.
+func (a *Analyze) Actual(n plan.Node) *OpActual {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ops[n]
+}
+
+// SelfCost returns a node's own measured cost: its inclusive cost minus
+// its children's. Zero for nodes that never executed.
+func (a *Analyze) SelfCost(n plan.Node) float64 {
+	acc := a.Actual(n)
+	if acc == nil {
+		return 0
+	}
+	self := acc.Cost
+	for _, c := range n.Children() {
+		if ca := a.Actual(c); ca != nil {
+			self -= ca.Cost
+		}
+	}
+	if self < 0 {
+		return 0
+	}
+	return self
+}
+
+// TotalSelfCost sums every executed operator's self cost across all
+// registered plans — it should match the query's metered wall cost.
+func (a *Analyze) TotalSelfCost() float64 {
+	var total float64
+	for _, root := range a.Plans() {
+		plan.Walk(root, func(n plan.Node) {
+			total += a.SelfCost(n)
+		})
+	}
+	return total
+}
+
+// Render produces the EXPLAIN ANALYZE report: each executed plan in
+// order, every operator annotated with its estimates and — where it
+// ran — its actuals. A scan of a temp table in a re-optimized
+// remainder is the splice point of the plan switch that produced it
+// and is marked "[re-optimized here]".
+func (a *Analyze) Render() string {
+	if a == nil {
+		return ""
+	}
+	var b strings.Builder
+	for i, root := range a.Plans() {
+		if i == 0 {
+			b.WriteString("plan 1 (initial):\n")
+		} else {
+			fmt.Fprintf(&b, "plan %d (re-optimized remainder):\n", i+1)
+		}
+		a.render(&b, root, 1)
+	}
+	return b.String()
+}
+
+func (a *Analyze) render(b *strings.Builder, n plan.Node, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	writeEstimates(b, n)
+	if acc := a.Actual(n); acc != nil && (acc.Rows > 0 || acc.Cost > 0) {
+		fmt.Fprintf(b, " (actual rows=%d time=%.1f", acc.Rows, a.SelfCost(n))
+		if acc.Mem > 0 {
+			fmt.Fprintf(b, " mem=%.0f", acc.Mem)
+		}
+		b.WriteByte(')')
+	} else {
+		b.WriteString(" (never executed)")
+	}
+	if s, ok := n.(*plan.Scan); ok && s.Table != nil && s.Table.Temp {
+		b.WriteString(" [re-optimized here]")
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children() {
+		a.render(b, c, depth+1)
+	}
+}
+
+// writeEstimates renders one node's optimizer annotations: label,
+// arguments, estimated rows, output size, cumulative cost, and memory
+// demands/grant where the operator consumes memory.
+func writeEstimates(b *strings.Builder, n plan.Node) {
+	e := n.Est()
+	fmt.Fprintf(b, "%s [%s] (est rows=%.0f bytes=%.0f cost=%.1f",
+		n.Label(), n.Describe(), e.Rows, e.Bytes, e.Cost)
+	if e.MemMax > 0 {
+		fmt.Fprintf(b, " mem=%.0f..%.0f", e.MemMin, e.MemMax)
+		if e.Grant > 0 {
+			fmt.Fprintf(b, " grant=%.0f", e.Grant)
+		}
+	}
+	b.WriteByte(')')
+}
+
+// FormatPlan renders an annotated plan with per-operator estimated
+// rows, size, cost, and memory — the EXPLAIN (without ANALYZE) view.
+func FormatPlan(root plan.Node) string {
+	var b strings.Builder
+	var walk func(n plan.Node, depth int)
+	walk = func(n plan.Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		writeEstimates(&b, n)
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}

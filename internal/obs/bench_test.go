@@ -1,0 +1,34 @@
+package obs
+
+import "testing"
+
+// BenchmarkDisabledTraceEmit measures the entire per-hook cost paid by
+// an uninstrumented query: a nil-receiver Enabled() check. This is the
+// "observability off" overhead — it must stay negligible (sub-ns).
+func BenchmarkDisabledTraceEmit(b *testing.B) {
+	var tr *Trace
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			tr.Emit("checkpoint", "estimate improved", "step", i)
+		}
+	}
+}
+
+// BenchmarkEnabledTraceEmit measures a live emit into the ring buffer.
+func BenchmarkEnabledTraceEmit(b *testing.B) {
+	tr := NewTrace(DefaultTraceCap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit("checkpoint", "estimate improved", "step", i)
+	}
+}
+
+// BenchmarkCounterInc measures the hot-path metric update.
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.NewCounter("bench_total", "benchmark counter")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,292 @@
+// Package obs is the engine's observability layer: a dependency-free
+// metrics registry (counters, gauges, histograms) with a Prometheus
+// text-format writer, a per-query structured event trace, and the
+// EXPLAIN ANALYZE overlay that renders optimizer estimates next to
+// per-operator actuals.
+//
+// Everything here is off by default and nil-safe: a nil *Trace or nil
+// *Analyze is a valid disabled instance whose methods are no-ops, so
+// the engine's hot paths pay only a nil check when observability is not
+// requested.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 updated with compare-and-swap, so counters
+// and gauges need no lock.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Set(v float64)  { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64  { return math.Float64frombits(f.bits.Load()) }
+func formatFloat(v float64) string    { return strconv.FormatFloat(v, 'g', -1, 64) }
+func sampleLine(v float64) []promLine { return []promLine{{value: v}} }
+
+// promLine is one exposition line of a metric: name+suffix{labels} value.
+type promLine struct {
+	suffix string
+	labels string
+	value  float64
+}
+
+// metric is anything the registry can expose.
+type metric interface {
+	name() string
+	help() string
+	typ() string // "counter", "gauge", "histogram"
+	lines() []promLine
+}
+
+// Counter is a monotonically increasing metric. The zero value is not
+// usable; create counters through a Registry.
+type Counter struct {
+	mname, mhelp string
+	v            atomicFloat
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds a non-negative delta (negative deltas are dropped: counters
+// only go up).
+func (c *Counter) Add(v float64) {
+	if v > 0 {
+		c.v.Add(v)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// String implements expvar.Var, so counters can be expvar.Publish'ed.
+func (c *Counter) String() string { return formatFloat(c.Value()) }
+
+func (c *Counter) name() string      { return c.mname }
+func (c *Counter) help() string      { return c.mhelp }
+func (c *Counter) typ() string       { return "counter" }
+func (c *Counter) lines() []promLine { return sampleLine(c.Value()) }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	mname, mhelp string
+	v            atomicFloat
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.Set(v) }
+
+// Add adjusts the value by a (possibly negative) delta.
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// String implements expvar.Var.
+func (g *Gauge) String() string { return formatFloat(g.Value()) }
+
+func (g *Gauge) name() string      { return g.mname }
+func (g *Gauge) help() string      { return g.mhelp }
+func (g *Gauge) typ() string       { return "gauge" }
+func (g *Gauge) lines() []promLine { return sampleLine(g.Value()) }
+
+// FuncMetric reads its value at scrape time — the natural fit for state
+// that already lives elsewhere (broker pool occupancy, cache entries).
+type FuncMetric struct {
+	mname, mhelp, mtyp string
+	fn                 func() float64
+}
+
+// Value calls the backing function.
+func (f *FuncMetric) Value() float64 { return f.fn() }
+
+// String implements expvar.Var.
+func (f *FuncMetric) String() string { return formatFloat(f.Value()) }
+
+func (f *FuncMetric) name() string      { return f.mname }
+func (f *FuncMetric) help() string      { return f.mhelp }
+func (f *FuncMetric) typ() string       { return f.mtyp }
+func (f *FuncMetric) lines() []promLine { return sampleLine(f.Value()) }
+
+// Histogram is a cumulative-bucket histogram in the Prometheus style.
+type Histogram struct {
+	mname, mhelp string
+
+	mu     sync.Mutex
+	bounds []float64 // upper bucket bounds, ascending; +Inf is implicit
+	counts []uint64  // len(bounds)+1, last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total of all observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// String implements expvar.Var with a compact JSON summary.
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return fmt.Sprintf(`{"count":%d,"sum":%s}`, h.count, formatFloat(h.sum))
+}
+
+func (h *Histogram) name() string { return h.mname }
+func (h *Histogram) help() string { return h.mhelp }
+func (h *Histogram) typ() string  { return "histogram" }
+
+func (h *Histogram) lines() []promLine {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]promLine, 0, len(h.bounds)+3)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		out = append(out, promLine{suffix: "_bucket", labels: `le="` + formatFloat(b) + `"`, value: float64(cum)})
+	}
+	cum += h.counts[len(h.bounds)]
+	out = append(out,
+		promLine{suffix: "_bucket", labels: `le="+Inf"`, value: float64(cum)},
+		promLine{suffix: "_sum", value: h.sum},
+		promLine{suffix: "_count", value: float64(cum)})
+	return out
+}
+
+// Registry holds a named set of metrics and renders them in the
+// Prometheus text exposition format.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]metric{}}
+}
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[m.name()]; dup {
+		panic("obs: duplicate metric " + m.name())
+	}
+	r.metrics[m.name()] = m
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{mname: name, mhelp: help}
+	r.register(c)
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{mname: name, mhelp: help}
+	r.register(g)
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is read at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) *FuncMetric {
+	f := &FuncMetric{mname: name, mhelp: help, mtyp: "gauge", fn: fn}
+	r.register(f)
+	return f
+}
+
+// NewCounterFunc registers a counter whose value is read at scrape time
+// (the backing source must be monotonic).
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) *FuncMetric {
+	f := &FuncMetric{mname: name, mhelp: help, mtyp: "counter", fn: fn}
+	r.register(f)
+	return f
+}
+
+// NewHistogram registers a histogram with the given ascending upper
+// bucket bounds (+Inf is added implicitly).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := &Histogram{mname: name, mhelp: help, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	r.register(h)
+	return h
+}
+
+// Get returns a registered metric by name (tests, expvar publication),
+// or nil.
+func (r *Registry) Get(name string) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	return nil
+}
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by name for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	ms := make([]metric, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		ms = append(ms, r.metrics[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, m := range ms {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.name(), m.help(), m.name(), m.typ())
+		for _, l := range m.lines() {
+			b.WriteString(m.name())
+			b.WriteString(l.suffix)
+			if l.labels != "" {
+				b.WriteByte('{')
+				b.WriteString(l.labels)
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(l.value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

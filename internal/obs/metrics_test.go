@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"expvar"
+	"strings"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // dropped: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	g := r.NewGauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %g, want 6", got)
+	}
+	f := r.NewGaugeFunc("f", "func gauge", func() float64 { return 7 })
+	if got := f.Value(); got != 7 {
+		t.Fatalf("func gauge = %g, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "hist", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 106.5 {
+		t.Fatalf("sum = %g, want 106.5", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`h_bucket{le="1"} 2`, // 0.5 and 1 (le is inclusive)
+		`h_bucket{le="10"} 3`,
+		`h_bucket{le="+Inf"} 4`,
+		"h_sum 106.5",
+		"h_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("reopt_plan_switches_total", "Plan switches")
+	c.Add(3)
+	r.NewGaugeFunc("broker_queue_depth", "Queued queries", func() float64 { return 2 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP reopt_plan_switches_total Plan switches",
+		"# TYPE reopt_plan_switches_total counter",
+		"reopt_plan_switches_total 3",
+		"# TYPE broker_queue_depth gauge",
+		"broker_queue_depth 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: broker_queue_depth precedes reopt_...
+	if strings.Index(out, "broker_queue_depth") > strings.Index(out, "reopt_plan_switches_total") {
+		t.Errorf("metrics not sorted by name:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("dup", "y")
+}
+
+// Counters, gauges, and histograms satisfy expvar.Var, so they can be
+// published to the standard /debug/vars surface.
+func TestExpvarCompatible(t *testing.T) {
+	r := NewRegistry()
+	var _ expvar.Var = r.NewCounter("ev_c", "")
+	var _ expvar.Var = r.NewGauge("ev_g", "")
+	var _ expvar.Var = r.NewHistogram("ev_h", "", []float64{1})
+	var _ expvar.Var = r.NewGaugeFunc("ev_f", "", func() float64 { return 0 })
+	c := r.Get("ev_c").(*Counter)
+	c.Add(2)
+	if c.String() != "2" {
+		t.Fatalf("expvar string = %q, want 2", c.String())
+	}
+}
+
+func TestEngineMetricsRecordQuery(t *testing.T) {
+	r := NewRegistry()
+	em := NewEngineMetrics(r)
+	em.RecordQuery(1000, 30, 0.05, 4, 3, 2, 2, 1)
+	if got := em.PlanSwitches.Value(); got != 1 {
+		t.Fatalf("plan switches = %g, want 1", got)
+	}
+	if got := em.OverheadFraction.Value(); got != 0.03 {
+		t.Fatalf("overhead fraction = %g, want 0.03", got)
+	}
+	if got := em.QueryCost.Count(); got != 1 {
+		t.Fatalf("cost histogram count = %d, want 1", got)
+	}
+}

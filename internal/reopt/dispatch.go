@@ -130,6 +130,15 @@ func (d *Dispatcher) buildLeafOp(dec *decomposed, ctx *exec.Ctx, override exec.O
 	}
 }
 
+// decide records one checkpoint decision in the stats log and, when
+// tracing is on, as a structured trace event.
+func (d *Dispatcher) decide(st *Stats, msg string, kv ...any) {
+	st.Decisions = append(st.Decisions, msg)
+	if d.Cfg.Trace.Enabled() {
+		d.Cfg.Trace.Emit("decision", msg, kv...)
+	}
+}
+
 // checkpoint processes one statistics report at the decision point after
 // step i's build phase. It updates estimates for the unexecuted plan
 // suffix, re-invokes the Memory Manager (memory modes), and evaluates
@@ -150,6 +159,15 @@ func (d *Dispatcher) checkpoint(res *optimizer.Result, dec *decomposed, i int, o
 	}
 
 	d.applyImproved(dec, i, cnode, obs, ratio)
+	if d.Cfg.Trace.Enabled() {
+		d.Cfg.Trace.Emit("checkpoint", "build phase complete, estimates refreshed",
+			"step", i,
+			"collector_id", obs.CollectorID,
+			"est_rows", estRows,
+			"obs_rows", obs.Rows,
+			"ratio", ratio,
+		)
+	}
 
 	// In the combined mode the Memory Manager is re-invoked before the
 	// plan-modification decision: re-allocation is free (grants only
@@ -180,8 +198,10 @@ func (d *Dispatcher) considerSwitch(res *optimizer.Result, dec *decomposed, i in
 	// Equation 2: the plan is only suspect if the improved estimate is
 	// significantly worse than what the optimizer promised.
 	if (tCurImproved-origTotal)/origTotal <= d.Cfg.Theta2 {
-		st.Decisions = append(st.Decisions, fmt.Sprintf(
-			"checkpoint %d: keep (eq2: improved %.0f vs estimate %.0f)", i, tCurImproved, origTotal))
+		d.decide(st, fmt.Sprintf(
+			"checkpoint %d: keep (eq2: improved %.0f vs estimate %.0f)", i, tCurImproved, origTotal),
+			"step", i, "eq", 2, "keep", true,
+			"improved", tCurImproved, "estimate", origTotal, "theta2", d.Cfg.Theta2)
 		return false, nil
 	}
 	// Equation 1: re-optimization must be cheap relative to the
@@ -189,14 +209,16 @@ func (d *Dispatcher) considerSwitch(res *optimizer.Result, dec *decomposed, i in
 	remRels := len(res.Query.Rels) - (i + 2)
 	tOptEst := d.Calib.OptTime(maxInt(1, remRels))
 	if tOptEst/tCurImproved > d.Cfg.Theta1 {
-		st.Decisions = append(st.Decisions, fmt.Sprintf(
-			"checkpoint %d: keep (eq1: T_opt %.1f vs improved %.0f)", i, tOptEst, tCurImproved))
+		d.decide(st, fmt.Sprintf(
+			"checkpoint %d: keep (eq1: T_opt %.1f vs improved %.0f)", i, tOptEst, tCurImproved),
+			"step", i, "eq", 1, "keep", true,
+			"t_opt", tOptEst, "improved", tCurImproved, "theta1", d.Cfg.Theta1)
 		return false, nil
 	}
 	if d.Cfg.Mode == ModeRestart {
 		// The discard-everything ablation skips the trial: it always
 		// believes a fresh start will win.
-		st.Decisions = append(st.Decisions, fmt.Sprintf("checkpoint %d: restart", i))
+		d.decide(st, fmt.Sprintf("checkpoint %d: restart", i), "step", i, "restart", true)
 		return true, nil
 	}
 	// Trial re-optimization: T_opt,actual is charged whether or not the
@@ -206,9 +228,11 @@ func (d *Dispatcher) considerSwitch(res *optimizer.Result, dec *decomposed, i in
 		return false, err
 	}
 	doSwitch := ok && tNewTotal < tCurImproved*(1-d.Cfg.SwitchMargin)
-	st.Decisions = append(st.Decisions, fmt.Sprintf(
+	d.decide(st, fmt.Sprintf(
 		"checkpoint %d: trial new %.0f vs improved %.0f (elapsed %.0f) -> switch=%v",
-		i, tNewTotal, tCurImproved, elapsed, doSwitch))
+		i, tNewTotal, tCurImproved, elapsed, doSwitch),
+		"step", i, "trial_new", tNewTotal, "improved", tCurImproved,
+		"elapsed", elapsed, "switch", doSwitch)
 	return doSwitch, nil
 }
 
@@ -322,6 +346,7 @@ func (d *Dispatcher) reallocate(dec *decomposed, i int, st *Stats) {
 		return
 	}
 	held := dec.steps[i].join.Est().Grant // the running join's hash table
+	oldBudget := d.budget()
 	if lease := d.Cfg.Lease; lease != nil {
 		// Brokered pool: grants follow the improved demands both ways.
 		// If the remainder needs more than the lease holds, try to grow
@@ -353,11 +378,21 @@ func (d *Dispatcher) reallocate(dec *decomposed, i int, st *Stats) {
 			if returned := lease.Return(surplus); returned > 0 {
 				st.BrokerReturns++
 				st.BrokerReturnedBytes += returned
-				st.Decisions = append(st.Decisions, fmt.Sprintf(
-					"checkpoint %d: returned %.0f surplus bytes to the memory broker", i, returned))
+				d.decide(st, fmt.Sprintf(
+					"checkpoint %d: returned %.0f surplus bytes to the memory broker", i, returned),
+					"step", i, "returned_bytes", returned)
 			}
 		}
 		st.MemReallocs++
+		if d.Cfg.Trace.Enabled() {
+			d.Cfg.Trace.Emit("realloc", "memory re-allocated from brokered lease",
+				"step", i,
+				"old_lease_bytes", oldBudget,
+				"new_lease_bytes", lease.Held(),
+				"running_join_bytes", held,
+				"operators", len(notStarted),
+			)
+		}
 		return
 	}
 	budget := math.Max(0, d.Cfg.MemBudget-held)
@@ -386,6 +421,15 @@ func (d *Dispatcher) reallocate(dec *decomposed, i int, st *Stats) {
 		op.Est().MemMin = savedMins[k]
 	}
 	st.MemReallocs++
+	if d.Cfg.Trace.Enabled() {
+		d.Cfg.Trace.Emit("realloc", "memory re-allocated within fixed budget",
+			"step", i,
+			"budget_bytes", oldBudget,
+			"remainder_budget_bytes", budget,
+			"running_join_bytes", held,
+			"operators", len(notStarted),
+		)
+	}
 }
 
 // recostRemainder prices the unexecuted plan suffix under the improved

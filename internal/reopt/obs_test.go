@@ -1,0 +1,113 @@
+package reopt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// runInstrumented is runMode with the observability surfaces attached:
+// an EXPLAIN ANALYZE accumulator and a lifecycle trace.
+func runInstrumented(t *testing.T, e *env, mode Mode, src string, params plan.Params) (*Stats, *obs.Analyze, *obs.Trace, float64) {
+	t.Helper()
+	az := obs.NewAnalyze()
+	tr := obs.NewTrace(obs.DefaultTraceCap)
+	cfg := DefaultConfig(mode)
+	cfg.Trace = tr
+	d := New(e.cat, cfg)
+	ctx := e.ctx(params)
+	ctx.Analyze = az
+	ctx.Trace = tr
+	before := e.m.Snapshot()
+	_, st, err := d.RunSQL(src, params, ctx)
+	if err != nil {
+		t.Fatalf("mode %v: %v", mode, err)
+	}
+	return st, az, tr, e.m.Snapshot().Sub(before).Cost()
+}
+
+// TestExplainAnalyzeMarksSplicePoint re-runs the Figure 6 walk-through
+// with EXPLAIN ANALYZE attached: the rendered output must show both
+// plans, per-operator actuals, and the temp-table scan that marks where
+// the switched plan resumes from materialized state.
+func TestExplainAnalyzeMarksSplicePoint(t *testing.T) {
+	e := newEnv(8192)
+	e.addTable(t, "rel1", 1350, 4000, 10)
+	e.addTable(t, "rel2", 4000, 60000, 5)
+	e.addTable(t, "rel3", 60000, 5, 5)
+	e.analyzeAll(t)
+	e.cat.CreateIndex("rel3", "rel3_pk")
+	src := `select rel1_grp, count(*) as cnt from rel1, rel2, rel3
+		where rel1.rel1_fk = rel2.rel2_pk and rel2.rel2_fk = rel3.rel3_pk
+		and rel1_val < :v1 and rel1_grp < :v2 group by rel1_grp`
+	params := plan.Params{"v1": types.NewFloat(1e9), "v2": types.NewFloat(1e9)}
+
+	st, az, tr, _ := runInstrumented(t, e, ModePlanOnly, src, params)
+	if st.PlanSwitches == 0 {
+		t.Fatal("no plan switch; the EXPLAIN ANALYZE assertions below need one")
+	}
+	text := az.Render()
+	for _, want := range []string{
+		"plan 1 (initial):",
+		"plan 2 (re-optimized remainder):",
+		"est rows=",
+		"actual rows=",
+		"[re-optimized here]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, text)
+		}
+	}
+
+	kinds := map[string]int{}
+	for _, ev := range tr.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []string{"plan", "scia", "collector", "checkpoint", "decision", "switch"} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %q event (kinds: %v)", want, kinds)
+		}
+	}
+	if kinds["plan"] < 2 {
+		t.Errorf("trace recorded %d plan events, want one per compiled plan (2)", kinds["plan"])
+	}
+}
+
+// TestAnalyzeSelfCostsSumToQueryCost checks the EXPLAIN ANALYZE timing
+// invariant: per-operator self costs are inclusive cost minus children,
+// so their sum must telescope back to the metered cost of the whole
+// query. Anything the meter charges outside operator Open/Next/Close
+// (parse, optimize) is the residue; it stays small.
+func TestAnalyzeSelfCostsSumToQueryCost(t *testing.T) {
+	e := buildThreeJoinEnv(t)
+	params := plan.Params{"cut": types.NewFloat(999999)}
+	_, az, _, metered := runInstrumented(t, e, ModeOff, threeJoinQuery, params)
+	sum := az.TotalSelfCost()
+	if sum <= 0 || metered <= 0 {
+		t.Fatalf("degenerate costs: sum=%g metered=%g", sum, metered)
+	}
+	if rel := math.Abs(sum-metered) / metered; rel > 0.05 {
+		t.Errorf("self-cost sum %.1f vs metered query cost %.1f (%.1f%% off)",
+			sum, metered, rel*100)
+	}
+}
+
+// TestTraceDisabledByDefault: with no trace configured the dispatcher
+// runs with a nil *obs.Trace, Enabled() is false, and the run completes
+// without emitting anywhere.
+func TestTraceDisabledByDefault(t *testing.T) {
+	var tr *obs.Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	e := buildThreeJoinEnv(t)
+	params := plan.Params{"cut": types.NewFloat(50)}
+	_, st, _ := runMode(t, e, ModeFull, threeJoinQuery, params, 0)
+	if st.CollectorsInserted == 0 {
+		t.Error("full mode without a trace stopped inserting collectors")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/histogram"
 	"repro/internal/memmgr"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/scia"
@@ -126,6 +127,11 @@ type Config struct {
 	// DisableIndexJoin is forwarded to the optimizer (ablations).
 	DisableIndexJoin bool
 	Seed             int64
+	// Trace, when non-nil, receives the dispatcher's lifecycle events:
+	// plan registrations, SCIA placements, checkpoint evaluations,
+	// memory re-allocations, and plan switches. Nil (the default)
+	// disables tracing.
+	Trace *obs.Trace
 }
 
 // DefaultConfig returns the paper's parameterization.
@@ -161,6 +167,11 @@ type Stats struct {
 	Plans               []string // plan text, initial plus one per switch
 	// Decisions logs every checkpoint's reasoning, for diagnostics.
 	Decisions []string
+	// EstimatedCost is the optimizer's total-cost estimate for the
+	// initial plan, in simulated cost units. Comparing it against the
+	// metered actual cost gives the estimate error the benchmark
+	// harness reports.
+	EstimatedCost float64
 }
 
 // Dispatcher is the modified scheduler/dispatcher of §3.1: it owns query
@@ -254,19 +265,14 @@ func (d *Dispatcher) run(stmt *sql.SelectStmt, params plan.Params, ctx *exec.Ctx
 		return nil, err
 	}
 	if d.Cfg.Mode != ModeOff {
-		ins, err := scia.Insert(res, scia.Config{
-			Mu:         d.Cfg.Mu,
-			HistFamily: d.Cfg.HistFamily,
-			Weights:    d.Cfg.Weights,
-			Seed:       d.Cfg.Seed,
-		})
+		ins, err := scia.Insert(res, d.sciaConfig())
 		if err != nil {
 			return nil, err
 		}
 		st.CollectorsInserted += len(ins)
 	}
 	memmgr.New(d.budget()).Allocate(res.Root)
-	st.Plans = append(st.Plans, plan.Format(res.Root))
+	d.registerPlan(res, st, ctx)
 
 	if d.Cfg.Mode == ModeOff {
 		op, err := exec.Build(res.Root, ctx)
@@ -288,19 +294,14 @@ func (d *Dispatcher) run(stmt *sql.SelectStmt, params plan.Params, ctx *exec.Ctx
 func (d *Dispatcher) RunPlan(res *optimizer.Result, params plan.Params, ctx *exec.Ctx) ([]types.Tuple, *Stats, error) {
 	st := &Stats{}
 	if d.Cfg.Mode != ModeOff {
-		ins, err := scia.Insert(res, scia.Config{
-			Mu:         d.Cfg.Mu,
-			HistFamily: d.Cfg.HistFamily,
-			Weights:    d.Cfg.Weights,
-			Seed:       d.Cfg.Seed,
-		})
+		ins, err := scia.Insert(res, d.sciaConfig())
 		if err != nil {
 			return nil, nil, err
 		}
 		st.CollectorsInserted += len(ins)
 	}
 	memmgr.New(d.budget()).Allocate(res.Root)
-	st.Plans = append(st.Plans, plan.Format(res.Root))
+	d.registerPlan(res, st, ctx)
 	if d.Cfg.Mode == ModeOff {
 		op, err := exec.Build(res.Root, ctx)
 		if err != nil {
@@ -335,12 +336,41 @@ func (d *Dispatcher) EstimateOnly(src string) (*optimizer.Result, error) {
 		return nil, err
 	}
 	if d.Cfg.Mode != ModeOff {
-		if _, err := scia.Insert(res, scia.Config{
-			Mu: d.Cfg.Mu, HistFamily: d.Cfg.HistFamily, Weights: d.Cfg.Weights, Seed: d.Cfg.Seed,
-		}); err != nil {
+		if _, err := scia.Insert(res, d.sciaConfig()); err != nil {
 			return nil, err
 		}
 	}
 	memmgr.New(d.budget()).Allocate(res.Root)
 	return res, nil
+}
+
+// sciaConfig assembles the SCIA's configuration from the dispatcher's.
+func (d *Dispatcher) sciaConfig() scia.Config {
+	return scia.Config{
+		Mu:         d.Cfg.Mu,
+		HistFamily: d.Cfg.HistFamily,
+		Weights:    d.Cfg.Weights,
+		Seed:       d.Cfg.Seed,
+		Trace:      d.Cfg.Trace,
+	}
+}
+
+// registerPlan records a compiled plan everywhere observers care: the
+// stats' plan log, the EXPLAIN ANALYZE accumulator (first registration
+// is the initial plan, later ones are re-optimized remainders), the
+// initial estimated total cost, and the trace.
+func (d *Dispatcher) registerPlan(res *optimizer.Result, st *Stats, ctx *exec.Ctx) {
+	st.Plans = append(st.Plans, plan.Format(res.Root))
+	if st.EstimatedCost == 0 {
+		st.EstimatedCost = res.Root.Est().Cost
+	}
+	ctx.Analyze.StartPlan(res.Root)
+	if d.Cfg.Trace.Enabled() {
+		d.Cfg.Trace.Emit("plan", "plan compiled",
+			"plan_index", len(st.Plans),
+			"est_cost", res.Root.Est().Cost,
+			"est_rows", res.Root.Est().Rows,
+			"collectors", st.CollectorsInserted,
+		)
+	}
 }

@@ -40,7 +40,8 @@ func (d *Dispatcher) switchPlan(res *optimizer.Result, dec *decomposed, i int, t
 		}
 		// The re-optimized remainder did not keep the intermediate
 		// leftmost; fall back to Figure 6.
-		st.Decisions = append(st.Decisions, "splice: remainder reordered the intermediate; falling back to materialization")
+		d.decide(st, "splice: remainder reordered the intermediate; falling back to materialization",
+			"strategy", "splice", "fallback", "materialize")
 	}
 	return d.materializeAndResubmit(res, matNode, topOp, consumed, params, ctx, st, switchesLeft)
 }
@@ -97,12 +98,7 @@ func (d *Dispatcher) splicePlan(res *optimizer.Result, matNode plan.Node, liveOp
 		return nil, false, nil
 	}
 	if d.Cfg.Mode != ModeOff {
-		ins, err := scia.Insert(newRes, scia.Config{
-			Mu:         d.Cfg.Mu,
-			HistFamily: d.Cfg.HistFamily,
-			Weights:    d.Cfg.Weights,
-			Seed:       d.Cfg.Seed,
-		})
+		ins, err := scia.Insert(newRes, d.sciaConfig())
 		if err != nil {
 			dropTemp()
 			return nil, false, err
@@ -111,8 +107,17 @@ func (d *Dispatcher) splicePlan(res *optimizer.Result, matNode plan.Node, liveOp
 	}
 	memmgr.New(d.budget()).Allocate(newRes.Root)
 	st.PlanSwitches++
-	st.Plans = append(st.Plans, plan.Format(newRes.Root))
-	st.Decisions = append(st.Decisions, fmt.Sprintf("splice: remainder spliced onto live stream as %s", tempName))
+	d.registerPlan(newRes, st, ctx)
+	d.decide(st, fmt.Sprintf("splice: remainder spliced onto live stream as %s", tempName),
+		"strategy", "splice", "temp", tempName)
+	if d.Cfg.Trace.Enabled() {
+		d.Cfg.Trace.Emit("switch", "plan switch via splice (Figure 5)",
+			"strategy", "splice",
+			"temp", tempName,
+			"est_rows", matEst.Rows,
+			"new_plan_est_cost", newRes.Root.Est().Cost,
+		)
+	}
 	rows, err := d.dispatchWith(newRes, params, ctx, st, switchesLeft-1, liveOp)
 	dropTemp()
 	return rows, true, err
@@ -178,6 +183,13 @@ func (d *Dispatcher) materializeAndResubmit(res *optimizer.Result, matNode plan.
 		return nil, err
 	}
 	st.PlanSwitches++
+	if d.Cfg.Trace.Enabled() {
+		d.Cfg.Trace.Emit("switch", "plan switch via materialize-and-resubmit (Figure 6)",
+			"strategy", "materialize",
+			"temp", tempName,
+			"rows", heap.NumTuples(),
+		)
+	}
 	rows, err := d.run(remStmt, params, ctx, st, switchesLeft-1)
 	if derr := d.Cat.DropTable(tempName); derr != nil && err == nil {
 		err = derr

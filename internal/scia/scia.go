@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/histogram"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/sql"
@@ -72,6 +73,10 @@ type Config struct {
 	Weights storage.CostWeights
 	// Seed makes reservoir sampling deterministic.
 	Seed int64
+	// Trace, when non-nil, receives one "scia" event per accepted
+	// statistic (placement, inaccuracy level, effectiveness rank, cost)
+	// plus a budget summary.
+	Trace *obs.Trace
 }
 
 // DefaultConfig returns the paper's settings.
@@ -120,12 +125,34 @@ func Insert(res *optimizer.Result, cfg Config) ([]Inserted, error) {
 
 	chosen := make(map[int][]candidate) // point -> accepted stats
 	spent := 0.0
-	for _, c := range cands {
+	accepted := 0
+	for rank, c := range cands {
 		if spent+c.cost > budget {
 			continue
 		}
 		spent += c.cost
+		accepted++
 		chosen[c.point] = append(chosen[c.point], c)
+		if cfg.Trace.Enabled() {
+			cfg.Trace.Emit("scia", "statistic accepted",
+				"rank", rank+1,
+				"stat", c.desc,
+				"point", points[c.point].desc,
+				"level", c.level.String(),
+				"affected_fraction", c.affected,
+				"cost", c.cost,
+			)
+		}
+	}
+	if cfg.Trace.Enabled() {
+		cfg.Trace.Emit("scia", "insertion budget summary",
+			"mu", cfg.Mu,
+			"budget", budget,
+			"spent", spent,
+			"candidates", len(cands),
+			"accepted", accepted,
+			"points", len(points),
+		)
 	}
 
 	var out []Inserted

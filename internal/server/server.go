@@ -10,11 +10,14 @@
 //	POST /query            QueryRequest -> QueryResponse
 //	POST /analyze          AnalyzeRequest -> {}
 //	GET  /status           -> StatusResponse
+//	GET  /metrics          -> Prometheus text exposition
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -24,6 +27,7 @@ import (
 
 	"repro/internal/histogram"
 	"repro/internal/memmgr"
+	"repro/internal/obs"
 	"repro/internal/plancache"
 	"repro/internal/reopt"
 	"repro/internal/session"
@@ -47,6 +51,11 @@ type QueryRequest struct {
 	Splice           bool              `json:"splice,omitempty"`
 	DisableIndexJoin bool              `json:"disable_index_join,omitempty"`
 	Seed             int64             `json:"seed,omitempty"`
+	// Explain runs the query under EXPLAIN ANALYZE and returns the
+	// annotated plan in the response's "plan" field.
+	Explain bool `json:"explain,omitempty"`
+	// Trace returns the query's lifecycle event log.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResponse is one query's outcome. Rows are rendered to strings
@@ -59,6 +68,8 @@ type QueryResponse struct {
 	CacheHit bool              `json:"cache_hit"`
 	Stats    *reopt.Stats      `json:"stats,omitempty"`
 	Broker   memmgr.LeaseStats `json:"broker"`
+	Plan     string            `json:"plan,omitempty"`
+	Trace    []obs.Event       `json:"trace,omitempty"`
 	Error    string            `json:"error,omitempty"`
 }
 
@@ -72,13 +83,17 @@ type AnalyzeRequest struct {
 
 // StatusResponse snapshots the shared engine.
 type StatusResponse struct {
-	Broker memmgr.BrokerStats `json:"broker"`
-	Cache  plancache.Stats    `json:"cache"`
+	Broker        memmgr.BrokerStats `json:"broker"`
+	Cache         plancache.Stats    `json:"cache"`
+	Sessions      int64              `json:"sessions"`
+	Queries       int64              `json:"queries"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
 }
 
 // Server serves one session.Manager over HTTP.
 type Server struct {
-	m *session.Manager
+	m   *session.Manager
+	log *slog.Logger
 
 	mu       sync.Mutex
 	sessions map[int64]*session.Session
@@ -89,8 +104,17 @@ type Server struct {
 func New(m *session.Manager) *Server {
 	return &Server{
 		m:        m,
+		log:      slog.New(slog.NewTextHandler(io.Discard, nil)),
 		sessions: map[int64]*session.Session{},
 		shared:   m.Session(),
+	}
+}
+
+// SetLogger installs a structured logger for request logging. The
+// default discards everything.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.log = l
 	}
 }
 
@@ -101,6 +125,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -164,8 +189,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	start := time.Now()
 	res, err := sess.Exec(r.Context(), req.SQL, opts)
 	if err != nil {
+		s.log.Warn("query failed",
+			"session", req.Session,
+			"duration", time.Since(start),
+			"err", err)
 		// A query error is a well-formed response, not a transport
 		// failure: clients distinguish "your SQL is wrong" from "the
 		// server is down".
@@ -173,6 +203,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, QueryResponse{Error: err.Error()})
 		return
 	}
+	s.log.Info("query",
+		"session", req.Session,
+		"tag", res.Query,
+		"duration", time.Since(start),
+		"rows", len(res.Rows),
+		"cost", res.Cost,
+		"switches", res.Stats.PlanSwitches,
+		"cache_hit", res.CacheHit)
 	rows := make([][]string, len(res.Rows))
 	for i, tup := range res.Rows {
 		row := make([]string, len(tup))
@@ -189,6 +227,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		CacheHit: res.CacheHit,
 		Stats:    res.Stats,
 		Broker:   res.Broker,
+		Plan:     res.Plan,
+		Trace:    res.Trace,
 	})
 }
 
@@ -216,9 +256,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, StatusResponse{
-		Broker: s.m.Broker().Stats(),
-		Cache:  s.m.CacheStats(),
+		Broker:        s.m.Broker().Stats(),
+		Cache:         s.m.CacheStats(),
+		Sessions:      s.m.Sessions(),
+		Queries:       s.m.QueriesRun(),
+		UptimeSeconds: s.m.Uptime().Seconds(),
 	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.Registry().WritePrometheus(w)
 }
 
 func execOptions(req QueryRequest) (session.Options, error) {
@@ -237,6 +285,8 @@ func execOptions(req QueryRequest) (session.Options, error) {
 		DisableIndexJoin: req.DisableIndexJoin,
 		Seed:             req.Seed,
 		NoCache:          req.NoCache,
+		Explain:          req.Explain,
+		Trace:            req.Trace,
 	}, nil
 }
 

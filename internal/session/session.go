@@ -21,11 +21,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/histogram"
 	"repro/internal/memmgr"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/plancache"
@@ -67,6 +69,10 @@ type Manager struct {
 
 	sessions atomic.Int64
 	queries  atomic.Int64
+
+	reg   *obs.Registry
+	em    *obs.EngineMetrics
+	start time.Time
 }
 
 // NewManager wraps an engine's shared state for concurrent use.
@@ -86,6 +92,8 @@ func NewManager(cat *catalog.Catalog, pool *storage.BufferPool, meter *storage.C
 		meter:  meter,
 		broker: memmgr.NewBroker(cfg.MemPoolBytes),
 		cfg:    cfg,
+		reg:    obs.NewRegistry(),
+		start:  time.Now(),
 	}
 	if cfg.PlanCacheSize >= 0 {
 		size := cfg.PlanCacheSize
@@ -94,7 +102,55 @@ func NewManager(cat *catalog.Catalog, pool *storage.BufferPool, meter *storage.C
 		}
 		m.cache = plancache.New(size, cat.StatsVersion)
 	}
+	m.em = obs.NewEngineMetrics(m.reg)
+	m.registerResourceMetrics()
 	return m
+}
+
+// registerResourceMetrics exposes the broker pool and plan cache as
+// function-backed gauges: the shared structures are already their own
+// source of truth, so the registry reads them at scrape time instead of
+// mirroring every mutation.
+func (m *Manager) registerResourceMetrics() {
+	m.reg.NewGaugeFunc("broker_pool_bytes",
+		"Total size of the shared operator-memory pool.",
+		func() float64 { return m.broker.Stats().PoolBytes })
+	m.reg.NewGaugeFunc("broker_available_bytes",
+		"Operator memory currently unreserved in the broker pool.",
+		func() float64 { return m.broker.Stats().AvailBytes })
+	m.reg.NewGaugeFunc("broker_queue_depth",
+		"Queries queued for memory admission right now.",
+		func() float64 { return float64(m.broker.Stats().Waiting) })
+	m.reg.NewCounterFunc("broker_admitted_total",
+		"Queries admitted to the memory broker.",
+		func() float64 { return float64(m.broker.Stats().Admitted) })
+	m.reg.NewCounterFunc("broker_waits_total",
+		"Admissions that had to queue for memory.",
+		func() float64 { return float64(m.broker.Stats().Waits) })
+	m.reg.NewCounterFunc("broker_wait_seconds_total",
+		"Total wall-clock time queries spent queued for memory.",
+		func() float64 { return float64(m.broker.Stats().WaitNanos) / 1e9 })
+	m.reg.NewCounterFunc("broker_returned_bytes_total",
+		"Surplus operator memory returned to the pool mid-query.",
+		func() float64 { return m.broker.Stats().Returned })
+	m.reg.NewCounterFunc("broker_grown_bytes_total",
+		"Operator memory added to running leases mid-query.",
+		func() float64 { return m.broker.Stats().Grown })
+	m.reg.NewCounterFunc("plancache_hits_total",
+		"Plan-cache lookups served from the cache.",
+		func() float64 { return float64(m.CacheStats().Hits) })
+	m.reg.NewCounterFunc("plancache_misses_total",
+		"Plan-cache lookups that had to optimize.",
+		func() float64 { return float64(m.CacheStats().Misses) })
+	m.reg.NewCounterFunc("plancache_invalidations_total",
+		"Cached plans discarded because statistics changed.",
+		func() float64 { return float64(m.CacheStats().Invalidations) })
+	m.reg.NewCounterFunc("plancache_evictions_total",
+		"Cached plans evicted by capacity.",
+		func() float64 { return float64(m.CacheStats().Evictions) })
+	m.reg.NewGaugeFunc("plancache_entries",
+		"Plans resident in the cache right now.",
+		func() float64 { return float64(m.CacheStats().Entries) })
 }
 
 // Broker exposes the shared memory broker (status endpoints, tests).
@@ -149,6 +205,13 @@ type Options struct {
 	Seed               int64
 	// NoCache bypasses the plan cache for this statement.
 	NoCache bool
+	// Explain runs the query under EXPLAIN ANALYZE instrumentation and
+	// attaches the annotated plan rendering to the Result.
+	Explain bool
+	// Trace records the query's lifecycle events (collector reports,
+	// checkpoint decisions, re-allocations, plan switches) into the
+	// Result.
+	Trace bool
 }
 
 // Result is one query's outcome, extending the single-query result with
@@ -168,12 +231,25 @@ type Result struct {
 	CacheHit bool
 	// Broker is the query's traffic against the shared memory pool.
 	Broker memmgr.LeaseStats
+	// Plan is the EXPLAIN ANALYZE rendering (Options.Explain only).
+	Plan string
+	// Trace is the query's event log (Options.Trace only).
+	Trace []obs.Event
 }
 
 // Exec compiles (or fetches from the plan cache) and runs one SQL
 // query, admitting its memory demands against the shared broker pool.
 // The context cancels waiting for admission.
 func (s *Session) Exec(ctx context.Context, src string, opts Options) (*Result, error) {
+	r, err := s.exec(ctx, src, opts)
+	if err != nil {
+		s.m.em.Queries.Inc()
+		s.m.em.QueryErrors.Inc()
+	}
+	return r, err
+}
+
+func (s *Session) exec(ctx context.Context, src string, opts Options) (*Result, error) {
 	m := s.m
 	tag := fmt.Sprintf("s%d_q%d", s.id, m.queries.Add(1))
 
@@ -203,27 +279,63 @@ func (s *Session) Exec(ctx context.Context, src string, opts Options) (*Result, 
 	}
 	defer lease.Release()
 
-	d := reopt.New(m.cat, s.dispatcherConfig(opts, lease, tag))
+	cfg := s.dispatcherConfig(opts, lease, tag)
+	var tr *obs.Trace
+	var az *obs.Analyze
+	if opts.Trace {
+		tr = obs.NewTrace(obs.DefaultTraceCap)
+		cfg.Trace = tr
+	}
+	if opts.Explain {
+		az = obs.NewAnalyze()
+	}
+	d := reopt.New(m.cat, cfg)
 	params := plan.Params{}
 	for k, v := range opts.Params {
 		params[k] = v
 	}
-	ectx := &exec.Ctx{Pool: m.pool, Meter: m.meter, Params: params}
+	ectx := &exec.Ctx{Pool: m.pool, Meter: m.meter, Params: params, Trace: tr, Analyze: az}
 	before := m.meter.Snapshot()
 	rows, st, err := d.RunPlan(res, params, ectx)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	delta := m.meter.Snapshot().Sub(before)
+	cost := delta.Cost()
+	statCost := float64(delta.StatCPU) * delta.Weights.StatCPU
+	m.em.RecordQuery(cost, statCost, cfg.Mu,
+		st.CollectorsInserted, st.Observations, st.MemReallocs,
+		st.ReoptConsidered, st.PlanSwitches)
+	out := &Result{
 		Columns:  cols,
 		Rows:     rows,
 		Stats:    st,
-		Cost:     m.meter.Snapshot().Sub(before).Cost(),
+		Cost:     cost,
 		Query:    tag,
 		CacheHit: hit,
 		Broker:   lease.Stats(),
-	}, nil
+	}
+	if az != nil {
+		out.Plan = az.Render()
+	}
+	if tr != nil {
+		out.Trace = tr.Events()
+	}
+	return out, nil
 }
+
+// Registry exposes the manager's metrics registry (the /metrics
+// endpoint scrapes it).
+func (m *Manager) Registry() *obs.Registry { return m.reg }
+
+// Sessions returns how many sessions have been opened.
+func (m *Manager) Sessions() int64 { return m.sessions.Load() }
+
+// QueriesRun returns how many queries have been tagged for execution.
+func (m *Manager) QueriesRun() int64 { return m.queries.Load() }
+
+// Uptime reports time since the manager was created.
+func (m *Manager) Uptime() time.Duration { return time.Since(m.start) }
 
 // plan resolves the statement to an executable optimizer result,
 // consulting the plan cache. The optimizer runs under the manager's

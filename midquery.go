@@ -27,6 +27,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/histogram"
+	"repro/internal/obs"
 	"repro/internal/parametric"
 	"repro/internal/plan"
 	"repro/internal/reopt"
@@ -57,6 +58,9 @@ type (
 	TPCDQuery = tpcd.Query
 	// CostWeights maps physical events to simulated time units.
 	CostWeights = storage.CostWeights
+	// TraceEvent is one entry of a query's lifecycle event log
+	// (ExecOptions.Trace).
+	TraceEvent = obs.Event
 )
 
 // Value constructors and kind tags, re-exported for building tuples.
@@ -244,10 +248,20 @@ type ExecOptions struct {
 	// DisableIndexJoin restricts plans to hash joins (ablations).
 	DisableIndexJoin bool
 	Seed             int64
+	// Trace records the query's lifecycle events — collector reports,
+	// checkpoint decisions, memory re-allocations, plan switches — into
+	// Result.Trace. Off by default; enabling it costs one ring-buffer
+	// append per event.
+	Trace bool
 }
 
 func (db *DB) dispatcher(o ExecOptions) *reopt.Dispatcher {
+	return db.dispatcherWithTrace(o, nil)
+}
+
+func (db *DB) dispatcherWithTrace(o ExecOptions, tr *obs.Trace) *reopt.Dispatcher {
 	cfg := reopt.DefaultConfig(o.Mode)
+	cfg.Trace = tr
 	cfg.Weights = db.meter.Weights()
 	if o.MemBudget > 0 {
 		cfg.MemBudget = o.MemBudget
@@ -281,16 +295,28 @@ type Result struct {
 	Stats *Stats
 	// Cost is the simulated execution time of this query alone.
 	Cost float64
+	// Plan is the EXPLAIN ANALYZE rendering (ExplainAnalyze only).
+	Plan string
+	// Trace is the query's event log (ExecOptions.Trace only).
+	Trace []TraceEvent
 }
 
 // Exec compiles and runs one SQL query.
 func (db *DB) Exec(src string, opts ExecOptions) (*Result, error) {
-	d := db.dispatcher(opts)
+	return db.exec(src, opts, nil)
+}
+
+func (db *DB) exec(src string, opts ExecOptions, az *obs.Analyze) (*Result, error) {
+	var tr *obs.Trace
+	if opts.Trace {
+		tr = obs.NewTrace(obs.DefaultTraceCap)
+	}
+	d := db.dispatcherWithTrace(opts, tr)
 	params := plan.Params{}
 	for k, v := range opts.Params {
 		params[k] = v
 	}
-	ctx := &exec.Ctx{Pool: db.pool, Meter: db.meter, Params: params}
+	ctx := &exec.Ctx{Pool: db.pool, Meter: db.meter, Params: params, Trace: tr, Analyze: az}
 	before := db.meter.Snapshot()
 	rows, st, err := d.RunSQL(src, params, ctx)
 	if err != nil {
@@ -300,23 +326,42 @@ func (db *DB) Exec(src string, opts ExecOptions) (*Result, error) {
 	if err != nil {
 		cols = nil // column names are best-effort
 	}
-	return &Result{
+	res := &Result{
 		Columns: cols,
 		Rows:    rows,
 		Stats:   st,
 		Cost:    db.meter.Snapshot().Sub(before).Cost(),
-	}, nil
+	}
+	if az != nil {
+		res.Plan = az.Render()
+	}
+	if tr != nil {
+		res.Trace = tr.Events()
+	}
+	return res, nil
 }
 
-// Explain compiles a query and returns its annotated plan text, with
-// statistics collectors inserted when mode is not ReoptOff.
+// Explain compiles a query and returns its annotated plan text — each
+// operator with its estimated rows, output size, cumulative cost, and
+// memory demands — with statistics collectors inserted when mode is not
+// ReoptOff. Nothing is executed.
 func (db *DB) Explain(src string, opts ExecOptions) (string, error) {
 	d := db.dispatcher(opts)
 	res, err := d.EstimateOnly(src)
 	if err != nil {
 		return "", err
 	}
-	return plan.Format(res.Root), nil
+	return obs.FormatPlan(res.Root), nil
+}
+
+// ExplainAnalyze executes the query with per-operator instrumentation
+// and returns the Result with Plan holding the annotated rendering:
+// optimizer estimates next to actual rows, per-operator time (simulated
+// cost units), and peak memory; when a mid-query plan switch happened,
+// each re-optimized remainder plan follows the initial one, with the
+// temp-table splice point marked "[re-optimized here]".
+func (db *DB) ExplainAnalyze(src string, opts ExecOptions) (*Result, error) {
+	return db.exec(src, opts, obs.NewAnalyze())
 }
 
 // Prepared is a parametric plan: candidate plans enumerated across

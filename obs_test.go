@@ -1,0 +1,85 @@
+package midquery
+
+// Observability must be free when off: tracing and EXPLAIN ANALYZE are
+// opt-in per query, and the disabled path adds only nil checks (the
+// executor wraps operators in timing shims only when an Analyze
+// accumulator is attached, and every trace emit is gated on a nil-safe
+// Enabled()). The test below pins the simulated-cost invariant — the
+// meter never sees the instrumentation — and the benchmarks measure the
+// wall-clock side: BenchmarkQueryObservabilityDisabled is the default
+// path, BenchmarkQueryObservabilityEnabled carries a trace plus the
+// analyze shims, and the per-hook cost of the disabled path is the
+// sub-nanosecond BenchmarkDisabledTraceEmit in internal/obs.
+
+import "testing"
+
+func TestObservabilityDoesNotChangeSimulatedCost(t *testing.T) {
+	db := openTPCD(t, 0.002, 0)
+	q := Q("Q5")
+	run := func(analyze bool, opts ExecOptions) *Result {
+		if err := db.DropCaches(); err != nil {
+			t.Fatal(err)
+		}
+		var res *Result
+		var err error
+		if analyze {
+			res, err = db.ExplainAnalyze(q.SQL, opts)
+		} else {
+			res, err = db.Exec(q.SQL, opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false, ExecOptions{})
+	traced := run(true, ExecOptions{Trace: true})
+	if plain.Cost != traced.Cost {
+		t.Errorf("instrumentation changed the simulated cost: %.3f plain vs %.3f traced",
+			plain.Cost, traced.Cost)
+	}
+	if plain.Plan != "" || len(plain.Trace) != 0 {
+		t.Error("default run carried observability output despite being off")
+	}
+	if traced.Plan == "" {
+		t.Error("EXPLAIN ANALYZE run returned no annotated plan")
+	}
+	if len(traced.Trace) == 0 {
+		t.Error("traced run returned no events")
+	}
+}
+
+func benchmarkQuery(b *testing.B, analyze, trace bool) {
+	db := Open(Options{BufferPoolPages: 2048})
+	if err := db.LoadTPCD(TPCDConfig{SF: 0.002, Seed: 11}); err != nil {
+		b.Fatal(err)
+	}
+	q := Q("Q3")
+	opts := ExecOptions{Trace: trace}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.DropCaches(); err != nil {
+			b.Fatal(err)
+		}
+		var err error
+		if analyze {
+			_, err = db.ExplainAnalyze(q.SQL, opts)
+		} else {
+			_, err = db.Exec(q.SQL, opts)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryObservabilityDisabled is the default execution path —
+// no trace, no analyze. Compare its ns/op against
+// BenchmarkQueryObservabilityEnabled: the gap is the full cost of
+// turning everything on, and the disabled path's own overhead (nil
+// checks) is far below the 2% the design budget allows.
+func BenchmarkQueryObservabilityDisabled(b *testing.B) { benchmarkQuery(b, false, false) }
+
+// BenchmarkQueryObservabilityEnabled runs the same query with the
+// lifecycle trace and EXPLAIN ANALYZE shims attached.
+func BenchmarkQueryObservabilityEnabled(b *testing.B) { benchmarkQuery(b, true, true) }
