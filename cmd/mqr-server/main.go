@@ -18,8 +18,13 @@
 //	-mempool  shared operator-memory pool in bytes (default 16 MiB)
 //	-mem      per-query optimize-time budget in bytes (default 4 MiB)
 //	-cache    plan cache capacity in plans; -1 disables (default 256)
+//	-query-timeout  default per-query deadline (e.g. 1m; 0 = none);
+//	          individual requests override it with "timeout_ms"
 //	-seed     data generator seed
 //	-v        verbose (debug-level) logging
+//
+// Running queries can be aborted: POST /cancel {"query": "s3_q17"}
+// (tags come from query responses or GET /status "running").
 //
 // Logs are structured (log/slog text format) on stderr; every query
 // request is logged with its session, engine tag, duration, and plan
@@ -51,6 +56,7 @@ func main() {
 		mempool = flag.Float64("mempool", 16<<20, "shared operator-memory pool in bytes")
 		mem     = flag.Float64("mem", 4<<20, "per-query optimize-time memory budget in bytes")
 		cache   = flag.Int("cache", 256, "plan cache capacity in plans (-1 disables)")
+		qto     = flag.Duration("query-timeout", 0, "default per-query deadline (0 = none)")
 		seed    = flag.Int64("seed", 1, "data generator seed")
 		verbose = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
@@ -79,11 +85,13 @@ func main() {
 	})
 	srv := server.New(m)
 	srv.SetLogger(log)
+	srv.SetQueryTimeout(*qto)
 	log.Info("serving",
 		"addr", *addr,
 		"mem_pool_bytes", *mempool,
 		"mem_budget_bytes", *mem,
-		"plan_cache", *cache)
+		"plan_cache", *cache,
+		"query_timeout", *qto)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Error("server failed", "err", err)
 		os.Exit(1)

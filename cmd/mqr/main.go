@@ -24,6 +24,8 @@
 //	-analyze  EXPLAIN ANALYZE: execute, then print the plan annotated
 //	          with per-operator actual rows, time, and memory
 //	-trace    print the query's lifecycle event log
+//	-timeout  per-query deadline (e.g. 30s; 0 = none); expired queries
+//	          abort mid-execution with their temp state cleaned up
 //	-rows     print at most this many result rows (default 10)
 //	-server   serve the loaded database over HTTP on this address
 //	          instead of running queries locally
@@ -36,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	midquery "repro"
 	"repro/internal/server"
@@ -52,6 +55,7 @@ func main() {
 		explain = flag.Bool("explain", false, "print the annotated plan instead of executing")
 		analyze = flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute and print the plan with actuals")
 		trace   = flag.Bool("trace", false, "print the query's lifecycle event log")
+		timeout = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		maxRows = flag.Int("rows", 10, "result rows to print")
 		seed    = flag.Int64("seed", 1, "data generator seed")
 		serveOn = flag.String("server", "", "serve the database over HTTP on this address instead of querying")
@@ -66,7 +70,7 @@ func main() {
 	queries := selectQueries()
 
 	if *connect != "" {
-		os.Exit(runThinClient(*connect, *mode, queries, *maxRows, *analyze, *trace))
+		os.Exit(runThinClient(*connect, *mode, queries, *maxRows, *analyze, *trace, *timeout))
 	}
 
 	fmt.Printf("loading TPC-D SF %g (stale=%.2f zipf=%.1f) ...\n", *sf, *stale, *zipf)
@@ -91,7 +95,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := midquery.ExecOptions{Mode: md, MemBudget: *mem, Trace: *trace}
+	opts := midquery.ExecOptions{Mode: md, MemBudget: *mem, Trace: *trace, Timeout: *timeout}
 	failed := 0
 	for _, nq := range queries {
 		fmt.Printf("=== %s\n", nq.name)
@@ -148,7 +152,7 @@ func main() {
 
 // runThinClient sends the queries to a running mqr-server and renders
 // the responses; returns the process exit code.
-func runThinClient(addr, mode string, queries []namedQuery, maxRows int, analyze, trace bool) int {
+func runThinClient(addr, mode string, queries []namedQuery, maxRows int, analyze, trace bool, timeout time.Duration) int {
 	c, err := server.Dial(addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mqr:", err)
@@ -157,7 +161,10 @@ func runThinClient(addr, mode string, queries []namedQuery, maxRows int, analyze
 	failed := 0
 	for _, nq := range queries {
 		fmt.Printf("=== %s\n", nq.name)
-		res, err := c.Exec(server.QueryRequest{SQL: nq.sql, Mode: mode, Explain: analyze, Trace: trace})
+		res, err := c.Exec(server.QueryRequest{
+			SQL: nq.sql, Mode: mode, Explain: analyze, Trace: trace,
+			TimeoutMs: timeout.Milliseconds(),
+		})
 		if err != nil {
 			queryError(nq.name, err, &failed)
 			continue

@@ -210,6 +210,22 @@ func (c *Catalog) Table(name string) (*Table, error) {
 	return t, nil
 }
 
+// TempTables returns the names of all currently registered temp tables
+// in sorted order. After a query ends — normally or aborted — none of
+// its temps should remain; the leak-check tests assert on this.
+func (c *Catalog) TempTables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var names []string
+	for n, t := range c.tables {
+		if t.Temp {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Tables returns all table names in sorted order.
 func (c *Catalog) Tables() []string {
 	c.mu.RLock()

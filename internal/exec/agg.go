@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -32,6 +33,7 @@ type Agg struct {
 	out    []types.Tuple
 	outPos int
 	opened bool
+	closed bool
 }
 
 type group struct {
@@ -59,6 +61,12 @@ func (a *Agg) Open() error {
 		return err
 	}
 	for {
+		if err := a.ctx.Tick(); err != nil {
+			return err
+		}
+		if err := faultinject.Hit("exec.agg.absorb"); err != nil {
+			return err
+		}
 		t, err := a.in.Next()
 		if err != nil {
 			return err
@@ -227,6 +235,9 @@ func (a *Agg) mergePartitions() error {
 		table := make(map[uint64][]*group)
 		s := part.Scan()
 		for s.Next() {
+			if err := a.ctx.Tick(); err != nil {
+				return err
+			}
 			a.ctx.Meter.ChargeTuples(1)
 			st := s.Tuple()
 			key := st[:nk]
@@ -344,13 +355,18 @@ func (a *Agg) Spilled() bool { return a.spilled }
 // MemUsed reports the peak group-table memory in bytes.
 func (a *Agg) MemUsed() float64 { return a.peakMem }
 
-// Close implements Operator.
+// Close implements Operator. Idempotent; cascades to the input so an
+// abort mid-absorb releases the child's side state too.
 func (a *Agg) Close() error {
+	if a.closed {
+		return nil
+	}
+	a.closed = true
 	for _, p := range a.parts {
 		if p != nil {
 			p.Drop()
 		}
 	}
 	a.out = nil
-	return nil
+	return a.in.Close()
 }

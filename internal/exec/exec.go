@@ -10,6 +10,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/obs"
@@ -18,11 +19,26 @@ import (
 	"repro/internal/types"
 )
 
+// defaultCancelCheckInterval is how many Tick calls elapse between
+// context polls. Cancellation is detected within this many tuples of
+// the cancel, which bounds abort latency without putting an atomic load
+// on every tuple.
+const defaultCancelCheckInterval = 256
+
 // Ctx carries the runtime environment shared by a query's operators.
 type Ctx struct {
 	Pool   *storage.BufferPool
 	Meter  *storage.CostMeter
 	Params plan.Params
+	// Context, when non-nil, aborts the query: operators poll it at
+	// amortized intervals (Tick) inside their tuple loops and the
+	// dispatcher polls it (Err) at every checkpoint, so a cancelled or
+	// deadline-expired query stops at the next well-defined point.
+	Context context.Context
+	// CheckEvery overrides the tuple interval between context polls
+	// (tests lower it for tight abort bounds); 0 uses the default.
+	CheckEvery int
+	ticks      int
 	// StatsSink receives each statistics-collector's report the moment
 	// its input is exhausted. The re-optimizing dispatcher wires this
 	// to its decision logic; nil sinks discard reports.
@@ -35,6 +51,35 @@ type Ctx struct {
 	// Build and BuildStep wrap every operator to record per-operator
 	// rows, cost, and peak memory. Nil skips wrapping entirely.
 	Analyze *obs.Analyze
+}
+
+// Tick is the operators' amortized cancellation check: every tuple loop
+// calls it, and every CheckEvery'th call polls the context. A query's
+// operators all share one Ctx on one goroutine, so a plain counter
+// suffices. Returns the context's error once the query is cancelled or
+// past its deadline.
+func (c *Ctx) Tick() error {
+	if c.Context == nil {
+		return nil
+	}
+	every := c.CheckEvery
+	if every <= 0 {
+		every = defaultCancelCheckInterval
+	}
+	if c.ticks++; c.ticks < every {
+		return nil
+	}
+	c.ticks = 0
+	return c.Context.Err()
+}
+
+// Err polls the context immediately (checkpoint and plan-switch
+// boundaries, where the check is rare enough not to amortize).
+func (c *Ctx) Err() error {
+	if c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
 }
 
 // Operator is a Volcano-style iterator. Next returns a nil tuple at end

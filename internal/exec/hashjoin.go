@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -42,6 +43,7 @@ type HashJoin struct {
 
 	// Probe state.
 	opened      bool
+	closed      bool
 	probeOpened bool
 	probeDone   bool
 	pending     []types.Tuple // joined outputs awaiting emission
@@ -93,6 +95,12 @@ func (j *HashJoin) Open() error {
 		return err
 	}
 	for {
+		if err := j.ctx.Tick(); err != nil {
+			return err
+		}
+		if err := faultinject.Hit("exec.hashjoin.build"); err != nil {
+			return err
+		}
 		t, err := j.build.Next()
 		if err != nil {
 			return err
@@ -195,6 +203,12 @@ func (j *HashJoin) Next() (types.Tuple, error) {
 			}
 		}
 		if !j.spilled {
+			if err := j.ctx.Tick(); err != nil {
+				return nil, err
+			}
+			if err := faultinject.Hit("exec.hashjoin.probe"); err != nil {
+				return nil, err
+			}
 			t, err := j.probe.Next()
 			if err != nil {
 				return nil, err
@@ -230,6 +244,12 @@ func (j *HashJoin) openProbe() error {
 		return nil
 	}
 	for {
+		if err := j.ctx.Tick(); err != nil {
+			return err
+		}
+		if err := faultinject.Hit("exec.hashjoin.probe"); err != nil {
+			return err
+		}
 		t, err := j.probe.Next()
 		if err != nil {
 			return err
@@ -274,6 +294,12 @@ func (j *HashJoin) keysEqual(b, p types.Tuple) bool {
 // nextSpilled advances the partition-by-partition join, filling pending.
 func (j *HashJoin) nextSpilled() error {
 	for {
+		if err := j.ctx.Tick(); err != nil {
+			return err
+		}
+		if err := faultinject.Hit("exec.hashjoin.spill"); err != nil {
+			return err
+		}
 		if j.partScan != nil {
 			if j.partScan.Next() {
 				t := j.partScan.Tuple()
@@ -302,6 +328,9 @@ func (j *HashJoin) nextSpilled() error {
 		s := j.buildParts[j.curPart].Scan()
 		partSize := 0.0
 		for s.Next() {
+			if err := j.ctx.Tick(); err != nil {
+				return err
+			}
 			t := s.Tuple()
 			j.ctx.Meter.ChargeTuples(1)
 			h := hashKeys(t, j.node.BuildKeys)
@@ -327,8 +356,15 @@ func (j *HashJoin) Spilled() bool { return j.spilled }
 // ANALYZE's actual-memory column).
 func (j *HashJoin) MemUsed() float64 { return j.peakMem }
 
-// Close implements Operator.
+// Close implements Operator. It is idempotent and cascades to both
+// children, so closing the topmost live operator after an abort releases
+// every descendant's side state (spill partitions, sort runs) even when
+// the children never reached their normal end-of-stream Close.
 func (j *HashJoin) Close() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
 	for _, p := range j.buildParts {
 		if p != nil {
 			p.Drop()
@@ -341,5 +377,9 @@ func (j *HashJoin) Close() error {
 	}
 	j.table = nil
 	j.partTable = nil
-	return nil
+	err := j.build.Close()
+	if err2 := j.probe.Close(); err == nil {
+		err = err2
+	}
+	return err
 }

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -20,6 +21,7 @@ type IndexJoin struct {
 	idx   *storage.BTree
 
 	opened bool
+	closed bool
 	cur    types.Tuple // current outer tuple
 	rids   []storage.RID
 	ridPos int
@@ -78,6 +80,12 @@ func (j *IndexJoin) Next() (types.Tuple, error) {
 		if j.done {
 			return nil, nil
 		}
+		if err := j.ctx.Tick(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.Hit("exec.indexjoin.outer"); err != nil {
+			return nil, err
+		}
 		t, err := j.outer.Next()
 		if err != nil {
 			return nil, err
@@ -97,8 +105,13 @@ func (j *IndexJoin) Next() (types.Tuple, error) {
 	}
 }
 
-// Close implements Operator.
+// Close implements Operator. Idempotent; cascades to the outer input so
+// an abort mid-join releases its side state too.
 func (j *IndexJoin) Close() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
 	j.rids = nil
-	return nil
+	return j.outer.Close()
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -88,13 +89,20 @@ func Materialize(op Operator, pool *storage.BufferPool) (*storage.HeapFile, erro
 	tf := storage.NewTempFile(pool)
 	for {
 		t, err := op.Next()
+		if err == nil && t != nil {
+			err = faultinject.Hit("exec.materialize.append")
+		}
 		if err != nil {
+			// The half-written temp file would otherwise leak its heap
+			// pages: the caller never sees the handle on error.
+			tf.Drop()
 			return nil, err
 		}
 		if t == nil {
 			return tf, nil
 		}
 		if _, err := tf.Append(t); err != nil {
+			tf.Drop()
 			return nil, err
 		}
 	}

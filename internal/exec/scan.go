@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -32,6 +33,12 @@ func (s *SeqScan) Open() error {
 // Next implements Operator.
 func (s *SeqScan) Next() (types.Tuple, error) {
 	for s.scan.Next() {
+		if err := s.ctx.Tick(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.Hit("exec.scan.next"); err != nil {
+			return nil, err
+		}
 		s.ctx.Meter.ChargeTuples(1)
 		t := s.scan.Tuple()
 		ok := true

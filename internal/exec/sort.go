@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"sort"
 
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -23,6 +24,7 @@ type Sort struct {
 	size    float64
 	peakMem float64 // high-water sort-buffer memory, for EXPLAIN ANALYZE
 	runs    []*storage.HeapFile
+	closed  bool
 
 	// Emission state.
 	mem    []types.Tuple
@@ -59,6 +61,12 @@ func (s *Sort) Open() error {
 		return err
 	}
 	for {
+		if err := s.ctx.Tick(); err != nil {
+			return err
+		}
+		if err := faultinject.Hit("exec.sort.drain"); err != nil {
+			return err
+		}
 		t, err := s.in.Next()
 		if err != nil {
 			return err
@@ -150,6 +158,9 @@ func (s *Sort) openMerge() error {
 
 // Next implements Operator.
 func (s *Sort) Next() (types.Tuple, error) {
+	if err := s.ctx.Tick(); err != nil {
+		return nil, err
+	}
 	if s.merge == nil {
 		if s.memPos >= len(s.mem) {
 			return nil, nil
@@ -181,11 +192,16 @@ func (s *Sort) Spilled() bool { return len(s.runs) > 0 }
 // MemUsed reports the peak sort-buffer memory in bytes.
 func (s *Sort) MemUsed() float64 { return s.peakMem }
 
-// Close implements Operator.
+// Close implements Operator. Idempotent; cascades to the input so an
+// abort mid-drain releases the child's side state too.
 func (s *Sort) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	for _, r := range s.runs {
 		r.Drop()
 	}
 	s.mem, s.buf, s.merge = nil, nil, nil
-	return nil
+	return s.in.Close()
 }

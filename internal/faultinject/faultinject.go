@@ -1,0 +1,154 @@
+// Package faultinject is a deterministic fault-injection harness for
+// abort-path testing. Code under test calls Hit(site) at named points —
+// operator loops, plan-switch cleanup, broker admission — and tests arm
+// faults (an error, a panic, a delay, or a callback such as a context
+// cancel) at exactly the site and hit count they want to exercise.
+//
+// When no injector is installed (the production default) Hit is a single
+// atomic load and a nil check; sites cost nothing beyond that, so they
+// can sit in per-tuple loops.
+//
+// Faults are one-shot: a fault fires on its After'th hit of the site and
+// is disarmed, so a test gets exactly one deterministic failure per Arm.
+// The injector also records every site it sees, armed or not, which is
+// how the leak-check sweep discovers the full site list from a clean run
+// before aborting a workload at each site in turn.
+package faultinject
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what happens when an armed site fires.
+type Fault struct {
+	// Err is returned from Hit when the fault fires.
+	Err error
+	// After selects which hit of the site fires the fault (1 = the
+	// first). Zero means the first hit.
+	After int
+	// Delay sleeps before the fault takes effect, simulating a wedged
+	// operator (pair with a context deadline to test timeouts).
+	Delay time.Duration
+	// Do runs when the fault fires, before Err is returned — the hook
+	// tests use to cancel a context from inside the engine.
+	Do func()
+	// Panic, when non-nil, makes the site panic with this value instead
+	// of returning Err. It exercises the per-query recovery boundary.
+	Panic any
+}
+
+// Injector holds armed faults and per-site hit counts.
+type Injector struct {
+	mu     sync.Mutex
+	faults map[string]*Fault
+	hits   map[string]int
+}
+
+// active is the process-wide injector; nil means disabled.
+var active atomic.Pointer[Injector]
+
+// Enable installs a fresh injector process-wide and returns it. Tests
+// must call Disable (typically via t.Cleanup) when done.
+func Enable() *Injector {
+	inj := &Injector{faults: map[string]*Fault{}, hits: map[string]int{}}
+	active.Store(inj)
+	return inj
+}
+
+// Disable removes the process-wide injector; every site reverts to a
+// free no-op.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether an injector is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Hit marks one pass through a named site. It returns a non-nil error
+// (or panics, or sleeps) when a fault armed at the site fires; with no
+// injector installed it returns nil at the cost of one atomic load.
+func Hit(site string) error {
+	inj := active.Load()
+	if inj == nil {
+		return nil
+	}
+	return inj.hit(site)
+}
+
+func (inj *Injector) hit(site string) error {
+	inj.mu.Lock()
+	inj.hits[site]++
+	f := inj.faults[site]
+	if f == nil {
+		inj.mu.Unlock()
+		return nil
+	}
+	after := f.After
+	if after <= 0 {
+		after = 1
+	}
+	if inj.hits[site] < after {
+		inj.mu.Unlock()
+		return nil
+	}
+	delete(inj.faults, site) // one-shot
+	inj.mu.Unlock()
+
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Do != nil {
+		f.Do()
+	}
+	if f.Panic != nil {
+		panic(f.Panic)
+	}
+	return f.Err
+}
+
+// Arm installs a one-shot fault at a site, replacing any fault already
+// armed there. The site's hit count is reset so After counts from now.
+func (inj *Injector) Arm(site string, f Fault) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	cp := f
+	inj.faults[site] = &cp
+	inj.hits[site] = 0
+}
+
+// Disarm removes the fault armed at a site, if any.
+func (inj *Injector) Disarm(site string) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	delete(inj.faults, site)
+}
+
+// Armed reports whether a fault is still pending at the site — false
+// once it has fired (one-shot) or was never armed.
+func (inj *Injector) Armed(site string) bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.faults[site] != nil
+}
+
+// Hits returns how many times a site has been passed since it was last
+// armed (or since Enable).
+func (inj *Injector) Hits(site string) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.hits[site]
+}
+
+// Seen returns every site name observed so far, sorted — the site
+// inventory a sweep test iterates after one clean recording run.
+func (inj *Injector) Seen() []string {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make([]string, 0, len(inj.hits))
+	for s := range inj.hits {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

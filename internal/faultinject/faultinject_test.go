@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("enabled with no injector")
+	}
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("disabled Hit returned %v", err)
+	}
+}
+
+func TestErrorFaultFiresOnceAtAfter(t *testing.T) {
+	inj := Enable()
+	t.Cleanup(Disable)
+	boom := errors.New("boom")
+	inj.Arm("site", Fault{Err: boom, After: 3})
+	for i := 1; i <= 2; i++ {
+		if err := Hit("site"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if err := Hit("site"); !errors.Is(err, boom) {
+		t.Fatalf("hit 3: got %v, want boom", err)
+	}
+	// One-shot: disarmed after firing.
+	if inj.Armed("site") {
+		t.Fatal("still armed after firing")
+	}
+	if err := Hit("site"); err != nil {
+		t.Fatalf("hit 4 after one-shot: %v", err)
+	}
+	if got := inj.Hits("site"); got != 4 {
+		t.Fatalf("hits = %d, want 4", got)
+	}
+}
+
+func TestDoCallbackAndPanic(t *testing.T) {
+	inj := Enable()
+	t.Cleanup(Disable)
+	ran := false
+	inj.Arm("cb", Fault{Do: func() { ran = true }, Err: errors.New("x")})
+	if err := Hit("cb"); err == nil || !ran {
+		t.Fatalf("callback fault: err=%v ran=%t", err, ran)
+	}
+
+	inj.Arm("pan", Fault{Panic: "kaboom"})
+	defer func() {
+		if p := recover(); p != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", p)
+		}
+	}()
+	Hit("pan")
+	t.Fatal("unreachable: panic fault did not panic")
+}
+
+func TestDelayFault(t *testing.T) {
+	inj := Enable()
+	t.Cleanup(Disable)
+	inj.Arm("slow", Fault{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatalf("delay-only fault returned %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("slept %v, want >= 20ms", d)
+	}
+}
+
+func TestSeenRecordsUnarmedSites(t *testing.T) {
+	inj := Enable()
+	t.Cleanup(Disable)
+	Hit("b")
+	Hit("a")
+	Hit("a")
+	got := inj.Seen()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Seen() = %v", got)
+	}
+}
+
+func TestArmResetsHitCount(t *testing.T) {
+	inj := Enable()
+	t.Cleanup(Disable)
+	Hit("s")
+	Hit("s")
+	inj.Arm("s", Fault{Err: errors.New("e"), After: 2})
+	if err := Hit("s"); err != nil {
+		t.Fatalf("first post-arm hit fired: %v", err)
+	}
+	if err := Hit("s"); err == nil {
+		t.Fatal("second post-arm hit did not fire")
+	}
+}

@@ -32,6 +32,7 @@ type Broker struct {
 	admitted  int64
 	waits     int64
 	waitNanos int64 // total wall-clock time queries spent queued
+	cancelled int64 // waiters that gave up before admission
 	returned  float64
 	grown     float64
 
@@ -44,7 +45,8 @@ type Broker struct {
 
 // Event is one broker state transition, for tracing and tests.
 type Event struct {
-	// Kind is "admit", "queue", "return", "grow", or "release".
+	// Kind is "admit", "queue", "cancel", "return", "grow", or
+	// "release".
 	Kind string
 	// Query is the query tag the event concerns.
 	Query string
@@ -135,6 +137,13 @@ func (b *Broker) Admit(ctx context.Context, query string, min, want float64) (*L
 		for i, q := range b.queue {
 			if q == w {
 				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				b.cancelled++
+				b.emit("cancel", query, min)
+				// The cancelled waiter may have been the head holding
+				// everyone else up: a later waiter with a smaller
+				// minimum could fit the free pool right now, and no
+				// Return/Release is coming to re-check the queue.
+				b.wakeLocked()
 				b.mu.Unlock()
 				return nil, ctx.Err()
 			}
@@ -188,11 +197,18 @@ func (l *Lease) Waited() bool { return l.waited }
 // queries whose minimums now fit. Returns the amount actually returned
 // (clamped to the held reservation).
 func (l *Lease) Return(bytes float64) float64 {
-	if bytes <= 0 || l.released {
+	if bytes <= 0 {
 		return 0
 	}
 	b := l.b
 	b.mu.Lock()
+	// released is guarded by b.mu: a surrendered lease (cancelled Admit)
+	// is released on the broker's goroutine while the query's goroutine
+	// may still be unwinding through deferred Return/Release calls.
+	if l.released {
+		b.mu.Unlock()
+		return 0
+	}
 	bytes = math.Min(bytes, l.held)
 	l.held -= bytes
 	l.returns++
@@ -209,11 +225,15 @@ func (l *Lease) Return(bytes float64) float64 {
 // blocking and without overtaking queued queries. Returns the amount
 // actually obtained.
 func (l *Lease) Grow(bytes float64) float64 {
-	if bytes <= 0 || l.released {
+	if bytes <= 0 {
 		return 0
 	}
 	b := l.b
 	b.mu.Lock()
+	if l.released {
+		b.mu.Unlock()
+		return 0
+	}
 	if len(b.queue) > 0 {
 		// Queued queries have priority over incumbents' top-ups; a
 		// growing query taking the last free bytes could starve them.
@@ -236,11 +256,12 @@ func (l *Lease) Grow(bytes float64) float64 {
 // Release returns the whole reservation on query completion. Safe to
 // call more than once.
 func (l *Lease) Release() {
-	if l.released {
-		return
-	}
 	b := l.b
 	b.mu.Lock()
+	if l.released {
+		b.mu.Unlock()
+		return
+	}
 	l.released = true
 	b.avail += l.held
 	b.emit("release", l.query, l.held)
@@ -281,6 +302,7 @@ type BrokerStats struct {
 	Admitted   int64 // total admissions
 	Waits      int64 // admissions that had to queue
 	WaitNanos  int64 // total wall-clock time spent queued
+	Cancelled  int64 // waiters that gave up before admission
 	Returned   float64
 	Grown      float64
 }
@@ -296,6 +318,7 @@ func (b *Broker) Stats() BrokerStats {
 		Admitted:   b.admitted,
 		Waits:      b.waits,
 		WaitNanos:  b.waitNanos,
+		Cancelled:  b.cancelled,
 		Returned:   b.returned,
 		Grown:      b.grown,
 	}

@@ -1,0 +1,179 @@
+package memmgr
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// admitAsync runs Admit on its own goroutine and returns channels for
+// the result.
+func admitAsync(b *Broker, ctx context.Context, query string, min, want float64) (<-chan *Lease, <-chan error) {
+	lc := make(chan *Lease, 1)
+	ec := make(chan error, 1)
+	go func() {
+		l, err := b.Admit(ctx, query, min, want)
+		lc <- l
+		ec <- err
+	}()
+	return lc, ec
+}
+
+func waitQueued(t *testing.T, b *Broker, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().Waiting < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d waiters (at %d)", n, b.Stats().Waiting)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancelledHeadDoesNotStallQueue is the FIFO-under-cancellation
+// regression: A holds 50 of 100, B queues needing 80, C queues behind B
+// needing 40. Cancelling B must admit C promptly — with no Return or
+// Release happening to re-trigger the queue scan.
+func TestCancelledHeadDoesNotStallQueue(t *testing.T) {
+	b := NewBroker(100)
+	a, err := b.Admit(context.Background(), "A", 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bctx, cancelB := context.WithCancel(context.Background())
+	_, berr := admitAsync(b, bctx, "B", 80, 80)
+	waitQueued(t, b, 1)
+	cl, cerr := admitAsync(b, context.Background(), "C", 40, 40)
+	waitQueued(t, b, 2)
+
+	cancelB()
+	if err := <-berr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("B's Admit = %v, want context.Canceled", err)
+	}
+	select {
+	case l := <-cl:
+		if l == nil {
+			t.Fatalf("C admission failed: %v", <-cerr)
+		}
+		if l.Held() < 40 {
+			t.Fatalf("C admitted with %v bytes, want >= 40", l.Held())
+		}
+		l.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("C still queued after head-of-queue cancel: broker stalled")
+	}
+
+	a.Release()
+	if st := b.Stats(); st.AvailBytes != st.PoolBytes {
+		t.Fatalf("pool not restored: avail %v of %v", st.AvailBytes, st.PoolBytes)
+	}
+	if st := b.Stats(); st.Cancelled != 1 {
+		t.Fatalf("Cancelled = %d, want 1", st.Cancelled)
+	}
+}
+
+// TestCancelMidQueuePreservesFIFO cancels a middle waiter and checks the
+// order of the remaining admissions is unchanged.
+func TestCancelMidQueuePreservesFIFO(t *testing.T) {
+	b := NewBroker(100)
+	var order []string
+	var mu sync.Mutex
+	b.SetTrace(func(e Event) {
+		if e.Kind == "admit" {
+			mu.Lock()
+			order = append(order, e.Query)
+			mu.Unlock()
+		}
+	})
+	a, err := b.Admit(context.Background(), "A", 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l1, _ := admitAsync(b, context.Background(), "B", 30, 30)
+	waitQueued(t, b, 1)
+	cctx, cancelC := context.WithCancel(context.Background())
+	_, cerr := admitAsync(b, cctx, "C", 30, 30)
+	waitQueued(t, b, 2)
+	l3, _ := admitAsync(b, context.Background(), "D", 30, 30)
+	waitQueued(t, b, 3)
+
+	cancelC()
+	if err := <-cerr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("C's Admit = %v", err)
+	}
+	a.Release()
+	lb, ld := <-l1, <-l3
+	lb.Release()
+	ld.Release()
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"A", "B", "D"}
+	if len(order) != len(want) {
+		t.Fatalf("admit order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("admit order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSurrenderedLeaseNoDoubleCredit races a cancel against admission:
+// whichever way it lands, Return/Release on the query's side must not
+// credit the pool twice.
+func TestSurrenderedLeaseNoDoubleCredit(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		b := NewBroker(100)
+		a, err := b.Admit(context.Background(), "A", 100, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		lc, ec := admitAsync(b, ctx, "B", 50, 50)
+		waitQueued(t, b, 1)
+		// Race: the release (which admits B) against B's cancel.
+		relDone := make(chan struct{})
+		go func() { a.Release(); close(relDone) }()
+		go cancel()
+		l, admitErr := <-lc, <-ec
+		<-relDone
+		if l != nil {
+			// Admitted: exercise the post-cancel Return/Release path.
+			l.Return(10)
+			l.Release()
+			l.Release()
+			l.Return(10)
+		} else if !errors.Is(admitErr, context.Canceled) {
+			t.Fatalf("iter %d: Admit = %v", i, admitErr)
+		}
+		if st := b.Stats(); st.AvailBytes != st.PoolBytes {
+			t.Fatalf("iter %d: pool %v, avail %v after cleanup (double credit or leak)",
+				i, st.PoolBytes, st.AvailBytes)
+		}
+	}
+}
+
+// TestGrowAfterReleaseIsNoOp ensures a released (or surrendered) lease
+// cannot take bytes from the pool.
+func TestGrowAfterReleaseIsNoOp(t *testing.T) {
+	b := NewBroker(100)
+	l, err := b.Admit(context.Background(), "A", 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+	if got := l.Grow(20); got != 0 {
+		t.Fatalf("Grow after Release = %v, want 0", got)
+	}
+	if got := l.Return(20); got != 0 {
+		t.Fatalf("Return after Release = %v, want 0", got)
+	}
+	if st := b.Stats(); st.AvailBytes != st.PoolBytes {
+		t.Fatalf("pool corrupted: avail %v of %v", st.AvailBytes, st.PoolBytes)
+	}
+}

@@ -8,6 +8,9 @@ package obs
 type EngineMetrics struct {
 	Queries     *Counter
 	QueryErrors *Counter
+	// QueriesCancelled counts queries aborted by user cancel or
+	// deadline (a subset of QueryErrors).
+	QueriesCancelled *Counter
 
 	CollectorsInserted *Counter
 	Observations       *Counter
@@ -30,8 +33,9 @@ type EngineMetrics struct {
 // NewEngineMetrics registers the engine metric set on a registry.
 func NewEngineMetrics(r *Registry) *EngineMetrics {
 	return &EngineMetrics{
-		Queries:     r.NewCounter("mqr_queries_total", "Queries executed"),
-		QueryErrors: r.NewCounter("mqr_query_errors_total", "Queries that returned an error"),
+		Queries:          r.NewCounter("mqr_queries_total", "Queries executed"),
+		QueryErrors:      r.NewCounter("mqr_query_errors_total", "Queries that returned an error"),
+		QueriesCancelled: r.NewCounter("mqr_queries_cancelled_total", "Queries aborted by cancellation or deadline"),
 
 		CollectorsInserted: r.NewCounter("reopt_collectors_inserted_total", "Statistics collectors inserted by the SCIA (sec 2.2/2.5)"),
 		Observations:       r.NewCounter("reopt_observations_total", "Collector reports delivered to the dispatcher (sec 2.2)"),

@@ -199,50 +199,67 @@ func NewRegistry() *Registry {
 	return &Registry{metrics: map[string]metric{}}
 }
 
-func (r *Registry) register(m metric) {
+// register adds m to the registry. Re-registering a metric identical to
+// an existing one — same name, exposition type, help, and metric kind —
+// is idempotent: the registered instance is returned so a rebuilt
+// session keeps accumulating into the same series instead of panicking.
+// Func-backed metrics are the exception: they read external state at
+// scrape time, so re-registration rebinds the name to the caller's
+// fresh closure (the old closure may capture a torn-down broker or
+// cache). A name collision with a different type or help is still a
+// programming error and panics.
+func (r *Registry) register(m metric) metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.metrics[m.name()]; dup {
+	old, dup := r.metrics[m.name()]
+	if !dup {
+		r.metrics[m.name()] = m
+		return m
+	}
+	_, oldFunc := old.(*FuncMetric)
+	_, newFunc := m.(*FuncMetric)
+	if old.typ() != m.typ() || old.help() != m.help() || oldFunc != newFunc {
 		panic("obs: duplicate metric " + m.name())
 	}
-	r.metrics[m.name()] = m
+	if newFunc {
+		r.metrics[m.name()] = m
+		return m
+	}
+	return old
 }
 
 // NewCounter registers and returns a counter.
 func (r *Registry) NewCounter(name, help string) *Counter {
 	c := &Counter{mname: name, mhelp: help}
-	r.register(c)
-	return c
+	return r.register(c).(*Counter)
 }
 
 // NewGauge registers and returns a gauge.
 func (r *Registry) NewGauge(name, help string) *Gauge {
 	g := &Gauge{mname: name, mhelp: help}
-	r.register(g)
-	return g
+	return r.register(g).(*Gauge)
 }
 
 // NewGaugeFunc registers a gauge whose value is read at scrape time.
 func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) *FuncMetric {
 	f := &FuncMetric{mname: name, mhelp: help, mtyp: "gauge", fn: fn}
-	r.register(f)
-	return f
+	return r.register(f).(*FuncMetric)
 }
 
 // NewCounterFunc registers a counter whose value is read at scrape time
 // (the backing source must be monotonic).
 func (r *Registry) NewCounterFunc(name, help string, fn func() float64) *FuncMetric {
 	f := &FuncMetric{mname: name, mhelp: help, mtyp: "counter", fn: fn}
-	r.register(f)
-	return f
+	return r.register(f).(*FuncMetric)
 }
 
 // NewHistogram registers a histogram with the given ascending upper
-// bucket bounds (+Inf is added implicitly).
+// bucket bounds (+Inf is added implicitly). Identical re-registration
+// returns the existing histogram; the bounds of the first registration
+// win.
 func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
 	h := &Histogram{mname: name, mhelp: help, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
-	r.register(h)
-	return h
+	return r.register(h).(*Histogram)
 }
 
 // Get returns a registered metric by name (tests, expvar publication),

@@ -96,6 +96,69 @@ func TestDuplicateRegistrationPanics(t *testing.T) {
 	r.NewGauge("dup", "y")
 }
 
+// Re-registering an identical metric must be idempotent: rebuilding a
+// session's metric set over a shared registry happens on every session
+// restart and must neither panic nor reset accumulated counts.
+func TestIdenticalReRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.NewCounter("idem_c", "h")
+	c1.Add(5)
+	c2 := r.NewCounter("idem_c", "h")
+	if c2 != c1 {
+		t.Fatal("identical counter re-registration returned a new instance")
+	}
+	if c2.Value() != 5 {
+		t.Fatalf("re-registered counter value = %v, want 5 (count reset)", c2.Value())
+	}
+	g1 := r.NewGauge("idem_g", "h")
+	if r.NewGauge("idem_g", "h") != g1 {
+		t.Fatal("identical gauge re-registration returned a new instance")
+	}
+	h1 := r.NewHistogram("idem_h", "h", []float64{1, 2})
+	h1.Observe(1.5)
+	h2 := r.NewHistogram("idem_h", "h", []float64{1, 2})
+	if h2 != h1 || h2.Count() != 1 {
+		t.Fatal("identical histogram re-registration lost samples")
+	}
+	// Engine metric sets ride on this: building twice must work.
+	NewEngineMetrics(r)
+	NewEngineMetrics(r)
+}
+
+// Func-backed metrics instead rebind to the fresh closure: the old one
+// may capture state (a broker, a cache) that no longer exists.
+func TestFuncReRegistrationRebindsClosure(t *testing.T) {
+	r := NewRegistry()
+	r.NewGaugeFunc("idem_f", "h", func() float64 { return 1 })
+	f := r.NewGaugeFunc("idem_f", "h", func() float64 { return 2 })
+	if f.Value() != 2 {
+		t.Fatalf("re-registered func metric reads %v, want 2 (stale closure)", f.Value())
+	}
+	if got := r.Get("idem_f").(*FuncMetric).Value(); got != 2 {
+		t.Fatalf("registry still scrapes %v, want 2", got)
+	}
+}
+
+// Same name with a different help, type, or kind is a real conflict.
+func TestConflictingReRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("conf", "x")
+	for _, reg := range []func(){
+		func() { r.NewCounter("conf", "different help") },
+		func() { r.NewGauge("conf", "x") },
+		func() { r.NewCounterFunc("conf", "x", func() float64 { return 0 }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("conflicting re-registration did not panic")
+				}
+			}()
+			reg()
+		}()
+	}
+}
+
 // Counters, gauges, and histograms satisfy expvar.Var, so they can be
 // published to the standard /debug/vars surface.
 func TestExpvarCompatible(t *testing.T) {

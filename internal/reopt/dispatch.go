@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/memmgr"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
@@ -54,30 +55,53 @@ func (d *Dispatcher) dispatchWith(res *optimizer.Result, params plan.Params, ctx
 	if err != nil {
 		return nil, err
 	}
+	// live tracks the topmost constructed operator. Closes cascade, so
+	// aborting between segments only needs one Close to release every
+	// descendant's side state (spill partitions, sort runs, the spliced
+	// stream from an enclosing dispatch).
+	live := cur
+	abort := func(err error) ([]types.Tuple, error) {
+		live.Close()
+		if d.Cfg.Trace.Enabled() && ctx.Err() != nil {
+			d.Cfg.Trace.Emit("cancel", "query aborted mid-dispatch", "err", err.Error())
+		}
+		return nil, err
+	}
 	for i := range dec.steps {
+		// The paper's checkpoints double as the dispatcher's abort
+		// points: between segments the query is at a well-defined state.
+		if err := ctx.Err(); err != nil {
+			return abort(err)
+		}
+		if err := faultinject.Hit("reopt.step"); err != nil {
+			return abort(err)
+		}
 		step := dec.steps[i]
 		joinOp, err := exec.BuildStep(step.join, cur, ctx)
 		if err != nil {
-			return nil, err
+			return abort(err)
 		}
+		live = joinOp
 		topOp := joinOp
 		for _, w := range step.wrappers {
-			topOp, err = exec.BuildStep(w, topOp, ctx)
+			wrapped, err := exec.BuildStep(w, topOp, ctx)
 			if err != nil {
-				return nil, err
+				return abort(err)
 			}
+			topOp = wrapped
+			live = topOp
 		}
 		// Run this join's build phase (for index joins this is free and
 		// no statistics can have completed).
 		if err := joinOp.Open(); err != nil {
-			return nil, err
+			return abort(err)
 		}
 		if len(pending) > 0 {
 			obs := pending[len(pending)-1] // latest = closest to this join
 			pending = nil
 			doSwitch, err := d.checkpoint(res, dec, i, obs, collectors, origTotal, startSnap, ctx, st, switchesLeft)
 			if err != nil {
-				return nil, err
+				return abort(err)
 			}
 			if doSwitch {
 				return d.switchPlan(res, dec, i, topOp, obs, collectors[obs.CollectorID], params, ctx, st, switchesLeft)
@@ -88,12 +112,19 @@ func (d *Dispatcher) dispatchWith(res *optimizer.Result, params plan.Params, ctx
 
 	top := cur
 	for k := len(dec.tops) - 1; k >= 0; k-- {
-		top, err = exec.BuildStep(dec.tops[k], top, ctx)
+		wrapped, err := exec.BuildStep(dec.tops[k], top, ctx)
 		if err != nil {
-			return nil, err
+			return abort(err)
 		}
+		top = wrapped
+		live = top
 	}
-	return exec.Collect(top)
+	// Collect closes the chain itself, error or not.
+	rows, err := exec.Collect(top)
+	if err != nil && d.Cfg.Trace.Enabled() && ctx.Err() != nil {
+		d.Cfg.Trace.Emit("cancel", "query aborted mid-dispatch", "err", err.Error())
+	}
+	return rows, err
 }
 
 // buildLeafOp builds the operator for the leftmost pipeline. With an
@@ -145,6 +176,14 @@ func (d *Dispatcher) decide(st *Stats, msg string, kv ...any) {
 // Equations 1 and 2 plus the trial re-optimization (plan modes),
 // returning whether to switch plans.
 func (d *Dispatcher) checkpoint(res *optimizer.Result, dec *decomposed, i int, obs *plan.Observed, collectors map[int]*plan.Collector, origTotal float64, startSnap storage.Snapshot, ctx *exec.Ctx, st *Stats, switchesLeft int) (bool, error) {
+	// A cancelled query must not start a trial re-optimization or commit
+	// to a plan switch; check once at the decision point.
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if err := faultinject.Hit("reopt.checkpoint"); err != nil {
+		return false, err
+	}
 	cnode := collectors[obs.CollectorID]
 	if cnode == nil {
 		return false, nil
@@ -572,7 +611,8 @@ func (d *Dispatcher) trialOptimize(res *optimizer.Result, dec *decomposed, i int
 	if err != nil {
 		return 0, false, err
 	}
-	defer d.Cat.DropTable(tempName)
+	d.trackTemp(tempName)
+	defer d.dropTemp(tempName)
 	tbl.Cardinality = matEst.Rows
 	tbl.AvgTupleBytes = matEst.Bytes / matEst.Rows
 	fillTempStats(tbl, matNode.Schema(), obs, cnode, res.Query, matEst.Rows)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/histogram"
 	"repro/internal/memmgr"
 	"repro/internal/obs"
@@ -183,6 +184,53 @@ type Dispatcher struct {
 	Calib *optimizer.Calibrator
 
 	tempSeq int
+	// temps tracks every temp table this dispatcher registered and has
+	// not yet dropped. A dispatcher serves one query on one goroutine,
+	// so no lock is needed. Whatever remains after the query — because an
+	// abort skipped a drop, or a drop itself failed — is released by
+	// Cleanup, which the session calls unconditionally.
+	temps map[string]struct{}
+}
+
+// trackTemp records a temp table as live until dropTemp succeeds on it.
+func (d *Dispatcher) trackTemp(name string) {
+	if d.temps == nil {
+		d.temps = make(map[string]struct{})
+	}
+	d.temps[name] = struct{}{}
+}
+
+// dropTemp drops one tracked temp table. The fault-injection site models
+// DropTable failing mid-switch; on any failure the name stays tracked so
+// Cleanup retries it, keeping the no-leaked-temps invariant.
+func (d *Dispatcher) dropTemp(name string) error {
+	if _, ok := d.temps[name]; !ok {
+		return nil
+	}
+	if err := faultinject.Hit("reopt.droptemp"); err != nil {
+		return err
+	}
+	if err := d.Cat.DropTable(name); err != nil {
+		return err
+	}
+	delete(d.temps, name)
+	return nil
+}
+
+// Cleanup drops every temp table still tracked. It is the query's abort
+// backstop: sessions defer it so user cancels, deadlines, operator
+// errors, and panics all leave the catalog temp-free. Returns the first
+// drop error, if any (the names are forgotten regardless — a temp whose
+// drop failed twice has no better third option).
+func (d *Dispatcher) Cleanup() error {
+	var first error
+	for name := range d.temps {
+		if err := d.Cat.DropTable(name); err != nil && first == nil {
+			first = err
+		}
+		delete(d.temps, name)
+	}
+	return first
 }
 
 // tempCounter issues engine-wide unique temp-table numbers. A

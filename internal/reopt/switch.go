@@ -61,8 +61,11 @@ func (d *Dispatcher) splicePlan(res *optimizer.Result, matNode plan.Node, liveOp
 	if err != nil {
 		return nil, false, err
 	}
+	d.trackTemp(tempName)
+	// Best-effort at each early exit; a failed drop leaves the name
+	// tracked for the session's Cleanup backstop.
 	dropTemp := func() {
-		d.Cat.DropTable(tempName)
+		d.dropTemp(tempName)
 	}
 	tbl.Cardinality = matEst.Rows
 	if matEst.Rows > 0 {
@@ -156,6 +159,9 @@ func (d *Dispatcher) materializeAndResubmit(res *optimizer.Result, matNode plan.
 	}
 	colOp := exec.NewCollector(cnode, op, ctx)
 	if err := colOp.Open(); err != nil {
+		// Close the collector (and through it the drained stream) so a
+		// failed open does not strand the running join's partitions.
+		colOp.Close()
 		ctx.StatsSink = oldSink
 		return nil, err
 	}
@@ -173,13 +179,14 @@ func (d *Dispatcher) materializeAndResubmit(res *optimizer.Result, matNode plan.
 		heap.Drop() // free the materialized pages; nobody owns them now
 		return nil, err
 	}
+	d.trackTemp(tempName)
 	if matObs != nil {
 		fillTempStats(tbl, matSchema, matObs, cnode, res.Query, float64(heap.NumTuples()))
 	}
 
 	remStmt, err := remainderStmt(res.Query, consumed, tempName)
 	if err != nil {
-		d.Cat.DropTable(tempName)
+		d.dropTemp(tempName)
 		return nil, err
 	}
 	st.PlanSwitches++
@@ -191,7 +198,7 @@ func (d *Dispatcher) materializeAndResubmit(res *optimizer.Result, matNode plan.
 		)
 	}
 	rows, err := d.run(remStmt, params, ctx, st, switchesLeft-1)
-	if derr := d.Cat.DropTable(tempName); derr != nil && err == nil {
+	if derr := d.dropTemp(tempName); derr != nil && err == nil {
 		err = derr
 	}
 	return rows, err

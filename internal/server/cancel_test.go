@@ -1,0 +1,131 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/session"
+	"repro/internal/tpcd"
+)
+
+// TestServerCancelEndpoint wedges a query mid-scan, discovers its tag
+// via /status, aborts it with POST /cancel, and checks the abort left
+// no residue behind.
+func TestServerCancelEndpoint(t *testing.T) {
+	ts, m := startTPCD(t, session.Config{})
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.Enable()
+	defer faultinject.Disable()
+
+	q1, _ := tpcd.ByName("Q1")
+	inj.Arm("exec.scan.next", faultinject.Fault{After: 200, Delay: 2 * time.Second})
+
+	done := make(chan *QueryResponse, 1)
+	go func() {
+		res, _ := c.Exec(QueryRequest{SQL: q1.SQL})
+		done <- res
+	}()
+
+	// The tag appears in /status as soon as the query starts.
+	var tag string
+	deadline := time.Now().Add(5 * time.Second)
+	for tag == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("query never appeared in /status running list")
+		}
+		st, err := c.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Running) > 0 {
+			tag = st.Running[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	ok, err := c.Cancel(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("cancel of running query %q reported not found", tag)
+	}
+
+	select {
+	case res := <-done:
+		if res == nil || !strings.Contains(res.Error, "cancel") {
+			t.Fatalf("cancelled query response = %+v, want a context-canceled error", res)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled query never returned")
+	}
+
+	if temps := m.Catalog().TempTables(); len(temps) != 0 {
+		t.Fatalf("residual temp tables after cancel: %v", temps)
+	}
+	if st := m.Broker().Stats(); st.AvailBytes != st.PoolBytes {
+		t.Fatalf("broker holds %.0f bytes after cancel", st.PoolBytes-st.AvailBytes)
+	}
+
+	// Cancelling a finished (or unknown) tag is a no-op, not an error.
+	ok, err = c.Cancel(tag)
+	if err != nil || ok {
+		t.Fatalf("Cancel(%q) after completion = (%t, %v), want (false, nil)", tag, ok, err)
+	}
+}
+
+// TestServerQueryTimeout sets a per-request deadline on a wedged query.
+func TestServerQueryTimeout(t *testing.T) {
+	ts, m := startTPCD(t, session.Config{})
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.Enable()
+	defer faultinject.Disable()
+
+	q1, _ := tpcd.ByName("Q1")
+	inj.Arm("exec.scan.next", faultinject.Fault{After: 100, Delay: 300 * time.Millisecond})
+	res, _ := c.Exec(QueryRequest{SQL: q1.SQL, TimeoutMs: 30})
+	if res == nil || !strings.Contains(res.Error, "deadline") {
+		t.Fatalf("response = %+v, want a deadline-exceeded error", res)
+	}
+	if st := m.Broker().Stats(); st.AvailBytes != st.PoolBytes {
+		t.Fatalf("broker holds %.0f bytes after timeout", st.PoolBytes-st.AvailBytes)
+	}
+}
+
+// TestServerSurvivesQueryPanic is the satellite regression: a panic
+// inside one query (an operator or value-accessor bug) must come back
+// as that query's error and leave the server fully serviceable.
+func TestServerSurvivesQueryPanic(t *testing.T) {
+	ts, _ := startTPCD(t, session.Config{})
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.Enable()
+	defer faultinject.Disable()
+
+	q3, _ := tpcd.ByName("Q3")
+	inj.Arm("exec.hashjoin.build", faultinject.Fault{Panic: "value accessor type confusion", After: 10})
+	res, _ := c.Exec(QueryRequest{SQL: q3.SQL, Mode: "full"})
+	if res == nil || !strings.Contains(res.Error, "query panic") {
+		t.Fatalf("response = %+v, want a recovered-panic error", res)
+	}
+
+	// Same client, same server: the next query runs normally.
+	ok, err := c.Exec(QueryRequest{SQL: q3.SQL, Mode: "full"})
+	if err != nil {
+		t.Fatalf("server unserviceable after a query panic: %v", err)
+	}
+	if len(ok.Rows) == 0 {
+		t.Fatal("post-panic query returned no rows")
+	}
+}

@@ -55,6 +55,17 @@ func (c *Client) Exec(req QueryRequest) (*QueryResponse, error) {
 	return &out, nil
 }
 
+// Cancel aborts a running query by its engine tag. It reports whether
+// the tag named a query still in flight (false usually means it
+// already finished).
+func (c *Client) Cancel(tag string) (bool, error) {
+	var out CancelResponse
+	if err := c.post("/cancel", CancelRequest{Query: tag}, &out); err != nil {
+		return false, err
+	}
+	return out.Cancelled, nil
+}
+
 // Analyze refreshes a table's statistics server-side.
 func (c *Client) Analyze(table, family string) error {
 	return c.post("/analyze", AnalyzeRequest{Table: table, Family: family}, &struct{}{})

@@ -8,9 +8,14 @@
 //
 //	POST /session          -> {"session": id}
 //	POST /query            QueryRequest -> QueryResponse
+//	POST /cancel           CancelRequest -> CancelResponse
 //	POST /analyze          AnalyzeRequest -> {}
 //	GET  /status           -> StatusResponse
 //	GET  /metrics          -> Prometheus text exposition
+//
+// Every query is abortable: /cancel aborts by tag, QueryRequest can
+// carry a per-query deadline, the server can impose a default one, and
+// a client disconnect cancels via the request context.
 package server
 
 import (
@@ -56,6 +61,20 @@ type QueryRequest struct {
 	Explain bool `json:"explain,omitempty"`
 	// Trace returns the query's lifecycle event log.
 	Trace bool `json:"trace,omitempty"`
+	// TimeoutMs bounds the query's wall-clock time in milliseconds,
+	// overriding the server's default query timeout; 0 inherits it.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// CancelRequest aborts a running query by its engine tag (the "query"
+// field of QueryResponse / the tags in StatusResponse.Running).
+type CancelRequest struct {
+	Query string `json:"query"`
+}
+
+// CancelResponse reports whether the tag named a running query.
+type CancelResponse struct {
+	Cancelled bool `json:"cancelled"`
 }
 
 // QueryResponse is one query's outcome. Rows are rendered to strings
@@ -88,12 +107,19 @@ type StatusResponse struct {
 	Sessions      int64              `json:"sessions"`
 	Queries       int64              `json:"queries"`
 	UptimeSeconds float64            `json:"uptime_seconds"`
+	// Running lists the tags of queries currently executing — the
+	// handles POST /cancel accepts.
+	Running []string `json:"running,omitempty"`
 }
 
 // Server serves one session.Manager over HTTP.
 type Server struct {
 	m   *session.Manager
 	log *slog.Logger
+
+	// queryTimeout is the default deadline applied to every query that
+	// does not set its own TimeoutMs; 0 means none.
+	queryTimeout time.Duration
 
 	mu       sync.Mutex
 	sessions map[int64]*session.Session
@@ -118,11 +144,16 @@ func (s *Server) SetLogger(l *slog.Logger) {
 	}
 }
 
+// SetQueryTimeout installs a default per-query deadline. Individual
+// requests override it with TimeoutMs; 0 disables the default.
+func (s *Server) SetQueryTimeout(d time.Duration) { s.queryTimeout = d }
+
 // Handler returns the server's HTTP handler (httptest and embedding).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/session", s.handleSession)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/cancel", s.handleCancel)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -189,6 +220,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if opts.Timeout == 0 {
+		opts.Timeout = s.queryTimeout
+	}
 	start := time.Now()
 	res, err := sess.Exec(r.Context(), req.SQL, opts)
 	if err != nil {
@@ -232,6 +266,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req CancelRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	if req.Query == "" {
+		httpError(w, http.StatusBadRequest, "missing query tag")
+		return
+	}
+	ok := s.m.Cancel(req.Query)
+	s.log.Info("cancel", "tag", req.Query, "found", ok)
+	if !ok {
+		// Not an error status: the query may have just finished, and
+		// cancellation is inherently racy with completion.
+		writeJSON(w, CancelResponse{Cancelled: false})
+		return
+	}
+	writeJSON(w, CancelResponse{Cancelled: true})
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
@@ -261,6 +320,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Sessions:      s.m.Sessions(),
 		Queries:       s.m.QueriesRun(),
 		UptimeSeconds: s.m.Uptime().Seconds(),
+		Running:       s.m.Running(),
 	})
 }
 
@@ -287,6 +347,7 @@ func execOptions(req QueryRequest) (session.Options, error) {
 		NoCache:          req.NoCache,
 		Explain:          req.Explain,
 		Trace:            req.Trace,
+		Timeout:          time.Duration(req.TimeoutMs) * time.Millisecond,
 	}, nil
 }
 

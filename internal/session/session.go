@@ -18,7 +18,9 @@ package session
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +69,13 @@ type Manager struct {
 	// alternative is per-table latching through every operator.
 	schemaMu sync.RWMutex
 
+	// running maps each in-flight query's tag to the cancel function of
+	// its per-query context, so Cancel can abort it by name (the POST
+	// /cancel path). Guarded by runningMu, not schemaMu: cancels must
+	// land while queries hold the schema lock.
+	runningMu sync.Mutex
+	running   map[string]context.CancelFunc
+
 	sessions atomic.Int64
 	queries  atomic.Int64
 
@@ -87,13 +96,14 @@ func NewManager(cat *catalog.Catalog, pool *storage.BufferPool, meter *storage.C
 		cfg.MemBudget = cfg.MemPoolBytes
 	}
 	m := &Manager{
-		cat:    cat,
-		pool:   pool,
-		meter:  meter,
-		broker: memmgr.NewBroker(cfg.MemPoolBytes),
-		cfg:    cfg,
-		reg:    obs.NewRegistry(),
-		start:  time.Now(),
+		cat:     cat,
+		pool:    pool,
+		meter:   meter,
+		broker:  memmgr.NewBroker(cfg.MemPoolBytes),
+		cfg:     cfg,
+		reg:     obs.NewRegistry(),
+		running: make(map[string]context.CancelFunc),
+		start:   time.Now(),
 	}
 	if cfg.PlanCacheSize >= 0 {
 		size := cfg.PlanCacheSize
@@ -156,6 +166,44 @@ func (m *Manager) registerResourceMetrics() {
 // Broker exposes the shared memory broker (status endpoints, tests).
 func (m *Manager) Broker() *memmgr.Broker { return m.broker }
 
+// Cancel aborts the running query with the given tag (Result.Query /
+// the tags listed by Running). It returns whether a query by that tag
+// was in flight; the query itself unwinds asynchronously and reports
+// context.Canceled to its own caller.
+func (m *Manager) Cancel(tag string) bool {
+	m.runningMu.Lock()
+	cancel, ok := m.running[tag]
+	m.runningMu.Unlock()
+	if ok {
+		cancel()
+	}
+	return ok
+}
+
+// Running lists the tags of queries currently in flight, sorted.
+func (m *Manager) Running() []string {
+	m.runningMu.Lock()
+	defer m.runningMu.Unlock()
+	tags := make([]string, 0, len(m.running))
+	for t := range m.running {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+func (m *Manager) trackRunning(tag string, cancel context.CancelFunc) {
+	m.runningMu.Lock()
+	m.running[tag] = cancel
+	m.runningMu.Unlock()
+}
+
+func (m *Manager) untrackRunning(tag string) {
+	m.runningMu.Lock()
+	delete(m.running, tag)
+	m.runningMu.Unlock()
+}
+
 // CacheStats snapshots plan-cache traffic (zero value when disabled).
 func (m *Manager) CacheStats() plancache.Stats {
 	if m.cache == nil {
@@ -212,6 +260,10 @@ type Options struct {
 	// checkpoint decisions, re-allocations, plan switches) into the
 	// Result.
 	Trace bool
+	// Timeout bounds the query's wall-clock time, covering both the
+	// wait for memory admission and execution; 0 means no deadline.
+	// Expiry surfaces as context.DeadlineExceeded.
+	Timeout time.Duration
 }
 
 // Result is one query's outcome, extending the single-query result with
@@ -239,19 +291,51 @@ type Result struct {
 
 // Exec compiles (or fetches from the plan cache) and runs one SQL
 // query, admitting its memory demands against the shared broker pool.
-// The context cancels waiting for admission.
-func (s *Session) Exec(ctx context.Context, src string, opts Options) (*Result, error) {
-	r, err := s.exec(ctx, src, opts)
-	if err != nil {
-		s.m.em.Queries.Inc()
-		s.m.em.QueryErrors.Inc()
-	}
-	return r, err
+// The context cancels both the wait for admission and execution itself;
+// Options.Timeout adds a deadline on top of it.
+//
+// Exec is also the per-query fault boundary: a panic anywhere in the
+// query (a mistyped Value accessor in an expression, an operator bug)
+// is recovered here and surfaced as an ordinary error. The panic
+// unwinds through exec's deferred cleanup first, so temp tables,
+// leases, and the schema lock are all released and the session stays
+// usable.
+func (s *Session) Exec(ctx context.Context, src string, opts Options) (r *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, err = nil, fmt.Errorf("query panic: %v", p)
+		}
+		if err != nil {
+			s.m.em.Queries.Inc()
+			s.m.em.QueryErrors.Inc()
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.m.em.QueriesCancelled.Inc()
+			}
+		}
+	}()
+	return s.exec(ctx, src, opts)
 }
 
 func (s *Session) exec(ctx context.Context, src string, opts Options) (*Result, error) {
 	m := s.m
 	tag := fmt.Sprintf("s%d_q%d", s.id, m.queries.Add(1))
+
+	// One context governs the whole query — admission wait, operator
+	// cancellation checks, dispatcher checkpoints. It layers the
+	// caller's context, the optional deadline, and the Cancel-by-tag
+	// registry.
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if opts.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	m.trackRunning(tag, cancel)
+	defer m.untrackRunning(tag)
 
 	m.schemaMu.RLock()
 	defer m.schemaMu.RUnlock()
@@ -290,11 +374,15 @@ func (s *Session) exec(ctx context.Context, src string, opts Options) (*Result, 
 		az = obs.NewAnalyze()
 	}
 	d := reopt.New(m.cat, cfg)
+	// Backstop: whatever path the query exits by (error, cancel,
+	// panic unwinding to Exec's recover), every temp table the
+	// dispatcher registered is dropped before the lease is released.
+	defer d.Cleanup()
 	params := plan.Params{}
 	for k, v := range opts.Params {
 		params[k] = v
 	}
-	ectx := &exec.Ctx{Pool: m.pool, Meter: m.meter, Params: params, Trace: tr, Analyze: az}
+	ectx := &exec.Ctx{Context: ctx, Pool: m.pool, Meter: m.meter, Params: params, Trace: tr, Analyze: az}
 	before := m.meter.Snapshot()
 	rows, st, err := d.RunPlan(res, params, ectx)
 	if err != nil {

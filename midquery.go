@@ -22,7 +22,9 @@
 package midquery
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
@@ -253,6 +255,14 @@ type ExecOptions struct {
 	// Result.Trace. Off by default; enabling it costs one ring-buffer
 	// append per event.
 	Trace bool
+	// Timeout bounds the query's wall-clock time; 0 means no deadline.
+	// Expiry aborts the query mid-execution (operators poll the
+	// deadline between tuples), drops its temp tables, and surfaces
+	// context.DeadlineExceeded.
+	Timeout time.Duration
+	// Context aborts the query when cancelled (optional; Timeout
+	// layers a deadline on top of it).
+	Context context.Context
 }
 
 func (db *DB) dispatcher(o ExecOptions) *reopt.Dispatcher {
@@ -311,12 +321,24 @@ func (db *DB) exec(src string, opts ExecOptions, az *obs.Analyze) (*Result, erro
 	if opts.Trace {
 		tr = obs.NewTrace(obs.DefaultTraceCap)
 	}
+	qctx := opts.Context
+	if qctx == nil {
+		qctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(qctx, opts.Timeout)
+		defer cancel()
+	}
 	d := db.dispatcherWithTrace(opts, tr)
+	// Whatever path the query exits by, drop every temp table the
+	// dispatcher registered.
+	defer d.Cleanup()
 	params := plan.Params{}
 	for k, v := range opts.Params {
 		params[k] = v
 	}
-	ctx := &exec.Ctx{Pool: db.pool, Meter: db.meter, Params: params, Trace: tr, Analyze: az}
+	ctx := &exec.Ctx{Context: qctx, Pool: db.pool, Meter: db.meter, Params: params, Trace: tr, Analyze: az}
 	before := db.meter.Snapshot()
 	rows, st, err := d.RunSQL(src, params, ctx)
 	if err != nil {
@@ -416,6 +438,7 @@ func (pq *Prepared) Exec(params map[string]Value) (*Result, error) {
 		return nil, err
 	}
 	d := pq.db.dispatcher(pq.opts)
+	defer d.Cleanup()
 	ctx := &exec.Ctx{Pool: pq.db.pool, Meter: pq.db.meter, Params: bound}
 	before := pq.db.meter.Snapshot()
 	rows, st, err := d.RunPlan(res, bound, ctx)
