@@ -11,7 +11,14 @@
 //	mqr-bench -fig abl       # design-choice ablations
 //	mqr-bench -fig hist      # catalog histogram families
 //	mqr-bench -fig hybrid    # parametric/dynamic hybrid (paper §4)
+//	mqr-bench -fig parallel  # intra-query parallelism sweep
 //	mqr-bench -fig all       # everything
+//
+// The parallel figure sweeps exchange-operator degrees 1..N (set N with
+// -parallel, default 4) over the medium and complex queries and reports
+// per-degree wall speedup and switch rate. With -parallel-gate X the
+// process exits non-zero if the geometric-mean wall speedup at the top
+// degree falls below X — a self-checking CI gate with no JSON parsing.
 //
 // With -json FILE ("-" for stdout) the run also emits a
 // machine-readable report: the configuration, every figure's rows, and
@@ -31,8 +38,9 @@ import (
 
 // figure is one figure's entry in the JSON report.
 type figure struct {
-	Rows    any            `json:"rows"`
-	Summary *bench.Summary `json:"summary,omitempty"`
+	Rows     any                    `json:"rows"`
+	Summary  *bench.Summary         `json:"summary,omitempty"`
+	Parallel *bench.ParallelSummary `json:"parallel_summary,omitempty"`
 }
 
 // report is the -json output document.
@@ -43,12 +51,14 @@ type report struct {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 10|11|12|mu|sens|abl|hist|hybrid|all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 10|11|12|mu|sens|abl|hist|hybrid|parallel|all")
 		sf      = flag.Float64("sf", 0.01, "TPC-D scale factor")
 		pool    = flag.Int("pool", 256, "buffer pool pages")
 		mem     = flag.Float64("mem", 2<<20, "per-query memory budget in bytes")
 		stale   = flag.Float64("stale", 0.5, "fraction of data loaded when ANALYZE ran")
 		seed    = flag.Int64("seed", 0, "data generator seed")
+		par     = flag.Int("parallel", 4, "top degree for the parallel sweep (degrees 1,2,..,N by doubling)")
+		parGate = flag.Float64("parallel-gate", 0, "exit non-zero if top-degree geomean wall speedup is below this (0 = no gate)")
 		jsonOut = flag.String("json", "", `write a JSON report to this file ("-" for stdout)`)
 	)
 	flag.Parse()
@@ -125,6 +135,24 @@ func main() {
 			}
 			fmt.Println()
 			record("hybrid", rows, nil)
+		case "parallel":
+			rows, err := bench.Parallel(cfg, *par)
+			check(err)
+			fmt.Println(bench.FormatParallel(
+				fmt.Sprintf("Intra-query parallelism (degrees 1..%d, full re-optimization):", *par), rows))
+			s := bench.SummarizeParallel(rows)
+			rep.Figures["parallel"] = figure{Rows: rows, Parallel: &s}
+			if *parGate > 0 {
+				key := fmt.Sprintf("d%d", topDegree(*par))
+				if got := s.Speedup[key]; got < *parGate {
+					fmt.Fprintf(os.Stderr,
+						"mqr-bench: parallel gate failed: %s geomean wall speedup %.2f < %.2f\n",
+						key, got, *parGate)
+					os.Exit(1)
+				}
+				fmt.Printf("parallel gate passed: d%d geomean wall speedup %.2f >= %.2f\n\n",
+					topDegree(*par), s.Speedup[key], *parGate)
+			}
 		case "hist":
 			rows, err := bench.HistFamilies(cfg)
 			check(err)
@@ -142,7 +170,7 @@ func main() {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"10", "11", "12", "mu", "sens", "abl", "hist", "hybrid"} {
+		for _, name := range []string{"10", "11", "12", "mu", "sens", "abl", "hist", "hybrid", "parallel"} {
 			run(name)
 		}
 	} else {
@@ -165,6 +193,16 @@ func writeReport(path string, rep report) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// topDegree returns the largest degree the doubling sweep 1,2,4,...
+// actually reaches without exceeding max.
+func topDegree(max int) int {
+	d := 1
+	for d*2 <= max {
+		d *= 2
+	}
+	return d
 }
 
 func check(err error) {

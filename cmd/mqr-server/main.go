@@ -20,6 +20,8 @@
 //	-cache    plan cache capacity in plans; -1 disables (default 256)
 //	-query-timeout  default per-query deadline (e.g. 1m; 0 = none);
 //	          individual requests override it with "timeout_ms"
+//	-parallel default intra-query degree of parallelism (0 = serial);
+//	          individual requests override it with "parallel"
 //	-seed     data generator seed
 //	-v        verbose (debug-level) logging
 //
@@ -57,6 +59,7 @@ func main() {
 		mem     = flag.Float64("mem", 4<<20, "per-query optimize-time memory budget in bytes")
 		cache   = flag.Int("cache", 256, "plan cache capacity in plans (-1 disables)")
 		qto     = flag.Duration("query-timeout", 0, "default per-query deadline (0 = none)")
+		par     = flag.Int("parallel", 0, "default intra-query degree of parallelism (0 = serial)")
 		seed    = flag.Int64("seed", 1, "data generator seed")
 		verbose = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
@@ -86,12 +89,14 @@ func main() {
 	srv := server.New(m)
 	srv.SetLogger(log)
 	srv.SetQueryTimeout(*qto)
+	srv.SetParallel(*par)
 	log.Info("serving",
 		"addr", *addr,
 		"mem_pool_bytes", *mempool,
 		"mem_budget_bytes", *mem,
 		"plan_cache", *cache,
-		"query_timeout", *qto)
+		"query_timeout", *qto,
+		"parallel", *par)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Error("server failed", "err", err)
 		os.Exit(1)

@@ -26,6 +26,9 @@
 //	-trace    print the query's lifecycle event log
 //	-timeout  per-query deadline (e.g. 30s; 0 = none); expired queries
 //	          abort mid-execution with their temp state cleaned up
+//	-parallel intra-query degree of parallelism: plan segments run on
+//	          this many worker goroutines behind exchange operators
+//	          (default 1 = serial)
 //	-rows     print at most this many result rows (default 10)
 //	-server   serve the loaded database over HTTP on this address
 //	          instead of running queries locally
@@ -56,6 +59,7 @@ func main() {
 		analyze = flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute and print the plan with actuals")
 		trace   = flag.Bool("trace", false, "print the query's lifecycle event log")
 		timeout = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
+		par     = flag.Int("parallel", 1, "intra-query degree of parallelism (1 = serial)")
 		maxRows = flag.Int("rows", 10, "result rows to print")
 		seed    = flag.Int64("seed", 1, "data generator seed")
 		serveOn = flag.String("server", "", "serve the database over HTTP on this address instead of querying")
@@ -95,7 +99,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := midquery.ExecOptions{Mode: md, MemBudget: *mem, Trace: *trace, Timeout: *timeout}
+	opts := midquery.ExecOptions{Mode: md, MemBudget: *mem, Trace: *trace, Timeout: *timeout, Parallel: *par}
 	failed := 0
 	for _, nq := range queries {
 		fmt.Printf("=== %s\n", nq.name)
@@ -123,6 +127,11 @@ func main() {
 		fmt.Printf("cost=%.0f rows=%d collectors=%d reallocs=%d switches=%d\n",
 			res.Cost, len(res.Rows), res.Stats.CollectorsInserted,
 			res.Stats.MemReallocs, res.Stats.PlanSwitches)
+		if res.Stats.Degree > 1 {
+			fmt.Printf("degree=%d workers=%d wall=%.0f (%.2fx overlap)\n",
+				res.Stats.Degree, res.Stats.WorkersSpawned, res.WallCost,
+				res.Cost/maxf(res.WallCost, 1))
+		}
 		for _, d := range res.Stats.Decisions {
 			fmt.Println("  " + d)
 		}
@@ -248,4 +257,11 @@ func queryError(name string, err error, failed *int) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mqr:", err)
 	os.Exit(1)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }

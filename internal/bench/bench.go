@@ -110,8 +110,15 @@ func (e *Env) Run(q tpcd.Query, mode reopt.Mode) (float64, *reopt.Stats, error) 
 
 // RunWith executes one query with extra dispatcher configuration.
 func (e *Env) RunWith(q tpcd.Query, mode reopt.Mode, tweak func(*reopt.Config)) (float64, *reopt.Stats, error) {
+	cost, st, _, err := e.RunCounted(q, mode, tweak)
+	return cost, st, err
+}
+
+// RunCounted is RunWith plus the result-row count, for harnesses that
+// cross-check result cardinality across configurations.
+func (e *Env) RunCounted(q tpcd.Query, mode reopt.Mode, tweak func(*reopt.Config)) (float64, *reopt.Stats, int, error) {
 	if err := e.Pool.EvictAll(); err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	cfg := reopt.DefaultConfig(mode)
 	cfg.MemBudget = e.Cfg.MemBudget
@@ -130,11 +137,11 @@ func (e *Env) RunWith(q tpcd.Query, mode reopt.Mode, tweak func(*reopt.Config)) 
 	d := reopt.New(e.Cat, cfg)
 	ctx := &exec.Ctx{Pool: e.Pool, Meter: e.Meter, Params: plan.Params{}}
 	before := e.Meter.Snapshot()
-	_, st, err := d.RunSQL(q.SQL, plan.Params{}, ctx)
+	rows, st, err := d.RunSQL(q.SQL, plan.Params{}, ctx)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
-	return e.Meter.Snapshot().Sub(before).Cost(), st, nil
+	return e.Meter.Snapshot().Sub(before).Cost(), st, len(rows), nil
 }
 
 // Row is one query's measurements across modes. Zero cells were not run.

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/reopt"
+	"repro/internal/tpcd"
+)
+
+// ParallelRow is one (query, degree) measurement of the intra-query
+// parallelism sweep. Cost is the metered resource total (all workers'
+// charges); Wall subtracts the overlap credited at each gather point
+// (only the slowest tributary of a parallel region contributes to
+// elapsed time), so Wall is the simulated answer-latency the exchange
+// operators buy.
+type ParallelRow struct {
+	Query    string     `json:"query"`
+	Class    tpcd.Class `json:"class"`
+	Degree   int        `json:"degree"`
+	Cost     float64    `json:"cost"`
+	Wall     float64    `json:"wall"`
+	Speedup  float64    `json:"speedup"` // wall(degree 1) / wall(this degree)
+	Workers  int        `json:"workers"`
+	Switches int        `json:"switches"`
+}
+
+// Parallel sweeps degree 1..maxDegree over the medium and complex
+// queries under full re-optimization with the configured stale
+// statistics — the workload where checkpoints, collector merges, and
+// plan switches all fire on parallel segments. Results at every degree
+// must be identical (the harness cross-checks row counts); the
+// interesting columns are wall speedup and whether the switch rate
+// stays put as the degree grows.
+func Parallel(cfg Config, maxDegree int) ([]ParallelRow, error) {
+	if maxDegree < 1 {
+		maxDegree = 1
+	}
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ParallelRow
+	for _, q := range tpcd.Queries() {
+		if q.Class == tpcd.Simple {
+			continue
+		}
+		var serialWall float64
+		var serialRows int
+		for deg := 1; deg <= maxDegree; deg *= 2 {
+			cost, st, n, err := env.RunCounted(q, reopt.ModeFull, func(c *reopt.Config) {
+				c.Degree = deg
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s degree %d: %w", q.Name, deg, err)
+			}
+			wall := cost - st.WallSavedCost
+			if wall < 0 {
+				wall = 0
+			}
+			if deg == 1 {
+				serialWall = wall
+				serialRows = n
+			} else if n != serialRows {
+				return nil, fmt.Errorf("%s degree %d: %d rows, serial produced %d",
+					q.Name, deg, n, serialRows)
+			}
+			speedup := 0.0
+			if wall > 0 {
+				speedup = serialWall / wall
+			}
+			rows = append(rows, ParallelRow{
+				Query: q.Name, Class: q.Class, Degree: deg,
+				Cost: cost, Wall: wall, Speedup: speedup,
+				Workers: st.WorkersSpawned, Switches: st.PlanSwitches,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ParallelSummary condenses the sweep into the columns tracked across
+// commits: per-degree geometric-mean wall speedup and switch rate.
+type ParallelSummary struct {
+	// Speedup maps "d<degree>" to the geometric mean of wall speedups
+	// at that degree across queries.
+	Speedup map[string]float64 `json:"speedup"`
+	// SwitchRate maps "d<degree>" to the fraction of queries that
+	// switched plans at least once at that degree.
+	SwitchRate map[string]float64 `json:"switch_rate"`
+}
+
+// SummarizeParallel computes per-degree speedup and switch-rate columns.
+func SummarizeParallel(rows []ParallelRow) ParallelSummary {
+	type acc struct {
+		logSum   float64
+		n        int
+		switched int
+		total    int
+	}
+	byDeg := map[int]*acc{}
+	for _, r := range rows {
+		a := byDeg[r.Degree]
+		if a == nil {
+			a = &acc{}
+			byDeg[r.Degree] = a
+		}
+		if r.Speedup > 0 {
+			a.logSum += math.Log(r.Speedup)
+			a.n++
+		}
+		a.total++
+		if r.Switches > 0 {
+			a.switched++
+		}
+	}
+	s := ParallelSummary{Speedup: map[string]float64{}, SwitchRate: map[string]float64{}}
+	for deg, a := range byDeg {
+		key := fmt.Sprintf("d%d", deg)
+		if a.n > 0 {
+			s.Speedup[key] = math.Exp(a.logSum / float64(a.n))
+		}
+		if a.total > 0 {
+			s.SwitchRate[key] = float64(a.switched) / float64(a.total)
+		}
+	}
+	return s
+}
+
+// FormatParallel renders the sweep as an aligned table.
+func FormatParallel(title string, rows []ParallelRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-5s %-8s %3s %10s %10s %8s %8s %3s\n",
+		"query", "class", "deg", "cost", "wall", "speedup", "workers", "sw")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %-8s %3d %10.0f %10.0f %7.2fx %8d %3d\n",
+			r.Query, r.Class, r.Degree, r.Cost, r.Wall, r.Speedup, r.Workers, r.Switches)
+	}
+	return b.String()
+}

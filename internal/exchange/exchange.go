@@ -1,0 +1,180 @@
+package exchange
+
+import (
+	"repro/internal/exec"
+	"repro/internal/faultinject"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// init installs the exchange runtime into the executor. exec cannot
+// import this package (exchange assembles worker pipelines out of exec's
+// operators), so the executor dispatches plan.Exchange nodes through a
+// hook variable instead.
+func init() {
+	exec.ExchangeBuilder = buildExchange
+}
+
+// buildExchange instantiates the operator for an exchange plan node.
+// left, when non-nil, is the already-built serial input stream (the
+// dispatcher's step-wise build path); nil means build the whole subtree
+// from the plan.
+func buildExchange(x *plan.Exchange, left exec.Operator, ctx *exec.Ctx) (exec.Operator, error) {
+	switch x.Mode {
+	case plan.ExHash, plan.ExRoundRobin:
+		// Partitioning annotations are consumed by the enclosing gather's
+		// builder (which routes tuples itself); reached directly they are
+		// transparent.
+		if left != nil {
+			return left, nil
+		}
+		return exec.Build(x.Input, ctx)
+	}
+	// Gather: pick the runtime for the segment under it.
+	if agg, ok := x.Input.(*plan.Agg); ok {
+		if _, rr := agg.Input.(*plan.Exchange); rr {
+			return newParallelAgg(x, agg, left, ctx), nil
+		}
+	}
+	if wrappers, join := splitSegment(x.Input); join != nil {
+		return newParallelJoin(x, join, wrappers, left, ctx), nil
+	}
+	if left != nil {
+		// A gather over an already-built serial stream has nothing to
+		// parallelize; pass it through.
+		return left, nil
+	}
+	return newGather(x, ctx), nil
+}
+
+// splitSegment peels the wrapper nodes (collectors, residual filters)
+// off a gather's subtree down to the hash join that anchors the step.
+// Wrappers are returned bottom-up — the order they are applied over the
+// join operator. A segment not anchored by a hash join returns nil.
+func splitSegment(n plan.Node) ([]plan.Node, *plan.HashJoin) {
+	var wrappers []plan.Node
+	for {
+		switch w := n.(type) {
+		case *plan.Collector:
+			wrappers = append(wrappers, w)
+			n = w.Input
+		case *plan.Filter:
+			wrappers = append(wrappers, w)
+			n = w.Input
+		case *plan.HashJoin:
+			for i, j := 0, len(wrappers)-1; i < j; i, j = i+1, j-1 {
+				wrappers[i], wrappers[j] = wrappers[j], wrappers[i]
+			}
+			return wrappers, w
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// stateSlots is the per-worker collector-state buffer of one region.
+// Each worker appends to its own slot from its own goroutine; the
+// consumer reads all slots at finalize, after the region's goroutines
+// have been joined (WaitGroup edges make this race-free).
+type stateSlots [][]*exec.CollectorState
+
+func newStateSlots(n int) stateSlots { return make(stateSlots, n) }
+
+// sink returns the StateSink for worker slot w.
+func (s stateSlots) sink(w int) func(*exec.CollectorState) {
+	return func(st *exec.CollectorState) { s[w] = append(s[w], st) }
+}
+
+// finalizeRegion completes a gather: merge per-worker collector states
+// into single reports (worker-index order, so merged histograms and
+// samples are deterministic), deliver them to the consumer's stats sink,
+// account the region's wall-clock savings, and roll worker costs and
+// memory into EXPLAIN ANALYZE. It runs on the consumer's goroutine after
+// every region goroutine has exited.
+func finalizeRegion(x *plan.Exchange, ctx *exec.Ctx, meters []*storage.CostMeter, states stateSlots, memOps []exec.Operator) error {
+	if err := faultinject.Hit("exchange.gather"); err != nil {
+		return err
+	}
+	merged := map[int]*exec.CollectorState{}
+	var order []int
+	for _, ws := range states {
+		for _, st := range ws {
+			if m, ok := merged[st.ID]; ok {
+				m.Merge(st)
+			} else {
+				merged[st.ID] = st
+				order = append(order, st.ID)
+			}
+		}
+	}
+	for _, id := range order {
+		st := merged[id]
+		if ctx.StateSink != nil {
+			// Nested region: forward the still-mergeable state upward.
+			ctx.StateSink(st)
+			continue
+		}
+		o := st.Observed()
+		if ctx.Trace.Enabled() {
+			ctx.Trace.Emit("collector", "merged parallel collector report",
+				"collector_id", id, "partitions", len(states),
+				"actual_rows", o.Rows, "bytes", o.Bytes)
+		}
+		if ctx.StatsSink != nil {
+			ctx.StatsSink(o)
+		}
+	}
+	sum, max := meterCosts(meters)
+	ctx.Wall.AddSavings(sum - max)
+	if ctx.Analyze.Enabled() {
+		acc := ctx.Analyze.Op(x)
+		for i, m := range meters {
+			mem := 0.0
+			if i < len(memOps) && memOps[i] != nil {
+				if mr, ok := memOps[i].(interface{ MemUsed() float64 }); ok {
+					mem = mr.MemUsed()
+				}
+			}
+			acc.RecordWorker(m.Snapshot().Cost(), mem)
+		}
+	}
+	return nil
+}
+
+// degree returns the usable worker count for an exchange node.
+func degree(x *plan.Exchange) int {
+	if x.Degree < 1 {
+		return 1
+	}
+	return x.Degree
+}
+
+// runWorker drives one worker pipeline to completion, forwarding its
+// output into the gather queue. It owns the operator's lifecycle on
+// every path.
+func runWorker(r *region, op exec.Operator, out chan types.Tuple) error {
+	if err := faultinject.Hit("exchange.worker"); err != nil {
+		op.Close()
+		return err
+	}
+	if err := op.Open(); err != nil {
+		op.Close()
+		return err
+	}
+	for {
+		t, err := op.Next()
+		if err != nil {
+			op.Close()
+			return err
+		}
+		if t == nil {
+			break
+		}
+		if !send(r, out, t) {
+			op.Close()
+			return r.cause()
+		}
+	}
+	return op.Close()
+}

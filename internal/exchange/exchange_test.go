@@ -1,0 +1,170 @@
+package exchange
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// sliceOp is a test source over a fixed tuple slice.
+type sliceOp struct {
+	sch  *types.Schema
+	rows []types.Tuple
+	i    int
+}
+
+func (s *sliceOp) Schema() *types.Schema { return s.sch }
+func (s *sliceOp) Open() error           { s.i = 0; return nil }
+func (s *sliceOp) Close() error          { return nil }
+func (s *sliceOp) Next() (types.Tuple, error) {
+	if s.i >= len(s.rows) {
+		return nil, nil
+	}
+	t := s.rows[s.i]
+	s.i++
+	return t, nil
+}
+
+func intRow(vs ...int64) types.Tuple {
+	t := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = types.NewInt(v)
+	}
+	return t
+}
+
+func TestOrderedMergePreservesSort(t *testing.T) {
+	sch := types.NewSchema(types.Column{Name: "k", Kind: types.KindInt})
+	a := &sliceOp{sch: sch, rows: []types.Tuple{intRow(1), intRow(4), intRow(9)}}
+	b := &sliceOp{sch: sch, rows: []types.Tuple{intRow(2), intRow(4), intRow(7)}}
+	c := &sliceOp{sch: sch, rows: []types.Tuple{}}
+	m := NewOrderedMerge([]plan.SortKey{{Col: 0}}, a, b, c)
+	if err := m.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		tp, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp == nil {
+			break
+		}
+		got = append(got, tp[0].Int())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 4, 4, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrderedMergeDescending(t *testing.T) {
+	sch := types.NewSchema(types.Column{Name: "k", Kind: types.KindInt})
+	a := &sliceOp{sch: sch, rows: []types.Tuple{intRow(9), intRow(3)}}
+	b := &sliceOp{sch: sch, rows: []types.Tuple{intRow(7), intRow(1)}}
+	m := NewOrderedMerge([]plan.SortKey{{Col: 0, Desc: true}}, a, b)
+	if err := m.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		tp, _ := m.Next()
+		if tp == nil {
+			break
+		}
+		got = append(got, tp[0].Int())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] > got[i-1] {
+			t.Fatalf("descending merge out of order: %v", got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("merged %d tuples, want 4", len(got))
+	}
+}
+
+// TestPoolContainsPanics: a panicking worker must surface as an error
+// from Wait, never crash the process.
+func TestPoolContainsPanics(t *testing.T) {
+	p := NewPool()
+	p.Go("boom", func() { panic("worker exploded") })
+	p.Go("fine", func() {})
+	err := p.Wait()
+	if err == nil || !strings.Contains(err.Error(), "worker exploded") {
+		t.Fatalf("Wait() = %v, want the contained panic", err)
+	}
+	if p.Spawned() != 2 {
+		t.Errorf("Spawned() = %d, want 2", p.Spawned())
+	}
+}
+
+// TestRegionFirstErrorWinsAndCancels: the first failure cancels the
+// region; queue operations unblock instead of leaking goroutines.
+func TestRegionFirstErrorWins(t *testing.T) {
+	r := newRegion(context.Background())
+	first := errors.New("first")
+	r.fail(first)
+	r.fail(errors.New("second"))
+	if r.cause() != first {
+		t.Errorf("cause() = %v, want the first error", r.cause())
+	}
+	select {
+	case <-r.ctx.Done():
+	default:
+		t.Error("region not cancelled after fail")
+	}
+	// A send into a full queue must unblock via cancellation.
+	q := make(chan types.Tuple) // unbuffered, nobody reading
+	if ok := send(r, q, intRow(1)); ok {
+		t.Error("send succeeded into a dead region")
+	}
+}
+
+// TestRegionSpawnPropagatesWorkerError: an error returned by a spawned
+// worker is recorded before the region's WaitGroup releases.
+func TestRegionSpawnPropagatesWorkerError(t *testing.T) {
+	r := newRegion(context.Background())
+	c := &exec.Ctx{}
+	boom := errors.New("route failed")
+	r.spawn(c, "t", func() error { return boom })
+	r.wg.Wait()
+	if r.cause() != boom {
+		t.Errorf("cause() = %v, want %v", r.cause(), boom)
+	}
+}
+
+// TestWorkerCtxSplitsIdentity: worker contexts carry partition identity
+// and the shared cancellation context.
+func TestWorkerCtxSplits(t *testing.T) {
+	r := newRegion(context.Background())
+	parent := &exec.Ctx{CheckEvery: 16, Meter: storage.NewCostMeter(storage.DefaultCostWeights())}
+	wc := workerCtx(parent, r, 2, 4, 0.25)
+	if wc.Part != 2 || wc.PartOf != 4 {
+		t.Errorf("partition identity = %d/%d, want 2/4", wc.Part, wc.PartOf)
+	}
+	if wc.GrantShare != 0.25 {
+		t.Errorf("grant share = %g", wc.GrantShare)
+	}
+	if wc.Context != r.ctx {
+		t.Error("worker context not bound to the region")
+	}
+	if wc.Meter == nil {
+		t.Error("worker has no tributary meter")
+	}
+}

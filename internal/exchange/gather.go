@@ -1,0 +1,122 @@
+package exchange
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// gather executes a leaf plan segment (scan plus wrappers — no blocking
+// join anchor) once per worker, each worker's sequential scan reading
+// only its page partition, and merges the partition streams into one
+// serial output. Collector states from worker pipelines are buffered and
+// merged into a single report when the last worker finishes, so the
+// consumer-side dispatcher sees exactly one Observed per collector — the
+// same contract as serial execution.
+type gather struct {
+	x   *plan.Exchange
+	ctx *exec.Ctx
+
+	reg     *region
+	out     chan types.Tuple
+	workers []exec.Operator
+	meters  []*storage.CostMeter
+	states  stateSlots
+
+	opened    bool
+	closed    bool
+	finalized bool
+}
+
+func newGather(x *plan.Exchange, ctx *exec.Ctx) *gather {
+	return &gather{x: x, ctx: ctx}
+}
+
+// Schema implements Operator.
+func (g *gather) Schema() *types.Schema { return g.x.Schema() }
+
+// Open builds one copy of the segment pipeline per worker — each against
+// its own partition context — and starts them. Leaf segments have no
+// blocking phase, so Open returns as soon as the workers are launched.
+func (g *gather) Open() error {
+	if g.opened {
+		return nil
+	}
+	g.opened = true
+	n := degree(g.x)
+	g.reg = newRegion(g.ctx.Context)
+	g.out = make(chan types.Tuple, chanCap)
+	g.workers = make([]exec.Operator, n)
+	g.meters = make([]*storage.CostMeter, n)
+	g.states = newStateSlots(n)
+	for w := 0; w < n; w++ {
+		wc := workerCtx(g.ctx, g.reg, w, n, 0)
+		wc.StateSink = g.states.sink(w)
+		g.meters[w] = wc.Meter
+		op, err := exec.Build(g.x.Input, wc)
+		if err != nil {
+			g.reg.cancel()
+			return err
+		}
+		g.workers[w] = op
+	}
+	var emit sync.WaitGroup
+	for w := 0; w < n; w++ {
+		op := g.workers[w]
+		g.reg.spawn(g.ctx, fmt.Sprintf("scan-worker-%d", w), func() error {
+			return runWorker(g.reg, op, g.out)
+		}, &emit)
+	}
+	g.reg.spawn(g.ctx, "scan-gather-close", func() error {
+		emit.Wait()
+		close(g.out)
+		return nil
+	})
+	return nil
+}
+
+// Next implements Operator: it merges worker outputs (arrival order) and
+// finalizes the region — merged stats report, wall savings — when the
+// last worker closes the stream.
+func (g *gather) Next() (types.Tuple, error) {
+	if g.finalized || !g.opened {
+		return nil, nil
+	}
+	t, ok := <-g.out
+	if ok {
+		return t, nil
+	}
+	// Channel closed: every worker has exited and recorded any error.
+	if err := g.reg.peekErr(); err != nil {
+		return nil, err
+	}
+	g.finalized = true
+	if err := finalizeRegion(g.x, g.ctx, g.meters, g.states, nil); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// Close implements Operator: cancel the region, join its goroutines, and
+// close worker pipelines that never ran (runWorker closes the ones that
+// did; Close is idempotent, so the backstop sweep is safe).
+func (g *gather) Close() error {
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	if g.reg != nil {
+		g.reg.cancel()
+		g.reg.wg.Wait()
+	}
+	for _, op := range g.workers {
+		if op != nil {
+			op.Close()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package exchange
+
+import (
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// OrderedMerge completes the exchange family: a gather that preserves
+// sort order. Given partition streams that are each already sorted on
+// the same keys, it produces their sorted union with a streaming N-way
+// merge — no re-sort, no buffering beyond one head tuple per input. It
+// is the merge half of a merging gather; the planner's spine pass keeps
+// sorts serial today, so it is exercised directly (tests, future
+// order-preserving repartitioning) rather than placed by Parallelize.
+type OrderedMerge struct {
+	keys   []plan.SortKey
+	srcs   []exec.Operator
+	heads  []types.Tuple
+	opened bool
+	closed bool
+}
+
+// NewOrderedMerge merges the given pre-sorted streams on keys.
+func NewOrderedMerge(keys []plan.SortKey, srcs ...exec.Operator) *OrderedMerge {
+	return &OrderedMerge{keys: keys, srcs: srcs}
+}
+
+// Schema implements Operator.
+func (m *OrderedMerge) Schema() *types.Schema {
+	if len(m.srcs) == 0 {
+		return nil
+	}
+	return m.srcs[0].Schema()
+}
+
+func (m *OrderedMerge) less(a, b types.Tuple) bool {
+	for _, k := range m.keys {
+		c := a[k.Col].Compare(b[k.Col])
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// Open implements Operator: open every input and prime its head tuple.
+func (m *OrderedMerge) Open() error {
+	if m.opened {
+		return nil
+	}
+	m.opened = true
+	m.heads = make([]types.Tuple, len(m.srcs))
+	for i, s := range m.srcs {
+		if err := s.Open(); err != nil {
+			return err
+		}
+		t, err := s.Next()
+		if err != nil {
+			return err
+		}
+		m.heads[i] = t
+	}
+	return nil
+}
+
+// Next implements Operator: emit the smallest head and refill it. With
+// stable input order (lower partition index wins ties) the merge is
+// deterministic.
+func (m *OrderedMerge) Next() (types.Tuple, error) {
+	best := -1
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		if best < 0 || m.less(h, m.heads[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, nil
+	}
+	t := m.heads[best]
+	nt, err := m.srcs[best].Next()
+	if err != nil {
+		return nil, err
+	}
+	m.heads[best] = nt
+	return t, nil
+}
+
+// Close implements Operator.
+func (m *OrderedMerge) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	var err error
+	for _, s := range m.srcs {
+		if e := s.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}

@@ -1,0 +1,203 @@
+package exchange
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// chanCap is the buffering on exchange queues. Enough to decouple
+// producer and consumer bursts; small enough that a stalled consumer
+// exerts backpressure within a few pages' worth of tuples.
+const chanCap = 64
+
+// region is one parallel segment's runtime: a cancellation scope derived
+// from the query context, the goroutines running inside it, and the
+// first error any of them hit. Queue sends and receives select against
+// the region's Done channel, so failing (or closing) the region unblocks
+// every goroutine in it — no leaks, no stuck channels.
+type region struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+func newRegion(parent context.Context) *region {
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	return &region{ctx: ctx, cancel: cancel}
+}
+
+// fail records the region's first error and cancels it. Later calls
+// keep the original error; fail(nil) is a no-op.
+func (r *region) fail(err error) {
+	if err == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+	r.cancel()
+}
+
+// peekErr returns the recorded error, if any.
+func (r *region) peekErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// cause explains why the region stopped: its first recorded error, else
+// the (possibly parent-inherited) context error, else nil.
+func (r *region) cause() error {
+	if err := r.peekErr(); err != nil {
+		return err
+	}
+	return r.ctx.Err()
+}
+
+// spawn runs fn on the query pool under the region: the goroutine is
+// counted in the region's WaitGroup (and any extra groups), panics are
+// recovered into fail, and a non-nil return value fails the region.
+// Error recording happens before any group is released, so a waiter
+// observing a group completion also observes the error.
+func (r *region) spawn(c *exec.Ctx, label string, fn func() error, groups ...*sync.WaitGroup) {
+	r.wg.Add(1)
+	for _, g := range groups {
+		g.Add(1)
+	}
+	c.Go("exchange:"+label, func() {
+		defer func() {
+			if p := recover(); p != nil {
+				r.fail(panicErr(label, p))
+			}
+			for _, g := range groups {
+				g.Done()
+			}
+			r.wg.Done()
+		}()
+		if err := fn(); err != nil {
+			r.fail(err)
+		}
+	})
+}
+
+// send delivers t to q unless the region is done; it reports whether the
+// send happened.
+func send(r *region, q chan types.Tuple, t types.Tuple) bool {
+	select {
+	case q <- t:
+		return true
+	case <-r.ctx.Done():
+		return false
+	}
+}
+
+// source adapts an exchange queue to the Operator interface so worker
+// pipelines can be assembled from the ordinary operator constructors. A
+// closed queue is end of stream; a cancelled region is an error.
+type source struct {
+	sch *types.Schema
+	q   chan types.Tuple
+	r   *region
+}
+
+func newSource(r *region, q chan types.Tuple, sch *types.Schema) *source {
+	return &source{sch: sch, q: q, r: r}
+}
+
+func (s *source) Open() error { return nil }
+
+func (s *source) Next() (types.Tuple, error) {
+	select {
+	case t, ok := <-s.q:
+		if !ok {
+			return nil, nil
+		}
+		return t, nil
+	case <-s.r.ctx.Done():
+		return nil, s.r.cause()
+	}
+}
+
+func (s *source) Close() error { return nil }
+
+func (s *source) Schema() *types.Schema { return s.sch }
+
+// closeAll closes a set of partition queues (producers are done).
+func closeAll(qs []chan types.Tuple) {
+	for _, q := range qs {
+		close(q)
+	}
+}
+
+// makeQueues allocates n buffered partition queues.
+func makeQueues(n int) []chan types.Tuple {
+	qs := make([]chan types.Tuple, n)
+	for i := range qs {
+		qs[i] = make(chan types.Tuple, chanCap)
+	}
+	return qs
+}
+
+// workerCtx derives a worker's execution context from the consumer's:
+// its own tick counter and tributary cost meter (local accounting that
+// still feeds the query totals), the region's cancellation scope, its
+// partition coordinates, and its share of memory grants. Stats sinks are
+// left nil — the caller wires StateSink to the gather's merge buffer.
+func workerCtx(parent *exec.Ctx, r *region, part, of int, share float64) *exec.Ctx {
+	return &exec.Ctx{
+		Pool:       parent.Pool,
+		Meter:      parent.Meter.Tributary(),
+		Params:     parent.Params,
+		Context:    r.ctx,
+		CheckEvery: parent.CheckEvery,
+		Part:       part,
+		PartOf:     of,
+		GrantShare: share,
+		Spawn:      parent.Spawn,
+		Wall:       parent.Wall,
+		Trace:      parent.Trace,
+		Analyze:    parent.Analyze,
+	}
+}
+
+// hashTuple combines key columns into one hash — the same FNV scheme the
+// hash join uses, so routing by hashTuple%N sends equal keys on build
+// and probe sides to the same worker.
+func hashTuple(t types.Tuple, keys []int) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, k := range keys {
+		h = h*1099511628211 ^ t[k].Hash()
+	}
+	return h
+}
+
+func panicErr(label string, p any) error {
+	return fmt.Errorf("exchange: %s panicked: %v", label, p)
+}
+
+// meterCosts sums the given tributary meters and finds the maximum — the
+// inputs to the wall-clock savings model (sum - max is the overlapped
+// work).
+func meterCosts(meters []*storage.CostMeter) (sum, max float64) {
+	for _, m := range meters {
+		c := m.Snapshot().Cost()
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	return sum, max
+}

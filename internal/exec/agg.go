@@ -12,6 +12,22 @@ import (
 // encoded group state: sum, count, min, max.
 const aggStateWidth = 4
 
+// aggMode selects what an Agg consumes and produces. The encoded group
+// state (key values then per-aggregate sum/count/min/max — the same
+// representation the spill path already uses) doubles as the wire format
+// between a parallel region's partial aggregates and the serial final
+// merge at the gather point.
+type aggMode uint8
+
+const (
+	// aggComplete consumes raw input and produces finished rows.
+	aggComplete aggMode = iota
+	// aggPartial consumes raw input and produces encoded group states.
+	aggPartial
+	// aggFinal consumes encoded group states and produces finished rows.
+	aggFinal
+)
+
 // Agg is a blocking hash aggregation operator. Group states (sum, count,
 // min, max per aggregate) are mergeable, so when the group table exceeds
 // the node's memory grant the operator spills encoded partial states to
@@ -21,6 +37,7 @@ type Agg struct {
 	node *plan.Agg
 	in   Operator
 	ctx  *Ctx
+	mode aggMode
 
 	grant   float64
 	groups  map[uint64][]*group
@@ -49,13 +66,26 @@ func NewAgg(n *plan.Agg, in Operator, ctx *Ctx) *Agg {
 	return &Agg{node: n, in: in, ctx: ctx}
 }
 
+// NewPartialAgg builds an aggregation worker for a parallel region: it
+// consumes raw input tuples and emits encoded group states for a
+// downstream NewFinalAgg to merge.
+func NewPartialAgg(n *plan.Agg, in Operator, ctx *Ctx) *Agg {
+	return &Agg{node: n, in: in, ctx: ctx, mode: aggPartial}
+}
+
+// NewFinalAgg builds the serial merge stage of a parallel aggregation:
+// it consumes encoded group states and produces finished rows.
+func NewFinalAgg(n *plan.Agg, in Operator, ctx *Ctx) *Agg {
+	return &Agg{node: n, in: in, ctx: ctx, mode: aggFinal}
+}
+
 // Schema implements Operator.
 func (a *Agg) Schema() *types.Schema { return a.node.Out }
 
 // Open implements Operator. Aggregation is blocking: the entire input is
 // consumed here.
 func (a *Agg) Open() error {
-	a.grant = a.node.Est().Grant
+	a.grant = a.node.Est().Grant * a.ctx.grantShare()
 	a.groups = make(map[uint64][]*group)
 	if err := a.in.Open(); err != nil {
 		return err
@@ -82,6 +112,9 @@ func (a *Agg) Open() error {
 	if err := a.in.Close(); err != nil {
 		return err
 	}
+	if a.mode == aggPartial {
+		return a.emitStates()
+	}
 	if a.spilled {
 		if err := a.flushGroups(); err != nil {
 			return err
@@ -92,13 +125,21 @@ func (a *Agg) Open() error {
 	return nil
 }
 
-// absorb folds one input tuple into its group.
+// absorb folds one input tuple into its group. In final mode the input
+// is a stream of encoded group states, keyed by its leading columns.
 func (a *Agg) absorb(t types.Tuple) error {
-	key := make(types.Tuple, len(a.node.GroupCols))
-	for i, c := range a.node.GroupCols {
-		key[i] = t[c]
+	var key types.Tuple
+	var h uint64
+	if a.mode == aggFinal {
+		key = t[:len(a.node.GroupCols)]
+		h = hashKeysAll(key)
+	} else {
+		key = make(types.Tuple, len(a.node.GroupCols))
+		for i, c := range a.node.GroupCols {
+			key[i] = t[c]
+		}
+		h = hashKeys(t, a.node.GroupCols)
 	}
-	h := hashKeys(t, a.node.GroupCols)
 	g := a.findGroup(h, key)
 	if g == nil {
 		g = newGroup(key.Clone(), len(a.node.Aggs))
@@ -117,6 +158,10 @@ func (a *Agg) absorb(t types.Tuple) error {
 			a.groups[h] = append(a.groups[h], g)
 			a.size += stateSize
 		}
+	}
+	if a.mode == aggFinal {
+		mergeState(g, t, len(a.node.GroupCols))
+		return nil
 	}
 	return a.update(g, t)
 }
@@ -296,6 +341,35 @@ func mergeState(g *group, st types.Tuple, nk int) {
 			g.maxs[i] = mx
 		}
 	}
+}
+
+// emitStates renders the partial aggregate's output: every group's
+// encoded state. A spilled partial aggregate streams its partition files
+// back out unchanged — a group flushed twice yields two states for the
+// same key, which the downstream final merge combines.
+func (a *Agg) emitStates() error {
+	for _, bucket := range a.groups {
+		for _, g := range bucket {
+			a.out = append(a.out, a.encodeState(g))
+		}
+	}
+	a.groups = nil
+	for i, part := range a.parts {
+		s := part.Scan()
+		for s.Next() {
+			if err := a.ctx.Tick(); err != nil {
+				return err
+			}
+			a.ctx.Meter.ChargeTuples(1)
+			a.out = append(a.out, s.Tuple())
+		}
+		if err := s.Err(); err != nil {
+			return err
+		}
+		part.Drop()
+		a.parts[i] = nil
+	}
+	return nil
 }
 
 // emitGroups converts all in-memory groups to output rows.

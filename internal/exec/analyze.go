@@ -23,6 +23,14 @@ func instrument(op Operator, n plan.Node, ctx *Ctx) Operator {
 	return &analyzedOp{op: op, ctx: ctx, acc: ctx.Analyze.Op(n)}
 }
 
+// Instrument exposes the EXPLAIN ANALYZE wrapper for operators composed
+// outside Build/BuildStep — the exchange subsystem hand-assembles worker
+// pipelines from queue sources and needs the same per-node accounting.
+// Like the internal gate, it is a no-op when analysis is off.
+func Instrument(op Operator, n plan.Node, ctx *Ctx) Operator {
+	return instrument(op, n, ctx)
+}
+
 // analyzedOp records per-operator actuals — output rows, inclusive
 // simulated cost, peak memory — into the context's Analyze. Cost is
 // measured as meter deltas around each call, so a wrapper's inclusive
@@ -38,7 +46,7 @@ type analyzedOp struct {
 func (a *analyzedOp) Open() error {
 	before := a.ctx.Meter.Snapshot()
 	err := a.op.Open()
-	a.acc.Cost += a.ctx.Meter.Snapshot().Sub(before).Cost()
+	a.acc.Record(0, a.ctx.Meter.Snapshot().Sub(before).Cost())
 	return err
 }
 
@@ -46,10 +54,11 @@ func (a *analyzedOp) Open() error {
 func (a *analyzedOp) Next() (types.Tuple, error) {
 	before := a.ctx.Meter.Snapshot()
 	t, err := a.op.Next()
-	a.acc.Cost += a.ctx.Meter.Snapshot().Sub(before).Cost()
+	var rows int64
 	if t != nil && err == nil {
-		a.acc.Rows++
+		rows = 1
 	}
+	a.acc.Record(rows, a.ctx.Meter.Snapshot().Sub(before).Cost())
 	return t, err
 }
 
@@ -57,11 +66,9 @@ func (a *analyzedOp) Next() (types.Tuple, error) {
 func (a *analyzedOp) Close() error {
 	before := a.ctx.Meter.Snapshot()
 	err := a.op.Close()
-	a.acc.Cost += a.ctx.Meter.Snapshot().Sub(before).Cost()
+	a.acc.Record(0, a.ctx.Meter.Snapshot().Sub(before).Cost())
 	if m, ok := a.op.(memReporter); ok {
-		if used := m.MemUsed(); used > a.acc.Mem {
-			a.acc.Mem = used
-		}
+		a.acc.RecordMem(m.MemUsed())
 	}
 	return err
 }

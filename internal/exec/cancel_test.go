@@ -67,6 +67,41 @@ func TestCancelAmortizationInterval(t *testing.T) {
 	}
 }
 
+// TestCancelDefaultPollInterval runs with CheckEvery unset: every
+// operator loop must fall back to the shared CancelCheckInterval
+// constant, so an already-cancelled context is noticed within that many
+// tuples — the bound all operator loops (serial and exchange workers)
+// amortize their polls against.
+func TestCancelDefaultPollInterval(t *testing.T) {
+	e := newEnv(64)
+	tbl := e.makeTable(t, "r", CancelCheckInterval*4, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.ctx.Context = ctx
+	e.ctx.CheckEvery = 0 // default cadence
+	op := mustBuild(t, e, scanNode(tbl))
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close()
+	var n int
+	for {
+		tup, err := op.Next()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Next = %v", err)
+			}
+			break
+		}
+		if tup == nil {
+			t.Fatal("scan finished without noticing the cancel")
+		}
+		if n++; n > CancelCheckInterval {
+			t.Fatalf("cancel not seen within CancelCheckInterval=%d tuples (saw %d)", CancelCheckInterval, n)
+		}
+	}
+}
+
 // TestCancelMidBuildClosesChain cancels from inside a spilling hash
 // join's build phase (via the fault injector's Do hook) and checks that
 // closing the operator tree releases every spill partition's pages.

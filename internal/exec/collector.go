@@ -13,6 +13,153 @@ import (
 // paper allocates exactly one page to each histogram's reservoir (§3.1).
 const defaultReservoirSize = 1024
 
+// CollectorState is the mergeable accumulator behind a statistics
+// collector: cardinality and size counters, per-column min/max,
+// reservoir samples, and distinct-count sketches. In a parallel region
+// each worker feeds its own state, and the gather point merges them into
+// one — counts add, extrema compare, reservoirs merge weighted, FM
+// sketches union — so the merged Observed report is equivalent to a
+// single collector over the whole stream, exactly what SCIA placement
+// and the checkpoint arithmetic assume. Histograms are not merged
+// directly: they are built from the merged reservoir, as in the serial
+// path.
+type CollectorState struct {
+	ID   int
+	Spec plan.CollectorSpec
+
+	Rows  float64
+	Bytes float64
+	Res   map[int]*sample.Reservoir
+	Uniq  map[string]*sketch.HybridDistinct
+	Mins  map[int]types.Value
+	Maxs  map[int]types.Value
+}
+
+// NewCollectorState returns an empty state for the collector node. A
+// partition index differentiates the sampling seeds of parallel workers
+// so their reservoirs are independent draws.
+func NewCollectorState(n *plan.Collector, partition int) *CollectorState {
+	spec := n.Spec
+	size := spec.ReservoirSize
+	if size <= 0 {
+		size = defaultReservoirSize
+	}
+	s := &CollectorState{
+		ID:   n.ID,
+		Spec: spec,
+		Res:  make(map[int]*sample.Reservoir, len(spec.HistCols)),
+		Uniq: make(map[string]*sketch.HybridDistinct, len(spec.UniqueCols)),
+		Mins: make(map[int]types.Value),
+		Maxs: make(map[int]types.Value),
+	}
+	for _, col := range spec.HistCols {
+		s.Res[col] = sample.NewReservoir(size, spec.Seed+int64(col)+int64(partition)*7919)
+	}
+	for _, set := range spec.UniqueCols {
+		// One page worth of exact hashes before degrading to FM.
+		s.Uniq[plan.UniqueKey(set)] = sketch.NewHybridDistinct(1024, 64)
+	}
+	return s
+}
+
+// Observe folds one tuple into the state.
+func (s *CollectorState) Observe(t types.Tuple) {
+	s.Rows++
+	s.Bytes += float64(types.EncodedSize(t))
+	for col, r := range s.Res {
+		v := t[col]
+		if !v.IsNull() {
+			r.Add(v)
+		}
+	}
+	for _, set := range s.Spec.UniqueCols {
+		key := plan.UniqueKey(set)
+		// Combine the set's values into one hash: distinct counting
+		// over attribute combinations only needs hash identity.
+		var h uint64 = 1469598103934665603
+		for _, col := range set {
+			h = h*1099511628211 ^ t[col].Hash()
+		}
+		s.Uniq[key].AddHash(h)
+	}
+	for _, col := range s.Spec.HistCols {
+		s.updateMinMax(col, t[col])
+	}
+}
+
+func (s *CollectorState) updateMinMax(col int, v types.Value) {
+	if v.IsNull() {
+		return
+	}
+	if cur, ok := s.Mins[col]; !ok || v.Compare(cur) < 0 {
+		s.Mins[col] = v
+	}
+	if cur, ok := s.Maxs[col]; !ok || v.Compare(cur) > 0 {
+		s.Maxs[col] = v
+	}
+}
+
+// Merge folds another partition's state into s. The other state is
+// consumed. Merging is associative; gather points merge worker states in
+// worker-index order so results are deterministic.
+func (s *CollectorState) Merge(o *CollectorState) {
+	if o == nil {
+		return
+	}
+	s.Rows += o.Rows
+	s.Bytes += o.Bytes
+	for col, r := range o.Res {
+		if mine, ok := s.Res[col]; ok {
+			mine.Merge(r)
+		} else {
+			s.Res[col] = r
+		}
+	}
+	for key, u := range o.Uniq {
+		if mine, ok := s.Uniq[key]; ok {
+			mine.Merge(u)
+		} else {
+			s.Uniq[key] = u
+		}
+	}
+	for col, v := range o.Mins {
+		if cur, ok := s.Mins[col]; !ok || v.Compare(cur) < 0 {
+			s.Mins[col] = v
+		}
+	}
+	for col, v := range o.Maxs {
+		if cur, ok := s.Maxs[col]; !ok || v.Compare(cur) > 0 {
+			s.Maxs[col] = v
+		}
+	}
+}
+
+// Observed builds the collector's report from the state: histograms from
+// the (possibly merged) reservoirs, distinct estimates clamped to the
+// observed cardinality.
+func (s *CollectorState) Observed() *plan.Observed {
+	o := &plan.Observed{
+		CollectorID: s.ID,
+		Rows:        s.Rows,
+		Bytes:       s.Bytes,
+		Hists:       make(map[int]*histogram.Histogram, len(s.Res)),
+		Uniques:     make(map[string]float64, len(s.Uniq)),
+		Mins:        s.Mins,
+		Maxs:        s.Maxs,
+	}
+	for col, r := range s.Res {
+		o.Hists[col] = histogram.Build(s.Spec.HistFamily, r.Sample(), 20, float64(r.Seen()))
+	}
+	for key, u := range s.Uniq {
+		est := u.Estimate()
+		if est > s.Rows {
+			est = s.Rows
+		}
+		o.Uniques[key] = est
+	}
+	return o
+}
+
 // Collector is the statistics-collector operator (§2.2, §3.1): a
 // streamed operator that takes a stream of tuples as input and produces
 // exactly the same stream as output, examining each tuple on the way
@@ -22,18 +169,15 @@ const defaultReservoirSize = 1024
 //
 // When the input is exhausted the collector sends its Observed report to
 // the context's StatsSink — the analogue of Paradise's statistics message
-// back to the scheduler/dispatcher.
+// back to the scheduler/dispatcher. Inside a parallel region (the
+// context's StateSink is set) it instead hands its raw state to the
+// gather point for merging.
 type Collector struct {
 	node *plan.Collector
 	in   Operator
 	ctx  *Ctx
 
-	rows   float64
-	bytes  float64
-	res    map[int]*sample.Reservoir
-	uniq   map[string]*sketch.HybridDistinct
-	mins   map[int]types.Value
-	maxs   map[int]types.Value
+	st     *CollectorState
 	est    float64 // optimizer's row estimate at this point, for tracing
 	sent   bool
 	opened bool
@@ -54,22 +198,7 @@ func (c *Collector) Open() error {
 	}
 	c.opened = true
 	c.est = c.node.Est().Rows
-	spec := c.node.Spec
-	size := spec.ReservoirSize
-	if size <= 0 {
-		size = defaultReservoirSize
-	}
-	c.res = make(map[int]*sample.Reservoir, len(spec.HistCols))
-	for _, col := range spec.HistCols {
-		c.res[col] = sample.NewReservoir(size, spec.Seed+int64(col))
-	}
-	c.uniq = make(map[string]*sketch.HybridDistinct, len(spec.UniqueCols))
-	for _, set := range spec.UniqueCols {
-		// One page worth of exact hashes before degrading to FM.
-		c.uniq[plan.UniqueKey(set)] = sketch.NewHybridDistinct(1024, 64)
-	}
-	c.mins = make(map[int]types.Value)
-	c.maxs = make(map[int]types.Value)
+	c.st = NewCollectorState(c.node, c.ctx.Part)
 	return c.in.Open()
 }
 
@@ -83,11 +212,6 @@ func (c *Collector) Next() (types.Tuple, error) {
 		c.report()
 		return nil, nil
 	}
-	c.observe(t)
-	return t, nil
-}
-
-func (c *Collector) observe(t types.Tuple) {
 	// The examination cost is the collector's entire overhead: no I/O
 	// is performed, matching §2.2. Cardinality/size/min-max-only
 	// collectors are free, per the paper's assumption that measuring
@@ -96,76 +220,33 @@ func (c *Collector) observe(t types.Tuple) {
 	if !c.node.Spec.Empty() {
 		c.ctx.Meter.ChargeStatTuples(1)
 	}
-	c.rows++
-	c.bytes += float64(types.EncodedSize(t))
-	for col, r := range c.res {
-		v := t[col]
-		if !v.IsNull() {
-			r.Add(v)
-		}
-	}
-	for _, set := range c.node.Spec.UniqueCols {
-		key := plan.UniqueKey(set)
-		// Combine the set's values into one hash: distinct counting
-		// over attribute combinations only needs hash identity.
-		var h uint64 = 1469598103934665603
-		for _, col := range set {
-			h = h*1099511628211 ^ t[col].Hash()
-		}
-		c.uniq[key].AddHash(h)
-	}
-	for _, col := range c.node.Spec.HistCols {
-		c.updateMinMax(col, t[col])
-	}
+	c.st.Observe(t)
+	return t, nil
 }
 
-func (c *Collector) updateMinMax(col int, v types.Value) {
-	if v.IsNull() {
-		return
-	}
-	if cur, ok := c.mins[col]; !ok || v.Compare(cur) < 0 {
-		c.mins[col] = v
-	}
-	if cur, ok := c.maxs[col]; !ok || v.Compare(cur) > 0 {
-		c.maxs[col] = v
-	}
-}
-
-// report builds the Observed snapshot and delivers it once.
+// report delivers the collector's result once: the raw state to a
+// parallel gather point when one is listening, the finished Observed
+// report to the dispatcher otherwise.
 func (c *Collector) report() {
 	if c.sent {
 		return
 	}
 	c.sent = true
-	o := &plan.Observed{
-		CollectorID: c.node.ID,
-		Rows:        c.rows,
-		Bytes:       c.bytes,
-		Hists:       make(map[int]*histogram.Histogram, len(c.res)),
-		Uniques:     make(map[string]float64, len(c.uniq)),
-		Mins:        c.mins,
-		Maxs:        c.maxs,
+	if c.ctx.StateSink != nil {
+		c.ctx.StateSink(c.st)
+		return
 	}
-	for col, r := range c.res {
-		o.Hists[col] = histogram.Build(c.node.Spec.HistFamily, r.Sample(), 20, float64(r.Seen()))
-	}
-	for key, u := range c.uniq {
-		est := u.Estimate()
-		if est > c.rows {
-			est = c.rows
-		}
-		o.Uniques[key] = est
-	}
+	o := c.st.Observed()
 	if c.ctx.Trace.Enabled() {
 		ratio := 0.0
 		if c.est > 0 {
-			ratio = c.rows / c.est
+			ratio = c.st.Rows / c.est
 		}
 		c.ctx.Trace.Emit("collector", "statistics collector report",
 			"collector_id", c.node.ID,
 			"est_rows", c.est,
-			"actual_rows", c.rows,
-			"bytes", c.bytes,
+			"actual_rows", c.st.Rows,
+			"bytes", c.st.Bytes,
 			"ratio", ratio,
 		)
 	}

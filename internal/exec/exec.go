@@ -19,13 +19,17 @@ import (
 	"repro/internal/types"
 )
 
-// defaultCancelCheckInterval is how many Tick calls elapse between
-// context polls. Cancellation is detected within this many tuples of
-// the cancel, which bounds abort latency without putting an atomic load
-// on every tuple.
-const defaultCancelCheckInterval = 256
+// CancelCheckInterval is how many Tick calls elapse between context
+// polls. Cancellation is detected within this many tuples of the cancel,
+// which bounds abort latency without putting an atomic load on every
+// tuple. Every operator loop — serial or parallel-worker — shares this
+// one cadence; the cancellation tests assert against it, so exchange
+// worker loops cannot drift to a different interval.
+const CancelCheckInterval = 256
 
 // Ctx carries the runtime environment shared by a query's operators.
+// Each parallel worker gets its own Ctx (the tick counter is not atomic);
+// the exchange subsystem derives worker contexts from the query's.
 type Ctx struct {
 	Pool   *storage.BufferPool
 	Meter  *storage.CostMeter
@@ -43,6 +47,27 @@ type Ctx struct {
 	// its input is exhausted. The re-optimizing dispatcher wires this
 	// to its decision logic; nil sinks discard reports.
 	StatsSink func(*plan.Observed)
+	// StateSink, when set, diverts statistics collectors' raw mergeable
+	// states instead of finished Observed reports. Exchange gather
+	// points set it on worker contexts so per-partition states can be
+	// merged into one report before reaching StatsSink.
+	StateSink func(*CollectorState)
+	// Part and PartOf place this context's operators in a partitioned
+	// parallel region: leaf scans read only pages ≡ Part mod PartOf.
+	// PartOf ≤ 1 means unpartitioned (serial) execution.
+	Part, PartOf int
+	// GrantShare scales memory-consuming operators' grants (0 means
+	// full grant): a parallel region splits its operator's broker-backed
+	// grant across workers, each building 1/N of the tuples.
+	GrantShare float64
+	// Spawn runs fn on the query's worker pool (panic recovery, pool
+	// accounting). Nil falls back to a plain goroutine.
+	Spawn func(label string, fn func())
+	// Wall accumulates parallel wall-clock savings: at each gather the
+	// overlap between workers (sum of worker costs minus the slowest
+	// worker) is subtracted from the metered total to get the query's
+	// simulated wall time. Nil when parallelism is off.
+	Wall *WallMeter
 	// Trace, when non-nil, receives lifecycle events (collector
 	// reports, dispatcher decisions). Nil disables tracing at the cost
 	// of a nil check.
@@ -51,6 +76,25 @@ type Ctx struct {
 	// Build and BuildStep wrap every operator to record per-operator
 	// rows, cost, and peak memory. Nil skips wrapping entirely.
 	Analyze *obs.Analyze
+}
+
+// grantShare returns the fraction of a node's memory grant available to
+// this context's operators.
+func (c *Ctx) grantShare() float64 {
+	if c.GrantShare > 0 {
+		return c.GrantShare
+	}
+	return 1
+}
+
+// Go runs fn via the context's worker pool, or a plain goroutine when no
+// pool is installed.
+func (c *Ctx) Go(label string, fn func()) {
+	if c.Spawn != nil {
+		c.Spawn(label, fn)
+		return
+	}
+	go fn()
 }
 
 // Tick is the operators' amortized cancellation check: every tuple loop
@@ -64,7 +108,7 @@ func (c *Ctx) Tick() error {
 	}
 	every := c.CheckEvery
 	if every <= 0 {
-		every = defaultCancelCheckInterval
+		every = CancelCheckInterval
 	}
 	if c.ticks++; c.ticks < every {
 		return nil
@@ -163,10 +207,25 @@ func buildStep(n plan.Node, left Operator, ctx *Ctx) (Operator, error) {
 		return NewSort(x, left, ctx), nil
 	case *plan.Limit:
 		return NewLimit(x, left), nil
+	case *plan.Exchange:
+		if ExchangeBuilder != nil {
+			return ExchangeBuilder(x, left, ctx)
+		}
+		// No exchange runtime linked in: the node is transparent, so
+		// pass the serial stream through unchanged.
+		return left, nil
 	default:
 		return nil, fmt.Errorf("exec: BuildStep cannot wrap %T", n)
 	}
 }
+
+// ExchangeBuilder instantiates the operator for an exchange plan node.
+// It is installed by internal/exchange's init function — exec cannot
+// import that package directly (exchange builds worker pipelines through
+// exec). left is the already-built serial input for the step-wise
+// dispatch path, nil when the exchange's whole subtree should be built
+// from the plan.
+var ExchangeBuilder func(x *plan.Exchange, left Operator, ctx *Ctx) (Operator, error)
 
 // Build instantiates the operator tree for a physical plan.
 func Build(n plan.Node, ctx *Ctx) (Operator, error) {
@@ -233,6 +292,11 @@ func build(n plan.Node, ctx *Ctx) (Operator, error) {
 			return nil, err
 		}
 		return NewLimit(x, in), nil
+	case *plan.Exchange:
+		if ExchangeBuilder != nil {
+			return ExchangeBuilder(x, nil, ctx)
+		}
+		return build(x.Input, ctx)
 	default:
 		return nil, fmt.Errorf("exec: no operator for plan node %T", n)
 	}

@@ -89,7 +89,9 @@ func (j *HashJoin) Open() error {
 		return nil
 	}
 	j.opened = true
-	j.grant = j.node.Est().Grant
+	// A parallel worker builds 1/N of the tuples under 1/N of the
+	// node's broker-backed grant (the context's share).
+	j.grant = j.node.Est().Grant * j.ctx.grantShare()
 	j.table = make(map[uint64][]types.Tuple)
 	if err := j.build.Open(); err != nil {
 		return err

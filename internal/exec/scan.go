@@ -24,9 +24,15 @@ func NewSeqScan(n *plan.Scan, ctx *Ctx) *SeqScan {
 // Schema implements Operator.
 func (s *SeqScan) Schema() *types.Schema { return s.node.Out }
 
-// Open implements Operator.
+// Open implements Operator. In a partitioned context (a parallel scan
+// worker) the scan covers only its own page partition and attributes the
+// partition's I/O to the worker's tributary meter.
 func (s *SeqScan) Open() error {
-	s.scan = s.node.Table.Heap.Scan()
+	if s.ctx.PartOf > 1 {
+		s.scan = s.node.Table.Heap.ScanPartition(s.ctx.Part, s.ctx.PartOf, s.ctx.Meter)
+	} else {
+		s.scan = s.node.Table.Heap.Scan()
+	}
 	return nil
 }
 

@@ -93,6 +93,19 @@ func (m *Manager) AllocateOps(ops []plan.Node, budget float64) {
 	}
 }
 
+// SplitGrant divides one operator's broker-backed memory grant across
+// the workers of a parallel region, returning each worker's fraction of
+// the whole (a multiplier for the grant, not bytes). Hash partitioning
+// sends each worker ~1/N of the build tuples, so an even split preserves
+// the all-or-nothing MemStep semantics: if the serial operator fit in
+// its grant, every worker's partition fits in its share.
+func SplitGrant(workers int) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	return 1 / float64(workers)
+}
+
 // HeldBy sums the grants of the given nodes — the memory unavailable for
 // re-allocation while those operators are still running.
 func HeldBy(ops []plan.Node) float64 {

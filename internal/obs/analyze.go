@@ -11,11 +11,56 @@ import (
 // OpActual accumulates one operator's measured execution during EXPLAIN
 // ANALYZE: output rows, inclusive simulated cost (the operator and its
 // whole subtree), and peak operator memory where the operator reports
-// it. Fields are written by the single goroutine executing the query.
+// it. In a parallel region several worker goroutines execute clones of
+// the same plan node and accumulate into one OpActual through Record —
+// the shared entry is the per-node rollup — so mutation goes through the
+// internal mutex; fields are read directly only after the query's
+// workers have joined.
 type OpActual struct {
+	mu   sync.Mutex
 	Rows int64
 	Cost float64 // inclusive simulated cost units
 	Mem  float64 // peak operator memory in bytes, 0 when unreported
+
+	// Parallel-worker rollup, recorded at gather points: how many
+	// workers executed under this node, and the slowest worker's cost
+	// and largest worker's peak memory.
+	Workers       int
+	MaxWorkerCost float64
+	MaxWorkerMem  float64
+}
+
+// Record adds measured rows and inclusive cost. Safe for concurrent use
+// by parallel workers sharing the node.
+func (o *OpActual) Record(rows int64, cost float64) {
+	o.mu.Lock()
+	o.Rows += rows
+	o.Cost += cost
+	o.mu.Unlock()
+}
+
+// RecordMem raises the peak-memory high-water mark.
+func (o *OpActual) RecordMem(m float64) {
+	o.mu.Lock()
+	if m > o.Mem {
+		o.Mem = m
+	}
+	o.mu.Unlock()
+}
+
+// RecordWorker folds one parallel worker's totals into the node's
+// rollup: worker count, critical-path (max) worker cost, and max worker
+// peak memory.
+func (o *OpActual) RecordWorker(cost, mem float64) {
+	o.mu.Lock()
+	o.Workers++
+	if cost > o.MaxWorkerCost {
+		o.MaxWorkerCost = cost
+	}
+	if mem > o.MaxWorkerMem {
+		o.MaxWorkerMem = mem
+	}
+	o.mu.Unlock()
 }
 
 // Analyze collects per-operator actuals for EXPLAIN ANALYZE. The
@@ -145,6 +190,12 @@ func (a *Analyze) render(b *strings.Builder, n plan.Node, depth int) {
 		fmt.Fprintf(b, " (actual rows=%d time=%.1f", acc.Rows, a.SelfCost(n))
 		if acc.Mem > 0 {
 			fmt.Fprintf(b, " mem=%.0f", acc.Mem)
+		}
+		if acc.Workers > 0 {
+			fmt.Fprintf(b, " workers=%d max-worker-time=%.1f", acc.Workers, acc.MaxWorkerCost)
+			if acc.MaxWorkerMem > 0 {
+				fmt.Fprintf(b, " max-worker-mem=%.0f", acc.MaxWorkerMem)
+			}
 		}
 		b.WriteByte(')')
 	} else {

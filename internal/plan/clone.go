@@ -50,6 +50,11 @@ func Clone(n Node) Node {
 		cp := *x
 		cp.Input = Clone(x.Input)
 		return &cp
+	case *Exchange:
+		cp := *x
+		cp.Input = Clone(x.Input)
+		cp.Keys = append([]int(nil), x.Keys...)
+		return &cp
 	default:
 		panic(fmt.Sprintf("plan: Clone of unknown node %T", n))
 	}

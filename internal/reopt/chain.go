@@ -36,11 +36,25 @@ func decompose(root plan.Node) (*decomposed, error) {
 	d := &decomposed{}
 	cur := root
 	for {
-		switch cur.(type) {
+		switch x := cur.(type) {
 		case *plan.Project, *plan.Agg, *plan.Sort, *plan.Limit:
 			d.tops = append(d.tops, cur)
 			cur = cur.Children()[0]
 			continue
+		case *plan.Exchange:
+			// A parallel aggregation cluster —
+			// gather{agg{round-robin{input}}} — is one top operator: the
+			// gather builds the whole partial/final split, so the walk
+			// records the cluster and resumes below the round-robin.
+			if x.Mode == plan.ExGather {
+				if agg, ok := x.Input.(*plan.Agg); ok {
+					if rr, ok := agg.Input.(*plan.Exchange); ok {
+						d.tops = append(d.tops, x)
+						cur = rr.Input
+						continue
+					}
+				}
+			}
 		}
 		break
 	}
@@ -56,10 +70,18 @@ func decompose(root plan.Node) (*decomposed, error) {
 		case *plan.Filter:
 			pending = append(pending, x)
 			cur = x.Input
+		case *plan.Exchange:
+			// A gather above a step (or the leaf pipeline) is a wrapper:
+			// step.top() must be the gather so the dispatcher builds the
+			// whole parallel segment as one operator.
+			pending = append(pending, x)
+			cur = x.Input
 		case *plan.HashJoin:
 			stepsTopDown = append(stepsTopDown, chainStep{join: x, wrappers: reverseNodes(pending)})
 			pending = nil
-			cur = x.Build
+			// The build input may carry a hash-partition annotation; the
+			// segment below it starts at the gather (or scan) underneath.
+			cur = plan.StripPartition(x.Build)
 		case *plan.IndexJoin:
 			stepsTopDown = append(stepsTopDown, chainStep{join: x, wrappers: reverseNodes(pending)})
 			pending = nil
@@ -87,6 +109,18 @@ func reverseNodes(ns []plan.Node) []plan.Node {
 		out[len(ns)-1-i] = n
 	}
 	return out
+}
+
+// unwrapTop resolves a tops entry to its logical operator: a parallel
+// aggregation cluster (gather{agg{round-robin{input}}}) stands in for
+// its Agg; every other entry is itself.
+func unwrapTop(n plan.Node) plan.Node {
+	if x, ok := n.(*plan.Exchange); ok {
+		if agg, ok := x.Input.(*plan.Agg); ok {
+			return agg
+		}
+	}
+	return n
 }
 
 // stepTopNode returns the node whose output feeds step k+1 (or the tops

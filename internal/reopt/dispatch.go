@@ -77,19 +77,36 @@ func (d *Dispatcher) dispatchWith(res *optimizer.Result, params plan.Params, ctx
 			return abort(err)
 		}
 		step := dec.steps[i]
-		joinOp, err := exec.BuildStep(step.join, cur, ctx)
-		if err != nil {
-			return abort(err)
-		}
-		live = joinOp
-		topOp := joinOp
-		for _, w := range step.wrappers {
-			wrapped, err := exec.BuildStep(w, topOp, ctx)
+		var joinOp, topOp exec.Operator
+		px, isGather := step.top().(*plan.Exchange)
+		_, isHash := step.join.(*plan.HashJoin)
+		if isGather && isHash && px.Mode == plan.ExGather {
+			// Parallel step: the gather builds the whole segment — N
+			// partitioned hash joins plus per-worker wrapper pipelines —
+			// as one operator consuming the serial stream below. Open runs
+			// the parallel build phase; the probe waits for the first
+			// Next, so the decision point is unchanged.
+			op, err := exec.BuildStep(px, cur, ctx)
 			if err != nil {
 				return abort(err)
 			}
-			topOp = wrapped
-			live = topOp
+			joinOp, topOp = op, op
+			live = op
+		} else {
+			op, err := exec.BuildStep(step.join, cur, ctx)
+			if err != nil {
+				return abort(err)
+			}
+			joinOp, topOp = op, op
+			live = op
+			for _, w := range step.wrappers {
+				wrapped, err := exec.BuildStep(w, topOp, ctx)
+				if err != nil {
+					return abort(err)
+				}
+				topOp = wrapped
+				live = topOp
+			}
 		}
 		// Run this join's build phase (for index joins this is free and
 		// no statistics can have completed).
@@ -144,6 +161,11 @@ func (d *Dispatcher) buildLeafOp(dec *decomposed, ctx *exec.Ctx, override exec.O
 			cur = x.Input
 		case *plan.Filter:
 			wrappers = append(wrappers, x)
+			cur = x.Input
+		case *plan.Exchange:
+			// The live stream replacing the scan is already serial; a
+			// gather (or partition annotation) over it is meaningless, so
+			// exchanges are skipped rather than applied.
 			cur = x.Input
 		case *plan.Scan:
 			op := override
@@ -294,6 +316,11 @@ func (d *Dispatcher) applyImproved(dec *decomposed, i int, cnode *plan.Collector
 		step := dec.steps[k]
 		scale(step.join)
 		for _, w := range step.wrappers {
+			if _, ok := w.(*plan.Exchange); ok {
+				// Exchanges delegate Est to their input; scaling one
+				// would double-scale the node below it.
+				continue
+			}
 			if w != plan.Node(cnode) {
 				scale(w)
 			}
@@ -306,7 +333,7 @@ func (d *Dispatcher) applyImproved(dec *decomposed, i int, cnode *plan.Collector
 		}
 	}
 	for _, t := range dec.tops {
-		switch x := t.(type) {
+		switch x := unwrapTop(t).(type) {
 		case *plan.Agg:
 			e := x.Est()
 			oldGroups := e.Rows
@@ -484,7 +511,7 @@ func (d *Dispatcher) recostRemainder(dec *decomposed, i int) float64 {
 	prev := dec.stepTopNode(len(dec.steps) - 1).Est()
 	inRows, inBytes := prev.Rows, prev.Bytes
 	for k := len(dec.tops) - 1; k >= 0; k-- {
-		switch x := dec.tops[k].(type) {
+		switch x := unwrapTop(dec.tops[k]).(type) {
 		case *plan.Agg:
 			e := x.Est()
 			state := 64.0

@@ -1,0 +1,105 @@
+package reopt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// runDegree executes a query at the given parallel degree.
+func runDegree(t *testing.T, e *env, mode Mode, degree int, src string, params plan.Params, budget float64) ([]types.Tuple, *Stats, float64) {
+	t.Helper()
+	cfg := DefaultConfig(mode)
+	cfg.Degree = degree
+	if budget > 0 {
+		cfg.MemBudget = budget
+	}
+	d := New(e.cat, cfg)
+	before := e.m.Snapshot()
+	rows, st, err := d.RunSQL(src, params, e.ctx(params))
+	if err != nil {
+		t.Fatalf("mode %v degree %d: %v", mode, degree, err)
+	}
+	return rows, st, e.m.Snapshot().Sub(before).Cost()
+}
+
+// TestParallelMatchesSerial: every mode and degree produces the same
+// rows as serial execution — parallelism must be invisible in results.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, cut := range []float64{50, 999999} {
+		e := buildThreeJoinEnv(t)
+		params := plan.Params{"cut": types.NewFloat(cut)}
+		want, _, _ := runMode(t, e, ModeOff, threeJoinQuery, params, 0)
+		for _, mode := range []Mode{ModeOff, ModeMemoryOnly, ModeFull} {
+			for _, deg := range []int{2, 4} {
+				got, st, _ := runDegree(t, e, mode, deg, threeJoinQuery, params, 0)
+				rowsEqual(t, fmt.Sprintf("cut=%g mode=%v deg=%d", cut, mode, deg), got, want)
+				if st.Degree != deg {
+					t.Errorf("stats degree = %d, want %d", st.Degree, deg)
+				}
+				if st.WorkersSpawned == 0 {
+					t.Errorf("cut=%g mode=%v deg=%d: no workers spawned", cut, mode, deg)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelWallSavings: at degree 4 the gathered regions must
+// overlap enough that the simulated wall time (metered cost minus
+// recorded savings) beats serial by at least 2x on a scan-heavy join.
+func TestParallelWallSavings(t *testing.T) {
+	e := buildThreeJoinEnv(t)
+	params := plan.Params{"cut": types.NewFloat(999999)}
+	_, _, serialCost := runMode(t, e, ModeOff, threeJoinQuery, params, 0)
+	_, st, parCost := runDegree(t, e, ModeOff, 4, threeJoinQuery, params, 0)
+	wall := parCost - st.WallSavedCost
+	if wall <= 0 {
+		t.Fatalf("non-positive wall time: cost=%.0f saved=%.0f", parCost, st.WallSavedCost)
+	}
+	if speedup := serialCost / wall; speedup < 2 {
+		t.Errorf("degree-4 wall speedup = %.2fx (serial %.0f, parallel metered %.0f, saved %.0f), want >= 2x",
+			speedup, serialCost, parCost, st.WallSavedCost)
+	}
+}
+
+// TestParallelSwitchCleanup: the Figure-6 fixture forces a mid-query
+// plan switch while the running segment is gather-topped. The switch
+// must materialize the gathered stream correctly, the re-optimized
+// remainder must itself run parallel, and no temp tables may survive.
+func TestParallelSwitchCleanup(t *testing.T) {
+	e, src, params := spliceEnv(t)
+	want, _, _ := runMode(t, e, ModeOff, src, params, 0)
+	for _, strat := range []Strategy{StrategyMaterialize, StrategySplice} {
+		e2, src, params := spliceEnv(t)
+		tablesBefore := len(e2.cat.Tables())
+		cfg := DefaultConfig(ModePlanOnly)
+		cfg.Degree = 4
+		cfg.Strategy = strat
+		d := New(e2.cat, cfg)
+		got, st, err := d.RunSQL(src, params, e2.ctx(params))
+		if err != nil {
+			t.Fatalf("strategy %v: %v", strat, err)
+		}
+		if st.PlanSwitches == 0 {
+			t.Fatalf("strategy %v: fixture no longer triggers a switch at degree 4", strat)
+		}
+		rowsEqual(t, fmt.Sprintf("parallel switch %v", strat), got, want)
+		if got := len(e2.cat.Tables()); got != tablesBefore {
+			t.Errorf("strategy %v: temp tables leaked: %d -> %d (%v)",
+				strat, tablesBefore, got, e2.cat.Tables())
+		}
+	}
+}
+
+// TestParallelSpilledJoin: tiny memory forces every worker's join to
+// spill; results must still match.
+func TestParallelSpilledJoin(t *testing.T) {
+	e := buildThreeJoinEnv(t)
+	params := plan.Params{"cut": types.NewFloat(999999)}
+	want, _, _ := runMode(t, e, ModeOff, threeJoinQuery, params, 64<<10)
+	got, _, _ := runDegree(t, e, ModeFull, 4, threeJoinQuery, params, 64<<10)
+	rowsEqual(t, "spilled parallel", got, want)
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
+	"repro/internal/exchange"
 	"repro/internal/faultinject"
 	"repro/internal/histogram"
 	"repro/internal/memmgr"
@@ -125,6 +126,13 @@ type Config struct {
 	// catalog statistics for the relations not yet touched — so a
 	// break-even switch is a coin flip that also pays materialization.
 	SwitchMargin float64
+	// Degree is the intra-query parallelism: plans are rewritten with
+	// exchange operators splitting each segment across Degree worker
+	// goroutines. 0 or 1 executes serially. Parallelization happens
+	// after SCIA collector insertion and memory allocation, and gathers
+	// sit exactly at checkpoint boundaries, so the re-optimization
+	// machinery is degree-oblivious.
+	Degree int
 	// DisableIndexJoin is forwarded to the optimizer (ablations).
 	DisableIndexJoin bool
 	Seed             int64
@@ -173,6 +181,13 @@ type Stats struct {
 	// metered actual cost gives the estimate error the benchmark
 	// harness reports.
 	EstimatedCost float64
+	// Parallel execution accounting (zero when Degree < 2): the degree
+	// the query ran at, how many worker goroutines its exchanges
+	// spawned, and the wall-clock savings from worker overlap — the
+	// query's simulated wall time is its metered total cost minus this.
+	Degree         int
+	WorkersSpawned int
+	WallSavedCost  float64
 }
 
 // Dispatcher is the modified scheduler/dispatcher of §3.1: it owns query
@@ -282,8 +297,49 @@ func New(cat *catalog.Catalog, cfg Config) *Dispatcher {
 // per the configured mode.
 func (d *Dispatcher) Run(stmt *sql.SelectStmt, params plan.Params, ctx *exec.Ctx) ([]types.Tuple, *Stats, error) {
 	st := &Stats{}
+	pool := d.armParallel(ctx)
 	rows, err := d.run(stmt, params, ctx, st, d.Cfg.MaxSwitches)
+	err = d.finishParallel(ctx, pool, st, err)
 	return rows, st, err
+}
+
+// armParallel prepares a context for parallel execution: a per-query
+// worker pool (panic containment, goroutine accounting) and a wall-time
+// meter for gather points to record worker overlap. No-op below degree
+// 2, or when the session pre-installed its own pool/meter.
+func (d *Dispatcher) armParallel(ctx *exec.Ctx) *exchange.Pool {
+	if d.Cfg.Degree < 2 {
+		return nil
+	}
+	var pool *exchange.Pool
+	if ctx.Spawn == nil {
+		pool = exchange.NewPool()
+		ctx.Spawn = pool.Go
+	}
+	if ctx.Wall == nil {
+		ctx.Wall = exec.NewWallMeter()
+	}
+	return pool
+}
+
+// finishParallel joins the query's worker pool (every exchange region
+// has been closed by now, so this is prompt), surfaces any contained
+// worker panic as the query error, and folds the parallel accounting
+// into the stats.
+func (d *Dispatcher) finishParallel(ctx *exec.Ctx, pool *exchange.Pool, st *Stats, err error) error {
+	if d.Cfg.Degree > 1 {
+		st.Degree = d.Cfg.Degree
+	}
+	if pool != nil {
+		if werr := pool.Wait(); err == nil {
+			err = werr
+		}
+		st.WorkersSpawned = pool.Spawned()
+	}
+	if ctx.Wall != nil {
+		st.WallSavedCost = ctx.Wall.Saved()
+	}
+	return err
 }
 
 // RunSQL parses, compiles, and executes one query.
@@ -320,6 +376,7 @@ func (d *Dispatcher) run(stmt *sql.SelectStmt, params plan.Params, ctx *exec.Ctx
 		st.CollectorsInserted += len(ins)
 	}
 	memmgr.New(d.budget()).Allocate(res.Root)
+	res.Root = exchange.Parallelize(res.Root, d.Cfg.Degree)
 	d.registerPlan(res, st, ctx)
 
 	if d.Cfg.Mode == ModeOff {
@@ -341,6 +398,7 @@ func (d *Dispatcher) run(stmt *sql.SelectStmt, params plan.Params, ctx *exec.Ctx
 // execution.
 func (d *Dispatcher) RunPlan(res *optimizer.Result, params plan.Params, ctx *exec.Ctx) ([]types.Tuple, *Stats, error) {
 	st := &Stats{}
+	pool := d.armParallel(ctx)
 	if d.Cfg.Mode != ModeOff {
 		ins, err := scia.Insert(res, d.sciaConfig())
 		if err != nil {
@@ -349,6 +407,7 @@ func (d *Dispatcher) RunPlan(res *optimizer.Result, params plan.Params, ctx *exe
 		st.CollectorsInserted += len(ins)
 	}
 	memmgr.New(d.budget()).Allocate(res.Root)
+	res.Root = exchange.Parallelize(res.Root, d.Cfg.Degree)
 	d.registerPlan(res, st, ctx)
 	if d.Cfg.Mode == ModeOff {
 		op, err := exec.Build(res.Root, ctx)
@@ -356,9 +415,11 @@ func (d *Dispatcher) RunPlan(res *optimizer.Result, params plan.Params, ctx *exe
 			return nil, nil, err
 		}
 		rows, err := exec.Collect(op)
+		err = d.finishParallel(ctx, pool, st, err)
 		return rows, st, err
 	}
 	rows, err := d.dispatch(res, params, ctx, st, d.Cfg.MaxSwitches)
+	err = d.finishParallel(ctx, pool, st, err)
 	return rows, st, err
 }
 
@@ -389,6 +450,7 @@ func (d *Dispatcher) EstimateOnly(src string) (*optimizer.Result, error) {
 		}
 	}
 	memmgr.New(d.budget()).Allocate(res.Root)
+	res.Root = exchange.Parallelize(res.Root, d.Cfg.Degree)
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/exec"
+	"repro/internal/exchange"
 	"repro/internal/memmgr"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
@@ -109,6 +110,7 @@ func (d *Dispatcher) splicePlan(res *optimizer.Result, matNode plan.Node, liveOp
 		st.CollectorsInserted += len(ins)
 	}
 	memmgr.New(d.budget()).Allocate(newRes.Root)
+	newRes.Root = exchange.Parallelize(newRes.Root, d.Cfg.Degree)
 	st.PlanSwitches++
 	d.registerPlan(newRes, st, ctx)
 	d.decide(st, fmt.Sprintf("splice: remainder spliced onto live stream as %s", tempName),

@@ -77,6 +77,56 @@ func (r *Reservoir) computeSkip() {
 	r.skip = j
 }
 
+// Merge folds another reservoir into r, producing a uniform sample over
+// the union of both streams. A reservoir's items are a uniform
+// without-replacement sample of its stream, so consuming them in order
+// simulates drawing fresh stream elements: each merged slot picks a side
+// with probability proportional to that side's remaining stream size and
+// removes one element from it — the hypergeometric draw of a k-sample
+// from the concatenated streams. Merged Seen is the sum. r's
+// deterministic rng drives the draws, so merging the same states in the
+// same order is reproducible. The other reservoir is consumed and must
+// not be used afterwards.
+func (r *Reservoir) Merge(o *Reservoir) {
+	if o == nil || o.seen == 0 {
+		return
+	}
+	if r.seen == 0 {
+		r.seen = o.seen
+		r.items = o.items
+		// Keep r's rng (and capacity) so determinism follows the
+		// merging side.
+		if len(r.items) > r.cap {
+			r.items = r.items[:r.cap]
+		}
+		r.skip = -1
+		return
+	}
+	// Remaining stream elements each side has not yet contributed.
+	wa, wb := float64(r.seen), float64(o.seen)
+	a, b := r.items, o.items
+	ai, bi := 0, 0
+	merged := make([]types.Value, 0, r.cap)
+	for len(merged) < r.cap && (ai < len(a) || bi < len(b)) {
+		pickA := bi >= len(b)
+		if ai < len(a) && bi < len(b) {
+			pickA = r.rng.Float64()*(wa+wb) < wa
+		}
+		if pickA {
+			merged = append(merged, a[ai])
+			ai++
+			wa--
+		} else {
+			merged = append(merged, b[bi])
+			bi++
+			wb--
+		}
+	}
+	r.items = merged
+	r.seen += o.seen
+	r.skip = -1
+}
+
 // Seen returns the number of values offered so far.
 func (r *Reservoir) Seen() int64 { return r.seen }
 

@@ -208,6 +208,13 @@ func spinePoints(root plan.Node) []point {
 		case *plan.Project, *plan.Agg, *plan.Sort, *plan.Limit:
 			tops = append(tops, n)
 			cur = n.Children()[0]
+		case *plan.Exchange:
+			// Normally SCIA runs before parallelization, but a caller
+			// handing in an already-parallel plan still gets collectors:
+			// exchanges are transparent, so a collector inserted below a
+			// gather simply runs once per worker and merges at the gather.
+			tops = append(tops, n)
+			cur = n.Input
 		default:
 			goto spine
 		}
@@ -225,6 +232,8 @@ spine:
 			walk(x.Outer, x)
 			pts = append(pts, point{node: x, parent: parent, desc: "output of " + x.Label() + " [" + x.Describe() + "]"})
 		case *plan.Filter:
+			walk(x.Input, x)
+		case *plan.Exchange:
 			walk(x.Input, x)
 		case *plan.Scan:
 			pts = append(pts, point{node: x, parent: parent, desc: "output of scan " + x.Binding})
@@ -296,6 +305,11 @@ func replaceChild(parent, old, new plan.Node) error {
 			return nil
 		}
 	case *plan.Limit:
+		if p.Input == old {
+			p.Input = new
+			return nil
+		}
+	case *plan.Exchange:
 		if p.Input == old {
 			p.Input = new
 			return nil

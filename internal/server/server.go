@@ -64,6 +64,9 @@ type QueryRequest struct {
 	// TimeoutMs bounds the query's wall-clock time in milliseconds,
 	// overriding the server's default query timeout; 0 inherits it.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Parallel is the intra-query degree of parallelism (values below
+	// 2 run serially).
+	Parallel int `json:"parallel,omitempty"`
 }
 
 // CancelRequest aborts a running query by its engine tag (the "query"
@@ -83,6 +86,7 @@ type QueryResponse struct {
 	Columns  []string          `json:"columns"`
 	Rows     [][]string        `json:"rows"`
 	Cost     float64           `json:"cost"`
+	WallCost float64           `json:"wall_cost"`
 	Query    string            `json:"query"`
 	CacheHit bool              `json:"cache_hit"`
 	Stats    *reopt.Stats      `json:"stats,omitempty"`
@@ -120,6 +124,9 @@ type Server struct {
 	// queryTimeout is the default deadline applied to every query that
 	// does not set its own TimeoutMs; 0 means none.
 	queryTimeout time.Duration
+	// parallel is the default intra-query degree of parallelism for
+	// requests that do not set their own; 0 means serial.
+	parallel int
 
 	mu       sync.Mutex
 	sessions map[int64]*session.Session
@@ -147,6 +154,10 @@ func (s *Server) SetLogger(l *slog.Logger) {
 // SetQueryTimeout installs a default per-query deadline. Individual
 // requests override it with TimeoutMs; 0 disables the default.
 func (s *Server) SetQueryTimeout(d time.Duration) { s.queryTimeout = d }
+
+// SetParallel installs a default intra-query degree of parallelism.
+// Individual requests override it with Parallel; 0 disables the default.
+func (s *Server) SetParallel(deg int) { s.parallel = deg }
 
 // Handler returns the server's HTTP handler (httptest and embedding).
 func (s *Server) Handler() http.Handler {
@@ -223,6 +234,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if opts.Timeout == 0 {
 		opts.Timeout = s.queryTimeout
 	}
+	if opts.Parallel == 0 {
+		opts.Parallel = s.parallel
+	}
 	start := time.Now()
 	res, err := sess.Exec(r.Context(), req.SQL, opts)
 	if err != nil {
@@ -257,6 +271,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Columns:  res.Columns,
 		Rows:     rows,
 		Cost:     res.Cost,
+		WallCost: res.WallCost,
 		Query:    res.Query,
 		CacheHit: res.CacheHit,
 		Stats:    res.Stats,
@@ -348,6 +363,7 @@ func execOptions(req QueryRequest) (session.Options, error) {
 		Explain:          req.Explain,
 		Trace:            req.Trace,
 		Timeout:          time.Duration(req.TimeoutMs) * time.Millisecond,
+		Parallel:         req.Parallel,
 	}, nil
 }
 

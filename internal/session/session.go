@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -264,6 +265,10 @@ type Options struct {
 	// wait for memory admission and execution; 0 means no deadline.
 	// Expiry surfaces as context.DeadlineExceeded.
 	Timeout time.Duration
+	// Parallel is the intra-query degree of parallelism: plan segments
+	// between checkpoint boundaries run on this many worker goroutines
+	// behind exchange operators. Values below 2 run serially.
+	Parallel int
 }
 
 // Result is one query's outcome, extending the single-query result with
@@ -276,6 +281,10 @@ type Result struct {
 	// this query's window. Under concurrency it includes overlapping
 	// queries' charges; single-stream it matches DB.Exec.
 	Cost float64
+	// WallCost subtracts the overlap credited by this query's parallel
+	// regions (only each gathered region's slowest tributary counts
+	// toward elapsed time). Equal to Cost for serial execution.
+	WallCost float64
 	// Query is the engine-unique tag ("s3_q17") the query ran under —
 	// the same tag appears in broker traces and temp-table names.
 	Query string
@@ -399,6 +408,7 @@ func (s *Session) exec(ctx context.Context, src string, opts Options) (*Result, 
 		Rows:     rows,
 		Stats:    st,
 		Cost:     cost,
+		WallCost: math.Max(0, cost-st.WallSavedCost),
 		Query:    tag,
 		CacheHit: hit,
 		Broker:   lease.Stats(),
@@ -462,9 +472,22 @@ func (s *Session) plan(stmt *sql.SelectStmt, opts Options) (*optimizer.Result, b
 // fingerprint names every option that changes what the optimizer would
 // produce. Options that only steer execution (mode, thresholds, seed)
 // are deliberately absent so differently-tuned sessions share plans.
+// Degree of parallelism is included even though Parallelize runs at
+// dispatch time: exchange wrappers are part of the executed plan shape,
+// and a future optimizer that costs them per degree must not share
+// entries across degrees.
 func (s *Session) fingerprint(opts Options) string {
-	return fmt.Sprintf("mem=%.0f|idxjoin=%t|pool=%d",
-		s.m.cfg.MemBudget, !opts.DisableIndexJoin, s.m.pool.Capacity())
+	return fmt.Sprintf("mem=%.0f|idxjoin=%t|pool=%d|par=%d",
+		s.m.cfg.MemBudget, !opts.DisableIndexJoin, s.m.pool.Capacity(), normDegree(opts.Parallel))
+}
+
+// normDegree collapses every serial setting to 1 so "unset", 0, and 1
+// share one cache entry.
+func normDegree(d int) int {
+	if d < 2 {
+		return 1
+	}
+	return d
 }
 
 func (s *Session) dispatcherConfig(opts Options, lease *memmgr.Lease, tag string) reopt.Config {
@@ -489,5 +512,6 @@ func (s *Session) dispatcherConfig(opts Options, lease *memmgr.Lease, tag string
 	cfg.DisableIndexJoin = opts.DisableIndexJoin
 	cfg.Seed = opts.Seed
 	cfg.PoolPages = float64(s.m.pool.Capacity())
+	cfg.Degree = opts.Parallel
 	return cfg
 }

@@ -145,3 +145,28 @@ func (h *HybridDistinct) Estimate() float64 {
 	}
 	return h.fm.Estimate()
 }
+
+// Merge folds another hybrid counter into h, for combining per-partition
+// collector states at a gather point. The FM sketches always merge (bitmap
+// union is exact for FM); the exact sets union only while both sides are
+// still exact and the union stays under h's threshold — otherwise the
+// merged counter degrades to the sketch, the same transition Add makes.
+func (h *HybridDistinct) Merge(o *HybridDistinct) {
+	if o == nil {
+		return
+	}
+	h.fm.Merge(o.fm)
+	if h.exact == nil {
+		return
+	}
+	if o.exact == nil {
+		h.exact = nil
+		return
+	}
+	for k := range o.exact {
+		h.exact[k] = struct{}{}
+	}
+	if len(h.exact) > h.threshold {
+		h.exact = nil
+	}
+}

@@ -56,6 +56,14 @@ func (bp *BufferPool) Disk() *Disk { return bp.disk }
 // buffer aliases the frame; callers may mutate it but must call
 // MarkDirty before Unpin for changes to survive eviction.
 func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
+	return bp.PinMetered(id, nil)
+}
+
+// PinMetered is Pin with any miss's disk read charged to m (the disk's
+// own meter when m is nil). Hits stay free; eviction writes triggered by
+// the miss remain on the shared meter — write-back belongs to whoever
+// dirtied the page, which the pool does not track per worker.
+func (bp *BufferPool) PinMetered(id PageID, m *CostMeter) ([]byte, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	if f, ok := bp.frames[id]; ok {
@@ -66,7 +74,7 @@ func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
 	if err := bp.evictLocked(); err != nil {
 		return nil, err
 	}
-	data, err := bp.disk.Read(id)
+	data, err := bp.disk.ReadMetered(id, m)
 	if err != nil {
 		return nil, err
 	}

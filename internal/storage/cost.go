@@ -43,6 +43,7 @@ func DefaultCostWeights() CostWeights {
 type CostMeter struct {
 	mu      sync.Mutex
 	weights CostWeights
+	parent  *CostMeter // tributary meters forward every charge upstream
 
 	pageReads  int64
 	pageWrites int64
@@ -56,11 +57,23 @@ func NewCostMeter(w CostWeights) *CostMeter {
 	return &CostMeter{weights: w}
 }
 
+// Tributary returns a child meter that records charges locally and also
+// forwards them to this meter, so a parallel worker's cost is both
+// attributable to that worker and visible in the shared query total in
+// real time (the checkpoint's elapsed-cost arithmetic keeps working on
+// the shared meter while a gather point reads per-worker totals).
+func (m *CostMeter) Tributary() *CostMeter {
+	return &CostMeter{weights: m.Weights(), parent: m}
+}
+
 // ChargeRead records n simulated page reads.
 func (m *CostMeter) ChargeRead(n int64) {
 	m.mu.Lock()
 	m.pageReads += n
 	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.ChargeRead(n)
+	}
 }
 
 // ChargeWrite records n simulated page writes.
@@ -68,6 +81,9 @@ func (m *CostMeter) ChargeWrite(n int64) {
 	m.mu.Lock()
 	m.pageWrites += n
 	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.ChargeWrite(n)
+	}
 }
 
 // ChargeTuples records n tuples of operator CPU work.
@@ -75,6 +91,9 @@ func (m *CostMeter) ChargeTuples(n int64) {
 	m.mu.Lock()
 	m.tupleCPU += n
 	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.ChargeTuples(n)
+	}
 }
 
 // ChargeStatTuples records n tuples of statistics-collection CPU work.
@@ -82,6 +101,9 @@ func (m *CostMeter) ChargeStatTuples(n int64) {
 	m.mu.Lock()
 	m.statCPU += n
 	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.ChargeStatTuples(n)
+	}
 }
 
 // ChargeRaw adds a pre-computed cost in simulated units. The dispatcher
@@ -90,6 +112,9 @@ func (m *CostMeter) ChargeRaw(units float64) {
 	m.mu.Lock()
 	m.extra += units
 	m.mu.Unlock()
+	if m.parent != nil {
+		m.parent.ChargeRaw(units)
+	}
 }
 
 // Snapshot is a point-in-time copy of a meter's counters.

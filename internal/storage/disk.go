@@ -51,13 +51,23 @@ func (d *Disk) Allocate() PageID {
 
 // Read copies the page into a fresh buffer, charging one page read.
 func (d *Disk) Read(id PageID) ([]byte, error) {
+	return d.ReadMetered(id, nil)
+}
+
+// ReadMetered is Read with the page-read charge attributed to m (the
+// disk's own meter when m is nil). Parallel scan workers pass their
+// tributary meters so a gather point can see each partition's I/O.
+func (d *Disk) ReadMetered(id PageID, m *CostMeter) ([]byte, error) {
 	d.mu.Lock()
 	p, ok := d.pages[id]
 	d.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: read of unallocated page %d", id)
 	}
-	d.meter.ChargeRead(1)
+	if m == nil {
+		m = d.meter
+	}
+	m.ChargeRead(1)
 	buf := make([]byte, PageSize)
 	copy(buf, p)
 	return buf, nil

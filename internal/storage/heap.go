@@ -111,7 +111,19 @@ func (h *HeapFile) Fetch(rid RID) (types.Tuple, error) {
 
 // Scan returns an iterator over every tuple in the file, in storage order.
 func (h *HeapFile) Scan() *HeapScanner {
-	return &HeapScanner{file: h}
+	return &HeapScanner{file: h, stride: 1}
+}
+
+// ScanPartition returns an iterator over the part-th of `of` page-wise
+// partitions of the file (pages whose index ≡ part mod of), charging any
+// buffer-pool misses to meter (nil = the shared disk meter). This models
+// Paradise's declustered storage: each parallel scan worker reads its own
+// disjoint set of pages, so partition I/O is disjoint and attributable.
+func (h *HeapFile) ScanPartition(part, of int, meter *CostMeter) *HeapScanner {
+	if of < 1 {
+		of = 1
+	}
+	return &HeapScanner{file: h, pageIdx: part % of, stride: of, meter: meter}
 }
 
 // Drop releases a temp file's pages from the pool and disk. Dropping a
@@ -134,10 +146,13 @@ func (h *HeapFile) Drop() error {
 
 // HeapScanner iterates a heap file page by page. Each page is pinned once
 // per visit, so a full scan of an uncached file charges exactly
-// NumPages() reads.
+// NumPages() reads. A partitioned scanner (stride > 1) visits only its
+// own pages and charges their reads to its meter.
 type HeapScanner struct {
 	file    *HeapFile
 	pageIdx int
+	stride  int        // page-index step; 1 for a full scan
+	meter   *CostMeter // charge target for pool misses; nil = shared
 	slot    int
 	err     error
 	cur     types.Tuple
@@ -148,9 +163,12 @@ type HeapScanner struct {
 // or on error.
 func (s *HeapScanner) Next() bool {
 	h := s.file
+	if s.stride == 0 {
+		s.stride = 1
+	}
 	for s.pageIdx < len(h.pages) {
 		id := h.pages[s.pageIdx]
-		buf, err := h.pool.Pin(id)
+		buf, err := h.pool.PinMetered(id, s.meter)
 		if err != nil {
 			s.err = err
 			return false
@@ -174,7 +192,7 @@ func (s *HeapScanner) Next() bool {
 			return true
 		}
 		h.pool.Unpin(id)
-		s.pageIdx++
+		s.pageIdx += s.stride
 		s.slot = 0
 	}
 	return false

@@ -263,6 +263,12 @@ type ExecOptions struct {
 	// Context aborts the query when cancelled (optional; Timeout
 	// layers a deadline on top of it).
 	Context context.Context
+	// Parallel is the intra-query degree of parallelism: plan segments
+	// between checkpoint boundaries are split across this many worker
+	// goroutines by exchange operators, and their per-partition
+	// statistics are merged back into single collector reports at each
+	// gather. Values below 2 run serially.
+	Parallel int
 }
 
 func (db *DB) dispatcher(o ExecOptions) *reopt.Dispatcher {
@@ -292,6 +298,7 @@ func (db *DB) dispatcherWithTrace(o ExecOptions, tr *obs.Trace) *reopt.Dispatche
 	cfg.DisableIndexJoin = o.DisableIndexJoin
 	cfg.Seed = o.Seed
 	cfg.PoolPages = float64(db.pool.Capacity())
+	cfg.Degree = o.Parallel
 	return reopt.New(db.cat, cfg)
 }
 
@@ -305,6 +312,12 @@ type Result struct {
 	Stats *Stats
 	// Cost is the simulated execution time of this query alone.
 	Cost float64
+	// WallCost is the simulated elapsed time: Cost minus the overlap
+	// credited by parallel regions (workers running concurrently charge
+	// the meter for all their work, but only the slowest tributary of
+	// each gathered region contributes to elapsed time). Equal to Cost
+	// for serial execution.
+	WallCost float64
 	// Plan is the EXPLAIN ANALYZE rendering (ExplainAnalyze only).
 	Plan string
 	// Trace is the query's event log (ExecOptions.Trace only).
@@ -353,6 +366,10 @@ func (db *DB) exec(src string, opts ExecOptions, az *obs.Analyze) (*Result, erro
 		Rows:    rows,
 		Stats:   st,
 		Cost:    db.meter.Snapshot().Sub(before).Cost(),
+	}
+	res.WallCost = res.Cost - st.WallSavedCost
+	if res.WallCost < 0 {
+		res.WallCost = 0
 	}
 	if az != nil {
 		res.Plan = az.Render()
