@@ -144,14 +144,25 @@ func main() {
 			rep.Figures["parallel"] = figure{Rows: rows, Parallel: &s}
 			if *parGate > 0 {
 				key := fmt.Sprintf("d%d", topDegree(*par))
-				if got := s.Speedup[key]; got < *parGate {
+				got, measured := s.Speedup[key]
+				if !measured {
+					// No qualifying queries at the gated degree: the
+					// summary marks the degree skipped rather than
+					// reporting a fake 0/1.0, and the gate must not
+					// pass (or fail with a misleading number) on a
+					// measurement that never happened.
+					fmt.Fprintf(os.Stderr,
+						"mqr-bench: parallel gate failed: %s skipped (no qualifying queries measured)\n", key)
+					os.Exit(1)
+				}
+				if got < *parGate {
 					fmt.Fprintf(os.Stderr,
 						"mqr-bench: parallel gate failed: %s geomean wall speedup %.2f < %.2f\n",
 						key, got, *parGate)
 					os.Exit(1)
 				}
-				fmt.Printf("parallel gate passed: d%d geomean wall speedup %.2f >= %.2f\n\n",
-					topDegree(*par), s.Speedup[key], *parGate)
+				fmt.Printf("parallel gate passed: %s geomean wall speedup %.2f >= %.2f\n\n",
+					key, got, *parGate)
 			}
 		case "hist":
 			rows, err := bench.HistFamilies(cfg)

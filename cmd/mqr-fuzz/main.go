@@ -1,0 +1,119 @@
+// Command mqr-fuzz runs the engine's differential fuzzing harness from
+// the command line: seed-driven random schemas, data, and chain-join
+// queries executed across the full configuration matrix (serial and
+// parallel degrees, re-optimization off/on/forced, spill-forcing memory
+// budgets, warm plan cache, injected cancellation, and every fault-
+// injection site the query reaches), each run checked against a naive
+// reference evaluator and the engine's cleanup invariants.
+//
+// Usage:
+//
+//	mqr-fuzz -seed 1 -cases 16        # fixed number of cases
+//	mqr-fuzz -seed 1 -fuzz-seconds 60 # time-bounded (CI)
+//	mqr-fuzz -replay failure.json     # replay one seed file
+//	mqr-fuzz -replay testdata/corpus  # replay a corpus directory
+//
+// Runs are deterministic: the same -seed always generates the same
+// cases, configurations, and verdicts. On failure the harness shrinks
+// the first failing case to a minimal repro, writes it as a JSON seed
+// file (-out), and exits non-zero; `mqr-fuzz -replay <file>` reproduces
+// it exactly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fuzz"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "base seed; case i derives from seed+i")
+		cases   = flag.Int("cases", 0, "number of cases to run (0 = 16, or unbounded with -fuzz-seconds)")
+		seconds = flag.Int("fuzz-seconds", 0, "stop starting new cases after this many seconds (0 = no time bound)")
+		replay  = flag.String("replay", "", "replay a seed file or a directory of seed files instead of fuzzing")
+		out     = flag.String("out", "mqr-fuzz-failure.json", "where to write the minimized seed file on failure")
+		verbose = flag.Bool("v", false, "print one verdict line per run")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayPath(*replay, *verbose))
+	}
+
+	opts := fuzz.Options{
+		Seed:  *seed,
+		Cases: *cases,
+		Log: func(format string, args ...any) {
+			fmt.Printf("mqr-fuzz: "+format+"\n", args...)
+		},
+	}
+	if *seconds > 0 {
+		opts.Deadline = time.Now().Add(time.Duration(*seconds) * time.Second)
+	}
+	start := time.Now()
+	rep := fuzz.Run(opts)
+	if *verbose {
+		for _, v := range rep.Verdicts {
+			fmt.Println(v)
+		}
+	}
+	fmt.Printf("mqr-fuzz: %d cases, %d runs, %d failures in %.1fs (seed %d)\n",
+		rep.Cases, rep.Runs, len(rep.Failures), time.Since(start).Seconds(), *seed)
+
+	if len(rep.Failures) == 0 {
+		return
+	}
+	for _, f := range rep.Failures {
+		fmt.Fprintf(os.Stderr, "mqr-fuzz: FAIL %s\n", f)
+	}
+	fmt.Fprintf(os.Stderr, "mqr-fuzz: shrinking first failure...\n")
+	min := fuzz.Shrink(rep.Failures[0])
+	if err := fuzz.WriteSeed(*out, min); err != nil {
+		fmt.Fprintf(os.Stderr, "mqr-fuzz: writing seed file: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "mqr-fuzz: minimized to %s\nmqr-fuzz: seed file written to %s (replay with -replay %s)\n",
+		min, *out, *out)
+	os.Exit(1)
+}
+
+// replayPath replays one seed file, or every *.json in a directory, and
+// returns the process exit code.
+func replayPath(path string, verbose bool) int {
+	info, err := os.Stat(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mqr-fuzz: %v\n", err)
+		return 2
+	}
+	paths := []string{path}
+	if info.IsDir() {
+		paths, err = filepath.Glob(filepath.Join(path, "*.json"))
+		if err != nil || len(paths) == 0 {
+			fmt.Fprintf(os.Stderr, "mqr-fuzz: no seed files in %s\n", path)
+			return 2
+		}
+	}
+	code := 0
+	for _, p := range paths {
+		f, err := fuzz.ReadSeed(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mqr-fuzz: %v\n", err)
+			return 2
+		}
+		if nf := fuzz.Check(f.Case, f.Config); nf != nil {
+			fmt.Fprintf(os.Stderr, "mqr-fuzz: %s: FAIL %s\n", p, nf)
+			code = 1
+		} else if verbose {
+			fmt.Printf("mqr-fuzz: %s: ok (%s | %s)\n", p, f.Case, f.Config.Name)
+		}
+	}
+	if code == 0 {
+		fmt.Printf("mqr-fuzz: replayed %d seed file(s), all pass\n", len(paths))
+	}
+	return code
+}

@@ -172,6 +172,21 @@ type Summary struct {
 	// SwitchRate is the fraction of queries that switched plans at
 	// least once.
 	SwitchRate float64 `json:"switch_rate"`
+	// Skipped marks a summary with zero qualifying rows: the aggregate
+	// columns above are meaningless (and would otherwise read as a
+	// perfectly healthy 0), so consumers — including CI gates — must
+	// treat the figure as not measured rather than as passing.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// finite guards an aggregate against NaN/Inf (empty inputs, zero
+// denominators): encoding/json refuses non-finite floats, so a single
+// degenerate figure would otherwise break the whole -json report.
+func finite(v float64) (float64, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, false
+	}
+	return v, true
 }
 
 // Summarize computes the estimate-error and switch-rate columns over a
@@ -186,19 +201,22 @@ func Summarize(rows []Row) Summary {
 			actual = r.Plan
 		}
 		if r.EstCost > 0 && actual > 0 {
-			logSum += math.Log(actual / r.EstCost)
-			n++
+			if l := math.Log(actual / r.EstCost); !math.IsNaN(l) && !math.IsInf(l, 0) {
+				logSum += l
+				n++
+			}
 		}
 		if r.Switches > 0 {
 			switched++
 		}
 	}
 	if n > 0 {
-		s.EstimateError = math.Exp(logSum / float64(n))
+		s.EstimateError, _ = finite(math.Exp(logSum / float64(n)))
 	}
 	if len(rows) > 0 {
-		s.SwitchRate = float64(switched) / float64(len(rows))
+		s.SwitchRate, _ = finite(float64(switched) / float64(len(rows)))
 	}
+	s.Skipped = n == 0
 	return s
 }
 

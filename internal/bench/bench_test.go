@@ -158,3 +158,40 @@ func TestHistFamiliesCoverFamilies(t *testing.T) {
 		}
 	}
 }
+
+// TestSummarizeEmptyIsSkipped: aggregates over zero qualifying rows
+// must come back marked skipped with finite (zero) values, never NaN or
+// Inf — a skipped figure must not JSON-fail the report or satisfy a
+// numeric CI gate vacuously.
+func TestSummarizeEmptyIsSkipped(t *testing.T) {
+	s := Summarize(nil)
+	if !s.Skipped {
+		t.Error("empty figure not marked skipped")
+	}
+	if math.IsNaN(s.EstimateError) || math.IsInf(s.EstimateError, 0) ||
+		math.IsNaN(s.SwitchRate) || math.IsInf(s.SwitchRate, 0) {
+		t.Errorf("non-finite aggregates on empty input: %+v", s)
+	}
+	// Rows that all fail to qualify for the geomean (no estimates) are
+	// skipped too.
+	s = Summarize([]Row{{Query: "Qx"}})
+	if !s.Skipped {
+		t.Error("figure with no qualifying estimate rows not marked skipped")
+	}
+
+	ps := SummarizeParallel([]ParallelRow{{Query: "Qx", Degree: 4, Speedup: 0}})
+	if _, ok := ps.Speedup["d4"]; ok {
+		t.Error("unmeasured degree has a Speedup entry")
+	}
+	if len(ps.Skipped) != 1 || ps.Skipped[0] != "d4" {
+		t.Errorf("Skipped = %v, want [d4]", ps.Skipped)
+	}
+	// Non-finite speedups must not poison the geomean.
+	ps = SummarizeParallel([]ParallelRow{
+		{Query: "Qx", Degree: 2, Speedup: 2},
+		{Query: "Qy", Degree: 2, Speedup: math.Inf(1)},
+	})
+	if got := ps.Speedup["d2"]; got != 2 {
+		t.Errorf("d2 geomean = %v, want 2 (Inf row excluded)", got)
+	}
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/reopt"
@@ -89,6 +90,11 @@ type ParallelSummary struct {
 	// SwitchRate maps "d<degree>" to the fraction of queries that
 	// switched plans at least once at that degree.
 	SwitchRate map[string]float64 `json:"switch_rate"`
+	// Skipped lists "d<degree>" keys with zero qualifying measurements:
+	// their Speedup entry is absent (not 1.0, not 0), and a CI gate on
+	// that degree must fail loudly instead of comparing against a zero
+	// value that merely means "nothing was measured".
+	Skipped []string `json:"skipped,omitempty"`
 }
 
 // SummarizeParallel computes per-degree speedup and switch-rate columns.
@@ -106,7 +112,7 @@ func SummarizeParallel(rows []ParallelRow) ParallelSummary {
 			a = &acc{}
 			byDeg[r.Degree] = a
 		}
-		if r.Speedup > 0 {
+		if r.Speedup > 0 && !math.IsInf(r.Speedup, 0) && !math.IsNaN(r.Speedup) {
 			a.logSum += math.Log(r.Speedup)
 			a.n++
 		}
@@ -118,13 +124,21 @@ func SummarizeParallel(rows []ParallelRow) ParallelSummary {
 	s := ParallelSummary{Speedup: map[string]float64{}, SwitchRate: map[string]float64{}}
 	for deg, a := range byDeg {
 		key := fmt.Sprintf("d%d", deg)
+		ok := false
 		if a.n > 0 {
-			s.Speedup[key] = math.Exp(a.logSum / float64(a.n))
+			var v float64
+			if v, ok = finite(math.Exp(a.logSum / float64(a.n))); ok {
+				s.Speedup[key] = v
+			}
+		}
+		if !ok {
+			s.Skipped = append(s.Skipped, key)
 		}
 		if a.total > 0 {
 			s.SwitchRate[key] = float64(a.switched) / float64(a.total)
 		}
 	}
+	sort.Strings(s.Skipped)
 	return s
 }
 

@@ -94,6 +94,16 @@ func (a *parallelAgg) Open() error {
 		a.partials[w] = exec.NewPartialAgg(a.agg, newSource(a.reg, a.inQ[w], inSchema), wc)
 	}
 
+	// The final merge runs on the consumer's goroutine and context (its
+	// work is the serial tail of the query) with the reserved half of
+	// the grant. The Ctx copy must happen before any worker is spawned:
+	// the route goroutine drains the serial input against a.ctx and
+	// ticks its non-atomic cancellation counter.
+	fc := *a.ctx
+	fc.GrantShare = 0.5
+	fc.StateSink = nil
+	a.final = exec.Instrument(exec.NewFinalAgg(a.agg, newSource(a.reg, a.stateQ, inSchema), &fc), a.agg, &fc)
+
 	var emit sync.WaitGroup
 	for w := 0; w < n; w++ {
 		op := a.partials[w]
@@ -108,13 +118,6 @@ func (a *parallelAgg) Open() error {
 	})
 	a.reg.spawn(a.ctx, "agg-route", a.route(n))
 
-	// The final merge runs on the consumer's goroutine and context (its
-	// work is the serial tail of the query) with the reserved half of
-	// the grant.
-	fc := *a.ctx
-	fc.GrantShare = 0.5
-	fc.StateSink = nil
-	a.final = exec.Instrument(exec.NewFinalAgg(a.agg, newSource(a.reg, a.stateQ, inSchema), &fc), a.agg, &fc)
 	if err := a.final.Open(); err != nil {
 		return err
 	}

@@ -277,6 +277,9 @@ func (a *Agg) encodeState(g *group) types.Tuple {
 func (a *Agg) mergePartitions() error {
 	nk := len(a.node.GroupCols)
 	for _, part := range a.parts {
+		if err := faultinject.Hit("exec.agg.merge"); err != nil {
+			return err
+		}
 		table := make(map[uint64][]*group)
 		s := part.Scan()
 		for s.Next() {

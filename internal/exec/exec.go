@@ -155,6 +155,12 @@ func Drain(op Operator) (int64, error) {
 // tuples. Open and Close are handled internally.
 func Collect(op Operator) ([]types.Tuple, error) {
 	if err := op.Open(); err != nil {
+		// Close even after a failed Open: blocking operators (agg,
+		// sort, hash join) may have spilled partitions to temp heap
+		// files before the error, and Close is the only hook that
+		// drops them. All operators' Close is idempotent and safe
+		// after a partial Open.
+		op.Close()
 		return nil, err
 	}
 	defer op.Close()

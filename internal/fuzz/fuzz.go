@@ -1,0 +1,141 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/reopt"
+)
+
+// Options bounds one fuzzing run. At least one of Cases or Deadline
+// must bound it; with neither set, Run defaults to 16 cases.
+type Options struct {
+	// Seed numbers the cases: case i derives from Seed+i, so the same
+	// (Seed, Cases) pair always fuzzes the same inputs and returns the
+	// same verdicts.
+	Seed int64
+	// Cases caps how many cases run (0 = unbounded when Deadline is
+	// set).
+	Cases int
+	// Deadline stops starting new cases once passed (zero = no time
+	// bound). A case in progress always finishes: partial matrices
+	// would make time-bounded runs nondeterministic in coverage.
+	Deadline time.Time
+	// Log, when set, receives one progress line per case.
+	Log func(format string, args ...any)
+}
+
+// Report is the outcome of a fuzzing run. Verdicts is a deterministic
+// transcript — one line per (case, configuration) run, independent of
+// timing, suitable for byte-comparing two runs with the same seed.
+type Report struct {
+	Cases    int       `json:"cases"`
+	Runs     int       `json:"runs"`
+	Verdicts []string  `json:"verdicts"`
+	Failures []Failure `json:"failures,omitempty"`
+}
+
+// CaseResult is one case's outcome across the whole matrix.
+type CaseResult struct {
+	Case     Case
+	Verdicts []string
+	Failures []Failure
+}
+
+// RunCase executes one case across the full configuration matrix plus
+// the dynamically derived cancellation and fault-site runs, and the
+// engine-independent collector-merge invariant.
+func RunCase(c Case) CaseResult {
+	cr := CaseResult{Case: c}
+	add := func(verdict string, f *Failure) {
+		cr.Verdicts = append(cr.Verdicts, verdict)
+		if f != nil {
+			cr.Failures = append(cr.Failures, *f)
+		}
+	}
+
+	if msg := CheckCollectorMerge(c.Seed); msg != "" {
+		add(ConfigCollectorMerge+": FAIL "+msg,
+			&Failure{Case: c, Config: RunConfig{Name: ConfigCollectorMerge}, Err: msg})
+	} else {
+		add(ConfigCollectorMerge+": ok", nil)
+	}
+
+	env, err := Build(c)
+	if err != nil {
+		add("build: FAIL "+err.Error(),
+			&Failure{Case: c, Config: RunConfig{Name: "build"}, Err: err.Error()})
+		return cr
+	}
+
+	for _, rc := range Matrix(c) {
+		add(runOne(env, rc))
+	}
+
+	// Derive the cancellation tick and fault-site sweep from a
+	// recording pass: arming a hit the query never reaches would test
+	// nothing. Both run serially — the injector is process-global, and
+	// a deterministic trigger point needs a deterministic hit order.
+	sites, err := recordSites(env)
+	if err != nil {
+		add("record: FAIL "+err.Error(),
+			&Failure{Case: c, Config: RunConfig{Name: "record"}, Err: err.Error()})
+		return cr
+	}
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x5eed))
+	for _, s := range sites {
+		if s.Site == "exec.scan.next" && s.Hits > 0 {
+			tick := 1 + rng.Intn(s.Hits)
+			add(runOne(env, RunConfig{
+				Name:       fmt.Sprintf("cancel@%d", tick),
+				Mode:       reopt.ModeFull,
+				Degree:     1,
+				Budget:     tinyBudget,
+				Forced:     true,
+				CancelTick: tick,
+			}))
+		}
+		after := 1 + rng.Intn(s.Hits)
+		add(runOne(env, RunConfig{
+			Name:       fmt.Sprintf("fault:%s@%d", s.Site, after),
+			Mode:       reopt.ModeFull,
+			Degree:     1,
+			Budget:     tinyBudget,
+			Forced:     true,
+			FaultSite:  s.Site,
+			FaultAfter: after,
+		}))
+	}
+	return cr
+}
+
+// Run fuzzes cases Seed, Seed+1, ... under Options' bounds and collects
+// every verdict and failure.
+func Run(opts Options) Report {
+	if opts.Cases <= 0 && opts.Deadline.IsZero() {
+		opts.Cases = 16
+	}
+	var rep Report
+	for i := 0; ; i++ {
+		if opts.Cases > 0 && i >= opts.Cases {
+			break
+		}
+		if !opts.Deadline.IsZero() && !time.Now().Before(opts.Deadline) {
+			break
+		}
+		c := NewCase(opts.Seed + int64(i))
+		cr := RunCase(c)
+		rep.Cases++
+		rep.Runs += len(cr.Verdicts)
+		for _, v := range cr.Verdicts {
+			rep.Verdicts = append(rep.Verdicts, c.String()+" | "+v)
+		}
+		rep.Failures = append(rep.Failures, cr.Failures...)
+		if opts.Log != nil {
+			opts.Log("case %d (%s): %d runs, %d failures",
+				i, c, len(cr.Verdicts), len(cr.Failures))
+		}
+	}
+	return rep
+}

@@ -1,0 +1,117 @@
+package fuzz
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/reopt"
+)
+
+// TestRunClean fuzzes a handful of cases end to end: on a healthy tree
+// every configuration in the matrix must pass every invariant.
+func TestRunClean(t *testing.T) {
+	cases := 4
+	if testing.Short() {
+		cases = 1
+	}
+	rep := Run(Options{Seed: 1, Cases: cases})
+	for _, f := range rep.Failures {
+		t.Errorf("failure: %s", f)
+	}
+	if rep.Cases != cases {
+		t.Errorf("ran %d cases, want %d", rep.Cases, cases)
+	}
+	if rep.Runs < cases*19 {
+		t.Errorf("only %d runs across %d cases; the matrix should contribute at least 19 each",
+			rep.Runs, rep.Cases)
+	}
+}
+
+// TestDeterminism: the same seed must produce byte-identical verdict
+// transcripts — the property that makes `mqr-fuzz -seed N` replayable
+// and shrinking sound.
+func TestDeterminism(t *testing.T) {
+	a := Run(Options{Seed: 101, Cases: 2})
+	b := Run(Options{Seed: 101, Cases: 2})
+	if !reflect.DeepEqual(a.Verdicts, b.Verdicts) {
+		for i := range a.Verdicts {
+			if i < len(b.Verdicts) && a.Verdicts[i] != b.Verdicts[i] {
+				t.Errorf("verdict %d differs:\n  first:  %s\n  second: %s", i, a.Verdicts[i], b.Verdicts[i])
+			}
+		}
+		t.Fatalf("verdict transcripts differ (%d vs %d lines)", len(a.Verdicts), len(b.Verdicts))
+	}
+}
+
+// TestCorpusReplay replays every checked-in seed file. Each is the
+// minimized repro of a bug that has since been fixed, so every one must
+// pass now; a failure here is a regression of a specifically-known bug.
+func TestCorpusReplay(t *testing.T) {
+	paths, err := filepath.Glob("testdata/corpus/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no seed corpus found under testdata/corpus")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := ReadSeed(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nf := Check(f.Case, f.Config); nf != nil {
+				t.Errorf("seed regressed (originally: %s): %s", f.Err, nf)
+			}
+		})
+	}
+}
+
+// TestShrinkTerminates exercises the shrinker on a failure no
+// reduction can reproduce (the tree is healthy, so every candidate
+// passes): the walk must terminate and hand back the original case
+// unchanged rather than "minimizing" to a case that does not fail.
+func TestShrinkTerminates(t *testing.T) {
+	orig := Failure{
+		Case:   Case{Seed: 5, NTables: 4, MaxRows: 200, JoinK: 3, Grouped: true, HostVar: true, StalePct: 50},
+		Config: RunConfig{Name: "off-d1-big", Degree: 1, Budget: bigBudget},
+		Err:    "synthetic",
+	}
+	got := Shrink(orig)
+	if got.Case != orig.Case {
+		t.Errorf("shrink of a non-reproducible failure changed the case: %+v -> %+v", orig.Case, got.Case)
+	}
+}
+
+// FuzzEngine is the native go-fuzz entry point: each input seed derives
+// a case, which runs under a cheap three-configuration slice of the
+// matrix (serial baseline, tiny-budget full re-optimization, forced
+// switching). `go test -fuzz=FuzzEngine ./internal/fuzz` explores
+// seeds; failures shrink via cmd/mqr-fuzz.
+func FuzzEngine(f *testing.F) {
+	for _, seed := range []int64{1, 42, 1998, 31337} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := NewCase(seed)
+		// Bound the data so each fuzz iteration stays fast.
+		if c.MaxRows > 150 {
+			c.MaxRows = 20 + c.MaxRows%131
+		}
+		env, err := Build(c)
+		if err != nil {
+			t.Fatalf("%s: build: %v", c, err)
+		}
+		for _, rc := range []RunConfig{
+			{Name: "off-d1-big", Mode: reopt.ModeOff, Degree: 1, Budget: bigBudget},
+			{Name: "full-d1-tiny", Mode: reopt.ModeFull, Degree: 1, Budget: tinyBudget},
+			{Name: "forced-d1-tiny", Mode: reopt.ModeFull, Degree: 1, Budget: tinyBudget, Forced: true},
+		} {
+			if _, fail := runOne(env, rc); fail != nil {
+				t.Errorf("%s", fail)
+			}
+		}
+	})
+}

@@ -1,0 +1,292 @@
+// Package fuzz is the engine's differential fuzzing harness: a
+// deterministic, seed-driven generator of random schemas, data, and
+// chain-join queries (factored out of the original oracle test), an
+// independent naive reference evaluator, and a runner that executes
+// every generated case across the engine's configuration matrix —
+// serial and parallel degrees, re-optimization off/on/forced, spill-
+// forcing memory budgets, plan-cache cold/warm, injected cancellation,
+// and every named fault-injection site — checking each run against the
+// reference answer and the engine's cleanup invariants.
+//
+// Everything derives from int64 seeds, so any failure is replayable
+// from a tiny JSON seed file (see Failure and Shrink).
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/histogram"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Case is the replayable description of one fuzz case. The schema,
+// data, and query all derive deterministically from these few fields,
+// which is exactly what makes shrinking work: each field can be
+// reduced independently while the rest of the case stays stable.
+type Case struct {
+	// Seed drives every random choice inside the case (row values,
+	// domains, filters, histogram families).
+	Seed int64 `json:"seed"`
+	// NTables is the number of generated tables t0..t{n-1}.
+	NTables int `json:"n_tables"`
+	// MaxRows bounds each table's row count (actual counts are drawn
+	// per table in [20, MaxRows]).
+	MaxRows int `json:"max_rows"`
+	// JoinK is the chain-join length (first JoinK tables).
+	JoinK int `json:"join_k"`
+	// Grouped selects the aggregate projection (group by + count/sum)
+	// over the plain two-column projection.
+	Grouped bool `json:"grouped"`
+	// GroupPK groups by t0's primary key instead of its ~10-value grp
+	// column, making one group per surviving row — the shape that
+	// pushes aggregation state past its memory grant into spilled
+	// partitions.
+	GroupPK bool `json:"group_pk,omitempty"`
+	// HostVar turns t0's value filter into a :cut host variable, the
+	// unknowable-selectivity trigger for mid-query re-optimization.
+	HostVar bool `json:"host_var"`
+	// StalePct is the percentage of each table's rows present when
+	// ANALYZE ran; 100 means fresh statistics. Stale statistics are
+	// what make the forced-reopt configurations actually switch plans.
+	StalePct int `json:"stale_pct"`
+}
+
+// NewCase derives a case from a seed.
+func NewCase(seed int64) Case {
+	r := rand.New(rand.NewSource(seed))
+	c := Case{
+		Seed:     seed,
+		NTables:  2 + r.Intn(3),
+		Grouped:  r.Intn(2) == 0,
+		HostVar:  r.Intn(2) == 0,
+		StalePct: []int{100, 50, 30}[r.Intn(3)],
+	}
+	// Mostly small tables (fast cases), with a heavy tail large enough
+	// that build sides outgrow the optimizer's 64 KB minimum demand and
+	// hash joins actually spill under the tiny-budget configurations.
+	c.MaxRows = 20 + r.Intn(600)
+	if r.Intn(3) == 0 {
+		c.MaxRows *= 5
+	}
+	c.GroupPK = c.Grouped && r.Intn(2) == 0
+	c.JoinK = 2 + r.Intn(c.NTables-1)
+	return c
+}
+
+// String is the case's one-line identity, stable across runs.
+func (c Case) String() string {
+	g := "none"
+	if c.Grouped {
+		g = "grp"
+		if c.GroupPK {
+			g = "pk"
+		}
+	}
+	return fmt.Sprintf("seed=%d tables=%d rows<=%d k=%d groupby=%s hostvar=%v stale=%d%%",
+		c.Seed, c.NTables, c.MaxRows, c.JoinK, g, c.HostVar, c.StalePct)
+}
+
+// TableData holds one generated table's raw rows for the reference
+// evaluator, plus enough metadata (histogram family, staleness point,
+// index) for a caller to replay the exact same database through a
+// different API surface — the root-package oracle test rebuilds each
+// case through the public DB type from this.
+type TableData struct {
+	Name string
+	Rows []types.Tuple // (pk int, fk int, grp int, val float)
+	// Family is the histogram family ANALYZE used.
+	Family histogram.Family
+	// AnalyzeAt is the 1-based row count present when ANALYZE ran
+	// (rows after it make the statistics stale).
+	AnalyzeAt int
+	// Indexed reports whether the pk column got an index.
+	Indexed bool
+}
+
+// Env is a fully built fuzz case: catalog + data + query + reference
+// answer, ready for the runner.
+type Env struct {
+	Case   Case
+	Cat    *catalog.Catalog
+	Pool   *storage.BufferPool
+	Meter  *storage.CostMeter
+	Tables []TableData
+	SQL    string
+	Params map[string]types.Value
+	// Want is the canonicalized reference answer.
+	Want []string
+	// BasePages is the disk-page count right after load: the residue
+	// invariant holds every query to this baseline.
+	BasePages int
+}
+
+// Build materializes the case: creates tables t<i>(pk, fk, grp, val)
+// with seed-derived data, analyzes them at the case's staleness point,
+// generates the chain-join query, and computes the reference answer.
+func Build(c Case) (*Env, error) {
+	if c.NTables < 2 {
+		c.NTables = 2
+	}
+	if c.JoinK < 2 {
+		c.JoinK = 2
+	}
+	if c.JoinK > c.NTables {
+		c.JoinK = c.NTables
+	}
+	if c.MaxRows < 20 {
+		c.MaxRows = 20
+	}
+	if c.StalePct <= 0 || c.StalePct > 100 {
+		c.StalePct = 100
+	}
+
+	meter := storage.NewCostMeter(storage.DefaultCostWeights())
+	pool := storage.NewBufferPool(storage.NewDisk(meter), 256)
+	env := &Env{Case: c, Cat: catalog.New(pool), Pool: pool, Meter: meter}
+
+	fams := []histogram.Family{histogram.MaxDiff, histogram.EquiDepth, histogram.EquiWidth}
+	for ti := 0; ti < c.NTables; ti++ {
+		// Per-table rng: shrinking NTables or MaxRows does not reshuffle
+		// the surviving tables' contents.
+		r := rand.New(rand.NewSource(c.Seed*31 + int64(ti)))
+		name := fmt.Sprintf("t%d", ti)
+		tbl, err := env.Cat.CreateTable(name, types.NewSchema(
+			types.Column{Name: name + "_pk", Kind: types.KindInt, Key: true},
+			types.Column{Name: name + "_fk", Kind: types.KindInt},
+			types.Column{Name: name + "_grp", Kind: types.KindInt},
+			types.Column{Name: name + "_val", Kind: types.KindFloat},
+		))
+		if err != nil {
+			return nil, err
+		}
+		rows := 20 + r.Intn(c.MaxRows-19)
+		fkDomain := 1 + r.Intn(rows)
+		grpDomain := 1 + r.Intn(10)
+		td := TableData{Name: name}
+		for i := 0; i < rows; i++ {
+			td.Rows = append(td.Rows, types.Tuple{
+				types.NewInt(int64(i)),
+				types.NewInt(int64(r.Intn(fkDomain))),
+				types.NewInt(int64(r.Intn(grpDomain))),
+				types.NewFloat(float64(r.Intn(1000))),
+			})
+		}
+		// Stale statistics: analyze after StalePct% of the rows, then
+		// load the rest, so the optimizer plans against undercounts.
+		td.AnalyzeAt = rows * c.StalePct / 100
+		if td.AnalyzeAt < 1 {
+			td.AnalyzeAt = 1
+		}
+		td.Family = fams[r.Intn(len(fams))]
+		td.Indexed = r.Intn(2) == 0
+		for i, tup := range td.Rows {
+			if err := tbl.Insert(tup.Clone()); err != nil {
+				return nil, err
+			}
+			if i+1 == td.AnalyzeAt {
+				if err := env.Cat.Analyze(name, catalog.AnalyzeOptions{Family: td.Family}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if td.Indexed {
+			if err := env.Cat.CreateIndex(name, name+"_pk"); err != nil {
+				return nil, err
+			}
+		}
+		env.Tables = append(env.Tables, td)
+	}
+
+	env.buildQuery()
+	env.Want = Canonical(env.reference())
+	env.BasePages = pool.Disk().NumPages()
+	return env, nil
+}
+
+// filterCuts derives the per-table value filters from the seed: -1
+// means no filter on that table.
+func (c Case) filterCuts() []int {
+	r := rand.New(rand.NewSource(c.Seed*17 + 5))
+	cuts := make([]int, c.JoinK)
+	for i := range cuts {
+		if r.Intn(2) == 0 {
+			cuts[i] = r.Intn(1000)
+		} else {
+			cuts[i] = -1
+		}
+	}
+	// The host-variable configuration needs at least the t0 filter.
+	if c.HostVar && cuts[0] < 0 {
+		cuts[0] = r.Intn(1200)
+	}
+	return cuts
+}
+
+// buildQuery assembles the chain-join SQL (prev.fk = cur.pk) with the
+// seed-derived filters and projection.
+func (e *Env) buildQuery() {
+	c := e.Case
+	used := e.Tables[:c.JoinK]
+	var from, where []string
+	for i, t := range used {
+		from = append(from, t.Name)
+		if i > 0 {
+			where = append(where, fmt.Sprintf("%s.%s_fk = %s.%s_pk",
+				used[i-1].Name, used[i-1].Name, t.Name, t.Name))
+		}
+	}
+	cuts := c.filterCuts()
+	e.Params = map[string]types.Value{}
+	for i, cut := range cuts {
+		if cut < 0 {
+			continue
+		}
+		if i == 0 && c.HostVar {
+			where = append(where, fmt.Sprintf("%s_val < :cut", used[0].Name))
+			e.Params["cut"] = types.NewFloat(float64(cut))
+			continue
+		}
+		where = append(where, fmt.Sprintf("%s_val < %d", used[i].Name, cut))
+	}
+
+	k := c.JoinK
+	if c.Grouped {
+		gcol := "grp"
+		if c.GroupPK {
+			gcol = "pk"
+		}
+		e.SQL = fmt.Sprintf("select %s_%s, count(*) as cnt, sum(%s_val) as sv from %s where %s group by %s_%s",
+			used[0].Name, gcol, used[k-1].Name, strings.Join(from, ", "), strings.Join(where, " and "), used[0].Name, gcol)
+	} else {
+		e.SQL = fmt.Sprintf("select %s_pk, %s_pk from %s where %s",
+			used[0].Name, used[k-1].Name, strings.Join(from, ", "), strings.Join(where, " and "))
+	}
+	if len(where) == 0 {
+		e.SQL = strings.Replace(e.SQL, " where ", " ", 1)
+	}
+}
+
+// Canonical renders rows order-insensitively with limited float
+// precision (sums of floats differ in the last bits across evaluation
+// orders).
+func Canonical(rows []types.Tuple) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			if v.Kind() == types.KindFloat {
+				parts[j] = fmt.Sprintf("%.6g", v.Float())
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,282 @@
+package fuzz
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/reopt"
+	"repro/internal/session"
+)
+
+// Memory budgets for the matrix: tiny forces aggregate and hash-join
+// spills on almost every generated dataset; big keeps everything
+// resident so the same query exercises the in-memory paths.
+const (
+	tinyBudget = 96 << 10
+	bigBudget  = 4 << 20
+)
+
+// errInjected is the sentinel armed at fault sites: seeing it back (or
+// any error at all, for cascades that rewrap) is an accepted outcome of
+// a fault run — the invariants that must still hold are the cleanup
+// ones.
+var errInjected = errors.New("fuzz: injected fault")
+
+// RunConfig is one engine configuration in the matrix. It is part of
+// the replayable seed file, so every knob that affects the run must
+// live here, not in package state.
+type RunConfig struct {
+	Name   string     `json:"name"`
+	Mode   reopt.Mode `json:"mode"`
+	Degree int        `json:"degree"`
+	Budget float64    `json:"budget"`
+	// Forced overrides the checkpoint thresholds (θ₁ huge, θ₂ tiny) so
+	// any estimate drift trips Eq1 and any improvement clears Eq2 —
+	// the configuration that makes mid-query switches routine instead
+	// of rare.
+	Forced bool `json:"forced,omitempty"`
+	// Splice switches via the Figure-5 in-place splice instead of
+	// materialize-and-resubmit.
+	Splice bool `json:"splice,omitempty"`
+	// Warm executes the query twice on one manager; the second run
+	// must come from the plan cache and still agree with the
+	// reference.
+	Warm bool `json:"warm,omitempty"`
+	// CancelTick > 0 cancels the query's context from inside the
+	// engine at the Nth scanned tuple (serial runs only).
+	CancelTick int `json:"cancel_tick,omitempty"`
+	// FaultSite, when set, arms errInjected at that site's Nth hit
+	// (serial runs only).
+	FaultSite  string `json:"fault_site,omitempty"`
+	FaultAfter int    `json:"fault_after,omitempty"`
+}
+
+// Matrix returns the static configuration grid every case runs under.
+// Cancellation and fault-site configurations are derived per case from
+// a recording pass (see RunCase) because their trigger points depend on
+// how many times the query actually hits each site.
+func Matrix(c Case) []RunConfig {
+	var m []RunConfig
+	for _, deg := range []int{1, 2, 4} {
+		for _, mode := range []struct {
+			name string
+			m    reopt.Mode
+		}{{"off", reopt.ModeOff}, {"full", reopt.ModeFull}} {
+			for _, b := range []struct {
+				name string
+				v    float64
+			}{{"tiny", tinyBudget}, {"big", bigBudget}} {
+				m = append(m, RunConfig{
+					Name:   fmt.Sprintf("%s-d%d-%s", mode.name, deg, b.name),
+					Mode:   mode.m,
+					Degree: deg,
+					Budget: b.v,
+				})
+			}
+		}
+	}
+	return append(m,
+		RunConfig{Name: "restart-d1-tiny", Mode: reopt.ModeRestart, Degree: 1, Budget: tinyBudget},
+		RunConfig{Name: "restart-d1-big", Mode: reopt.ModeRestart, Degree: 1, Budget: bigBudget},
+		RunConfig{Name: "forced-d1-tiny", Mode: reopt.ModeFull, Degree: 1, Budget: tinyBudget, Forced: true},
+		RunConfig{Name: "forced-d1-tiny-splice", Mode: reopt.ModeFull, Degree: 1, Budget: tinyBudget, Forced: true, Splice: true},
+		RunConfig{Name: "forced-d4-tiny", Mode: reopt.ModeFull, Degree: 4, Budget: tinyBudget, Forced: true},
+		RunConfig{Name: "forced-restart-d1-tiny", Mode: reopt.ModeRestart, Degree: 1, Budget: tinyBudget, Forced: true},
+		RunConfig{Name: "warm-d1-big", Mode: reopt.ModeFull, Degree: 1, Budget: bigBudget, Warm: true},
+	)
+}
+
+// engineCounters are the monotonic metrics checked across every run: a
+// counter that ever decreases within one manager's lifetime is a bug
+// regardless of what the query did.
+var engineCounters = []string{
+	"mqr_queries_total",
+	"mqr_query_errors_total",
+	"mqr_queries_cancelled_total",
+	"reopt_collectors_inserted_total",
+	"reopt_observations_total",
+	"reopt_memory_reallocs_total",
+	"reopt_considered_total",
+	"reopt_plan_switches_total",
+	"collector_stat_cost_units_total",
+	"mqr_query_cost_units_total",
+}
+
+func counterSnapshot(m *session.Manager) map[string]float64 {
+	out := make(map[string]float64, len(engineCounters))
+	for _, name := range engineCounters {
+		if c, ok := m.Registry().Get(name).(*obs.Counter); ok {
+			out[name] = c.Value()
+		}
+	}
+	return out
+}
+
+func newManager(env *Env, budget float64) *session.Manager {
+	return session.NewManager(env.Cat, env.Pool, env.Meter, session.Config{
+		MemPoolBytes:  4 * budget,
+		MemBudget:     budget,
+		PlanCacheSize: 64,
+	})
+}
+
+// runOne executes the case once (twice when Warm) under one
+// configuration and checks every invariant. It returns a deterministic
+// verdict line and, on any violation, a replayable Failure.
+func runOne(env *Env, rc RunConfig) (string, *Failure) {
+	fail := func(format string, args ...any) (string, *Failure) {
+		msg := fmt.Sprintf(format, args...)
+		return fmt.Sprintf("%s: FAIL %s", rc.Name, msg),
+			&Failure{Case: env.Case, Config: rc, Err: msg}
+	}
+
+	mgr := newManager(env, rc.Budget)
+	sess := mgr.Session()
+
+	opts := session.Options{
+		Mode:         rc.Mode,
+		Params:       env.Params,
+		SpliceSwitch: rc.Splice,
+		Parallel:     rc.Degree,
+		Seed:         env.Case.Seed,
+	}
+	if rc.Forced {
+		// θ₁ enormous widens Eq1's inaccuracy band trigger; θ₂ near
+		// zero accepts any cheaper plan at Eq2.
+		opts.Theta1 = 100
+		opts.Theta2 = 0.001
+	}
+
+	ctx := context.Background()
+	injected := rc.CancelTick > 0 || rc.FaultSite != ""
+	if injected {
+		inj := faultinject.Enable()
+		defer faultinject.Disable()
+		if rc.CancelTick > 0 {
+			cctx, cancel := context.WithCancel(ctx)
+			defer cancel()
+			ctx = cctx
+			inj.Arm("exec.scan.next", faultinject.Fault{After: rc.CancelTick, Do: cancel})
+		} else {
+			inj.Arm(rc.FaultSite, faultinject.Fault{After: rc.FaultAfter, Err: errInjected})
+		}
+	}
+
+	runs := 1
+	if rc.Warm {
+		runs = 2
+	}
+	outcome := "ok"
+	for i := 0; i < runs; i++ {
+		before := counterSnapshot(mgr)
+		res, err := sess.Exec(ctx, env.SQL, opts)
+
+		after := counterSnapshot(mgr)
+		for _, name := range engineCounters {
+			if after[name] < before[name] {
+				return fail("counter %s decreased: %g -> %g", name, before[name], after[name])
+			}
+		}
+		if got := after["mqr_queries_total"] - before["mqr_queries_total"]; got != 1 {
+			return fail("mqr_queries_total advanced by %g, want 1", got)
+		}
+
+		switch {
+		case err == nil:
+			got := Canonical(res.Rows)
+			if len(got) != len(env.Want) {
+				return fail("%d rows, reference has %d", len(got), len(env.Want))
+			}
+			for j := range got {
+				if got[j] != env.Want[j] {
+					return fail("row %d: got %s, want %s", j, got[j], env.Want[j])
+				}
+			}
+			if rc.Warm && i == 1 && !res.CacheHit {
+				return fail("second run missed the plan cache")
+			}
+		case rc.CancelTick > 0 && errors.Is(err, context.Canceled):
+			outcome = "cancelled"
+		case injected:
+			// A fault (or a cancel racing completion) may surface as any
+			// error, possibly rewrapped; cleanup invariants below are
+			// the real check. The classification keeps verdicts
+			// deterministic without depending on exact message text.
+			if errors.Is(err, errInjected) {
+				outcome = "injected"
+			} else {
+				outcome = "err"
+			}
+		default:
+			return fail("unexpected error: %v", err)
+		}
+	}
+
+	if msg := checkResidue(env, mgr); msg != "" {
+		return fail("%s", msg)
+	}
+	return fmt.Sprintf("%s: %s", rc.Name, outcome), nil
+}
+
+// checkResidue verifies the cleanup invariants that must hold after
+// every run, successful or not: no temp tables survive, the disk holds
+// exactly the base tables' pages, every byte leased from the broker
+// came back, and the running-query registry is empty.
+func checkResidue(env *Env, mgr *session.Manager) string {
+	if temps := env.Cat.TempTables(); len(temps) != 0 {
+		return fmt.Sprintf("temp tables leaked: %v", temps)
+	}
+	if got := env.Pool.Disk().NumPages(); got != env.BasePages {
+		return fmt.Sprintf("disk pages %d, want post-load baseline %d (leaked heap files)", got, env.BasePages)
+	}
+	// Grants are float64s reallocated mid-query in fractional shares, so
+	// the pool balances back to within rounding noise, not exactly.
+	if bs := mgr.Broker().Stats(); math.Abs(bs.AvailBytes-bs.PoolBytes) > 1e-3 {
+		return fmt.Sprintf("broker imbalance: %.6f of %.0f bytes available (delta %g)",
+			bs.AvailBytes, bs.PoolBytes, bs.PoolBytes-bs.AvailBytes)
+	}
+	if running := mgr.Running(); len(running) != 0 {
+		return fmt.Sprintf("queries still registered as running: %v", running)
+	}
+	return ""
+}
+
+// siteHits is one fault site's observed hit count from the recording
+// pass.
+type siteHits struct {
+	Site string
+	Hits int
+}
+
+// recordSites runs the query once with the injector enabled but nothing
+// armed, returning every site the query actually reaches and how often
+// — the sampling frame for the cancellation tick and the fault sweep.
+// The pass runs forced (like the sweep itself) so switch-path sites
+// (checkpointing, temp-table cleanup, remainder dispatch) show up.
+func recordSites(env *Env) ([]siteHits, error) {
+	inj := faultinject.Enable()
+	defer faultinject.Disable()
+	mgr := newManager(env, tinyBudget)
+	_, err := mgr.Session().Exec(context.Background(), env.SQL, session.Options{
+		Mode:   reopt.ModeFull,
+		Params: env.Params,
+		Seed:   env.Case.Seed,
+		Theta1: 100,
+		Theta2: 0.001,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sites := inj.Seen()
+	sort.Strings(sites)
+	out := make([]siteHits, 0, len(sites))
+	for _, s := range sites {
+		out = append(out, siteHits{Site: s, Hits: inj.Hits(s)})
+	}
+	return out, nil
+}

@@ -121,7 +121,15 @@ func (d *Dispatcher) dispatchWith(res *optimizer.Result, params plan.Params, ctx
 				return abort(err)
 			}
 			if doSwitch {
-				return d.switchPlan(res, dec, i, topOp, obs, collectors[obs.CollectorID], params, ctx, st, switchesLeft)
+				rows, serr := d.switchPlan(res, dec, i, topOp, obs, collectors[obs.CollectorID], params, ctx, st, switchesLeft)
+				if serr != nil {
+					// A failed switch may bail out before anything has
+					// consumed (and closed) the running join; Close is
+					// idempotent, so sweeping it here is safe even on
+					// paths that already did.
+					topOp.Close()
+				}
+				return rows, serr
 			}
 		}
 		cur = topOp

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/types"
 )
@@ -90,6 +91,73 @@ func TestParallelSwitchCleanup(t *testing.T) {
 		if got := len(e2.cat.Tables()); got != tablesBefore {
 			t.Errorf("strategy %v: temp tables leaked: %d -> %d (%v)",
 				strat, tablesBefore, got, e2.cat.Tables())
+		}
+	}
+}
+
+// TestParallelForcedSwitchSpilledJoin drives the hardest interaction in
+// the engine at once: parallel degree 4, a memory budget small enough
+// that the first (completed-segment) hash join spills partitions, and a
+// fixture whose stale estimates force a mid-query plan switch at the
+// first checkpoint. The switch must materialize (or splice) the
+// completed segment's output, re-parallelize the remainder, and come
+// out with serial-identical rows and zero residue — spilled partitions,
+// temp tables, and heap pages all reclaimed. Runs under -race in CI.
+func TestParallelForcedSwitchSpilledJoin(t *testing.T) {
+	e, src, params := spliceEnv(t)
+	want, _, _ := runMode(t, e, ModeOff, src, params, 0)
+	for _, strat := range []Strategy{StrategyMaterialize, StrategySplice} {
+		e2, src, params := spliceEnv(t)
+		tablesBefore := len(e2.cat.Tables())
+		pagesBefore := e2.pool.Disk().NumPages()
+		inj := faultinject.Enable()
+		// The completed segment's join builds against a 9x-underestimated
+		// grant, so its build side spills to partitions; the spill site
+		// fires when those partitions are probed, which the materialize
+		// strategy does while draining the segment into the temp table —
+		// entirely before the remainder's first dispatch step. Snapshot
+		// the spill count there to attribute it to the completed segment.
+		spillsAtRemainder := -1
+		inj.Arm("reopt.checkpoint", faultinject.Fault{Do: func() {
+			inj.Arm("reopt.step", faultinject.Fault{Do: func() {
+				spillsAtRemainder = inj.Hits("exec.hashjoin.spill")
+			}})
+		}})
+
+		cfg := DefaultConfig(ModePlanOnly)
+		cfg.Degree = 4
+		cfg.Strategy = strat
+		cfg.MemBudget = 128 << 10
+		d := New(e2.cat, cfg)
+		got, st, err := d.RunSQL(src, params, e2.ctx(params))
+		totalSpills := inj.Hits("exec.hashjoin.spill")
+		faultinject.Disable()
+		if err != nil {
+			t.Fatalf("strategy %v: %v", strat, err)
+		}
+		if st.PlanSwitches == 0 {
+			t.Fatalf("strategy %v: fixture no longer forces a switch at degree 4", strat)
+		}
+		if strat == StrategyMaterialize {
+			if spillsAtRemainder <= 0 {
+				t.Fatalf("strategy %v: completed segment never spilled (spills before remainder = %d); the scenario is not exercised",
+					strat, spillsAtRemainder)
+			}
+		} else if totalSpills == 0 {
+			// The splice strategy drains the live (spilled) join lazily
+			// inside the remainder, so only the total is attributable.
+			t.Fatalf("strategy %v: no hash join spilled; the scenario is not exercised", strat)
+		}
+		if st.WorkersSpawned == 0 {
+			t.Fatalf("strategy %v: no workers spawned at degree 4", strat)
+		}
+		rowsEqual(t, fmt.Sprintf("forced switch %v", strat), got, want)
+		if gotN := len(e2.cat.Tables()); gotN != tablesBefore {
+			t.Errorf("strategy %v: temp tables leaked: %d -> %d (%v)",
+				strat, tablesBefore, gotN, e2.cat.Tables())
+		}
+		if gotP := e2.pool.Disk().NumPages(); gotP != pagesBefore {
+			t.Errorf("strategy %v: heap pages leaked: %d -> %d", strat, pagesBefore, gotP)
 		}
 	}
 }

@@ -27,6 +27,10 @@ const matCollectorID = -1
 // through the regular compile-and-dispatch path.
 func (d *Dispatcher) switchPlan(res *optimizer.Result, dec *decomposed, i int, topOp exec.Operator, obs *plan.Observed, cnode *plan.Collector, params plan.Params, ctx *exec.Ctx, st *Stats, switchesLeft int) ([]types.Tuple, error) {
 	if d.Cfg.Mode == ModeRestart {
+		// The restart ablation discards the completed work entirely, so
+		// the running join is never drained — close it now or its
+		// spilled build/probe partitions outlive the query.
+		topOp.Close()
 		return d.restartPlan(res, dec, params, ctx, st, switchesLeft)
 	}
 	matNode := dec.stepTopNode(i)

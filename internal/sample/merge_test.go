@@ -78,6 +78,74 @@ func TestMergeProportionalRepresentation(t *testing.T) {
 	}
 }
 
+// TestMergeUniformWithinSide: a reservoir that never overflowed holds
+// its stream in arrival order, so the merge must draw uniformly from
+// the side's remaining items rather than consuming a prefix. Regression
+// test for a bias where merged samples over-represented early arrivals:
+// track the mean arrival index of side-B survivors when B contributes
+// only part of its (never-overflowed, in-order) reservoir. Under a
+// uniform draw the mean index is ~(n-1)/2; the prefix bug pulled it
+// down toward the count actually taken.
+func TestMergeUniformWithinSide(t *testing.T) {
+	const (
+		trials = 300
+		bRows  = 256 // fills B exactly: never overflows, items in arrival order
+	)
+	var idxSum, nTaken float64
+	for s := int64(0); s < trials; s++ {
+		a := NewReservoir(64, s*2+1)
+		b := NewReservoir(256, s*2+2)
+		for i := 0; i < 1000; i++ {
+			a.Add(types.NewInt(int64(i)))
+		}
+		for i := 0; i < bRows; i++ {
+			b.Add(types.NewInt(int64(10000 + i))) // value encodes arrival index
+		}
+		a.Merge(b)
+		for _, v := range a.Sample() {
+			if v.Int() >= 10000 {
+				idxSum += float64(v.Int() - 10000)
+				nTaken++
+			}
+		}
+	}
+	got := idxSum / nTaken
+	want := float64(bRows-1) / 2 // uniform over arrival indices 0..255
+	// ~13 B-items survive per trial, so the prefix bug gave a mean of
+	// ~6 — far outside this tolerance; a uniform draw sits near 127.5.
+	if math.Abs(got-want) > 10 {
+		t.Errorf("mean arrival index of merged side-B items = %.1f, want ~%.1f (uniform)", got, want)
+	}
+}
+
+// TestMergeIntoEmptyUniform covers the empty-r fast path: adopting a
+// larger never-overflowed donor must keep a uniform subset, not the
+// first cap items.
+func TestMergeIntoEmptyUniform(t *testing.T) {
+	const trials = 300
+	var idxSum float64
+	for s := int64(0); s < trials; s++ {
+		a := NewReservoir(64, s*2+1)
+		b := NewReservoir(256, s*2+2)
+		for i := 0; i < 256; i++ {
+			b.Add(types.NewInt(int64(i)))
+		}
+		a.Merge(b)
+		if len(a.Sample()) != 64 {
+			t.Fatalf("sample size = %d, want 64", len(a.Sample()))
+		}
+		for _, v := range a.Sample() {
+			idxSum += float64(v.Int())
+		}
+	}
+	got := idxSum / (trials * 64)
+	want := 255.0 / 2
+	// The truncation bug kept indices 0..63 (mean 31.5).
+	if math.Abs(got-want) > 10 {
+		t.Errorf("mean arrival index after empty-merge = %.1f, want ~%.1f (uniform)", got, want)
+	}
+}
+
 func TestMergeDeterministic(t *testing.T) {
 	run := func() []types.Value {
 		a := NewReservoir(32, 7)

@@ -79,14 +79,17 @@ func (r *Reservoir) computeSkip() {
 
 // Merge folds another reservoir into r, producing a uniform sample over
 // the union of both streams. A reservoir's items are a uniform
-// without-replacement sample of its stream, so consuming them in order
-// simulates drawing fresh stream elements: each merged slot picks a side
-// with probability proportional to that side's remaining stream size and
-// removes one element from it — the hypergeometric draw of a k-sample
-// from the concatenated streams. Merged Seen is the sum. r's
-// deterministic rng drives the draws, so merging the same states in the
-// same order is reproducible. The other reservoir is consumed and must
-// not be used afterwards.
+// without-replacement sample of its stream, so any uniformly chosen
+// remaining item simulates drawing a fresh stream element: each merged
+// slot picks a side with probability proportional to that side's
+// remaining stream size and removes one uniformly random element from
+// it — the hypergeometric draw of a k-sample from the concatenated
+// streams. The draw within a side must be uniform, not positional: a
+// reservoir that never overflowed holds its stream in arrival order, so
+// consuming a prefix would bias the merged sample toward early
+// arrivals. Merged Seen is the sum. r's deterministic rng drives the
+// draws, so merging the same states in the same order is reproducible.
+// The other reservoir is consumed and must not be used afterwards.
 func (r *Reservoir) Merge(o *Reservoir) {
 	if o == nil || o.seen == 0 {
 		return
@@ -95,8 +98,15 @@ func (r *Reservoir) Merge(o *Reservoir) {
 		r.seen = o.seen
 		r.items = o.items
 		// Keep r's rng (and capacity) so determinism follows the
-		// merging side.
+		// merging side. If the donor holds more items than fit, keep a
+		// uniform subset via a partial Fisher-Yates shuffle — plain
+		// truncation would keep a biased prefix when o never
+		// overflowed.
 		if len(r.items) > r.cap {
+			for i := 0; i < r.cap; i++ {
+				j := i + r.rng.Intn(len(r.items)-i)
+				r.items[i], r.items[j] = r.items[j], r.items[i]
+			}
 			r.items = r.items[:r.cap]
 		}
 		r.skip = -1
@@ -105,22 +115,29 @@ func (r *Reservoir) Merge(o *Reservoir) {
 	// Remaining stream elements each side has not yet contributed.
 	wa, wb := float64(r.seen), float64(o.seen)
 	a, b := r.items, o.items
-	ai, bi := 0, 0
+	// take removes and returns a uniformly random element (swap-remove;
+	// order within a side no longer matters once draws are uniform).
+	take := func(side []types.Value) ([]types.Value, types.Value) {
+		i := r.rng.Intn(len(side))
+		v := side[i]
+		side[i] = side[len(side)-1]
+		return side[:len(side)-1], v
+	}
 	merged := make([]types.Value, 0, r.cap)
-	for len(merged) < r.cap && (ai < len(a) || bi < len(b)) {
-		pickA := bi >= len(b)
-		if ai < len(a) && bi < len(b) {
+	for len(merged) < r.cap && (len(a) > 0 || len(b) > 0) {
+		pickA := len(b) == 0
+		if len(a) > 0 && len(b) > 0 {
 			pickA = r.rng.Float64()*(wa+wb) < wa
 		}
+		var v types.Value
 		if pickA {
-			merged = append(merged, a[ai])
-			ai++
+			a, v = take(a)
 			wa--
 		} else {
-			merged = append(merged, b[bi])
-			bi++
+			b, v = take(b)
 			wb--
 		}
+		merged = append(merged, v)
 	}
 	r.items = merged
 	r.seen += o.seen

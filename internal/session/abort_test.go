@@ -22,16 +22,23 @@ func newTPCDManager(t *testing.T, cfg Config) (*testDB, *Manager) {
 	if err := tpcd.Load(db.cat, tpcd.Config{SF: 0.005, Seed: 7, StaleFrac: 0.5}); err != nil {
 		t.Fatal(err)
 	}
+	db.markPages()
 	return db, db.manager(cfg)
 }
 
-// checkNoResidue is the abort invariant: no temp tables survive, the
-// broker pool is back at full capacity, and the running registry is
-// empty.
+// checkNoResidue is the abort invariant: no temp tables survive, no
+// temp heap pages outlive the query, the broker pool is back at full
+// capacity, and the running registry is empty.
 func checkNoResidue(t *testing.T, label string, db *testDB, m *Manager) {
 	t.Helper()
 	if temps := db.cat.TempTables(); len(temps) != 0 {
 		t.Fatalf("%s: residual temp tables %v", label, temps)
+	}
+	if db.basePages > 0 {
+		if got := db.pool.Disk().NumPages(); got != db.basePages {
+			t.Fatalf("%s: %d disk pages allocated, want the post-load baseline %d — leaked temp heap files",
+				label, got, db.basePages)
+		}
 	}
 	if st := m.Broker().Stats(); st.AvailBytes != st.PoolBytes {
 		t.Fatalf("%s: broker still holds %.0f of %.0f bytes after abort",
@@ -42,16 +49,26 @@ func checkNoResidue(t *testing.T, label string, db *testDB, m *Manager) {
 	}
 }
 
-// TestFaultSweepTPCDNoLeaks is the leak-check acceptance sweep: one
-// clean pass over the TPC-D workload records every fault site the
-// engine passes through (operator loops, checkpoint decisions, temp
-// drops); then, for each site in turn, the workload is re-run with a
-// one-shot error armed there and the abort invariant is asserted after
-// every query. The small shared pool forces spilling joins, so the
-// spill-cleanup sites are exercised too.
-func TestFaultSweepTPCDNoLeaks(t *testing.T) {
-	db, m := newTPCDManager(t, Config{MemPoolBytes: 512 << 10, MemBudget: 512 << 10})
+// runFaultSweep is the leak-check acceptance sweep: one clean pass over
+// the TPC-D workload records every fault site the engine passes through
+// (operator loops, checkpoint decisions, temp drops); then, for each
+// site in turn, the workload is re-run with a one-shot error armed
+// there and the abort invariant is asserted after every query.
+// mustSee lists sites the recording run is required to reach — the
+// low-grant variant uses it to prove the spill paths are actually in
+// the swept surface rather than vacuously absent.
+func runFaultSweep(t *testing.T, cfg Config, mustSee []string) {
+	db, m := newTPCDManager(t, cfg)
 	queries := tpcd.Queries()
+	if len(mustSee) > 0 {
+		// The paper's queries group on low-cardinality columns and never
+		// outgrow even tiny agg grants; a per-order rollup has one group
+		// per order, which forces the aggregation spill path under the
+		// low-grant config.
+		queries = append(queries, tpcd.Query{Name: "QAggSpill", SQL: `
+			select l_orderkey, sum(l_quantity) as qty, count(*) as cnt
+			from lineitem group by l_orderkey`})
+	}
 	run := func(q tpcd.Query) error {
 		_, err := m.Session().Exec(context.Background(), q.SQL,
 			Options{Mode: reopt.ModeFull, NoCache: true})
@@ -65,10 +82,23 @@ func TestFaultSweepTPCDNoLeaks(t *testing.T) {
 		if err := run(q); err != nil {
 			t.Fatalf("clean %s: %v", q.Name, err)
 		}
+		checkNoResidue(t, "clean/"+q.Name, db, m)
 	}
 	sites := inj.Seen()
 	if len(sites) < 6 {
 		t.Fatalf("recording run saw only %d fault sites (%v); the sweep proves nothing", len(sites), sites)
+	}
+	for _, want := range mustSee {
+		found := false
+		for _, s := range sites {
+			if s == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("recording run never reached site %s (saw %v); the sweep would not cover the spill paths", want, sites)
+		}
 	}
 	t.Logf("sweeping %d fault sites: %v", len(sites), sites)
 
@@ -102,6 +132,24 @@ func TestFaultSweepTPCDNoLeaks(t *testing.T) {
 			t.Fatalf("post-sweep %s: %v", q.Name, err)
 		}
 	}
+	checkNoResidue(t, "post-sweep", db, m)
+}
+
+// TestFaultSweepTPCDNoLeaks sweeps at a moderate budget: joins mostly
+// fit their grants, so this covers the in-memory paths plus the
+// occasional spill.
+func TestFaultSweepTPCDNoLeaks(t *testing.T) {
+	runFaultSweep(t, Config{MemPoolBytes: 512 << 10, MemBudget: 512 << 10}, nil)
+}
+
+// TestFaultSweepTPCDNoLeaksLowGrant re-runs the sweep with grants so
+// small that every hash join and aggregation spills: partitioned
+// build/probe heap files and spilled agg states must all be reclaimed
+// when a fault lands mid-build, mid-probe, or mid-merge. The mustSee
+// list pins the spill sites into the swept surface.
+func TestFaultSweepTPCDNoLeaksLowGrant(t *testing.T) {
+	runFaultSweep(t, Config{MemPoolBytes: 96 << 10, MemBudget: 96 << 10},
+		[]string{"exec.hashjoin.spill", "exec.hashjoin.probe", "exec.agg.merge"})
 }
 
 // TestPanicRecoveredPerQuery pins the per-query fault boundary: a panic

@@ -19,7 +19,15 @@ type testDB struct {
 	cat   *catalog.Catalog
 	pool  *storage.BufferPool
 	meter *storage.CostMeter
+	// basePages, when set (markPages), is the post-load disk-page
+	// baseline that checkNoResidue holds every query to.
+	basePages int
 }
+
+// markPages records the disk-page baseline after loading: queries may
+// allocate temp heap pages (spill partitions, materialized switches),
+// but every one of them must be freed by end of query.
+func (db *testDB) markPages() { db.basePages = db.pool.Disk().NumPages() }
 
 func newTestDB(poolPages int) *testDB {
 	m := storage.NewCostMeter(storage.DefaultCostWeights())

@@ -2,194 +2,68 @@ package midquery
 
 // Whole-stack randomized test: random schemas, data, and queries are
 // executed through the full engine in every re-optimization mode and
-// compared against an independent naive reference evaluator (cartesian
-// product + filter + hash aggregation over the raw heap data). This is
-// the strongest correctness invariant in the repository: whatever the
-// optimizer, memory manager, SCIA, and dispatcher decide — including
-// mid-query plan switches — answers must equal the naive semantics.
+// compared against an independent naive reference evaluator. The
+// generator and reference live in internal/fuzz (shared with the
+// mqr-fuzz differential harness, which runs the same cases across a
+// much larger configuration matrix); this test replays each generated
+// case through the public DB API, so the root-package surface —
+// Open/CreateTable/Insert/Analyze/Exec — stays covered end to end.
 
 import (
-	"fmt"
 	"math/rand"
-	"sort"
-	"strings"
 	"testing"
 
-	"repro/internal/types"
+	"repro/internal/fuzz"
 )
 
-// oracleDB holds raw table contents for the reference evaluator.
-type oracleDB struct {
-	db     *DB
-	tables []oracleTable
-}
-
-type oracleTable struct {
-	name string
-	cols []string // unqualified column names
-	rows []types.Tuple
-}
-
-// buildRandomDB creates nTables random tables with random integer data.
-func buildRandomDB(r *rand.Rand, nTables int) (*oracleDB, error) {
+// replayOracleDB rebuilds a generated fuzz case through the public API,
+// reproducing the same staleness point (ANALYZE mid-load), histogram
+// family, and index choices the generator made.
+func replayOracleDB(t *testing.T, env *fuzz.Env) *DB {
+	t.Helper()
 	db := Open(Options{BufferPoolPages: 128})
-	o := &oracleDB{db: db}
-	for ti := 0; ti < nTables; ti++ {
-		name := fmt.Sprintf("t%d", ti)
+	for _, td := range env.Tables {
 		cols := []Column{
-			{Name: name + "_pk", Kind: KindInt, Key: true},
-			{Name: name + "_fk", Kind: KindInt},
-			{Name: name + "_grp", Kind: KindInt},
-			{Name: name + "_val", Kind: KindFloat},
+			{Name: td.Name + "_pk", Kind: KindInt, Key: true},
+			{Name: td.Name + "_fk", Kind: KindInt},
+			{Name: td.Name + "_grp", Kind: KindInt},
+			{Name: td.Name + "_val", Kind: KindFloat},
 		}
-		if err := db.CreateTable(name, cols...); err != nil {
-			return nil, err
+		if err := db.CreateTable(td.Name, cols...); err != nil {
+			t.Fatal(err)
 		}
-		rows := 20 + r.Intn(600)
-		fkDomain := 1 + r.Intn(rows)
-		grpDomain := 1 + r.Intn(10)
-		ot := oracleTable{name: name, cols: []string{name + "_pk", name + "_fk", name + "_grp", name + "_val"}}
-		for i := 0; i < rows; i++ {
-			tup := types.Tuple{
-				types.NewInt(int64(i)),
-				types.NewInt(int64(r.Intn(fkDomain))),
-				types.NewInt(int64(r.Intn(grpDomain))),
-				types.NewFloat(float64(r.Intn(1000))),
+		for i, row := range td.Rows {
+			if err := db.Insert(td.Name, row[0], row[1], row[2], row[3]); err != nil {
+				t.Fatal(err)
 			}
-			if err := db.Insert(name, tup[0], tup[1], tup[2], tup[3]); err != nil {
-				return nil, err
-			}
-			ot.rows = append(ot.rows, tup)
-		}
-		fam := []HistFamily{MaxDiff, EquiDepth, EquiWidth}[r.Intn(3)]
-		if err := db.Analyze(name, fam); err != nil {
-			return nil, err
-		}
-		if r.Intn(2) == 0 {
-			if err := db.CreateIndex(name, name+"_pk"); err != nil {
-				return nil, err
-			}
-		}
-		o.tables = append(o.tables, ot)
-	}
-	return o, nil
-}
-
-// randomQuery builds a chain-join query over k tables with random
-// filters and an optional aggregation. It returns the SQL plus the
-// reference answer computed naively.
-func (o *oracleDB) randomQuery(r *rand.Rand, k int) (string, []types.Tuple, error) {
-	if k > len(o.tables) {
-		k = len(o.tables)
-	}
-	used := o.tables[:k]
-
-	var from, where []string
-	for i, t := range used {
-		from = append(from, t.name)
-		if i > 0 {
-			// Chain equi-join: prev.fk = cur.pk.
-			where = append(where, fmt.Sprintf("%s.%s_fk = %s.%s_pk",
-				used[i-1].name, used[i-1].name, t.name, t.name))
-		}
-	}
-	// Random filters.
-	var preds []func(row types.Tuple, base int) bool
-	predsBase := map[int]int{}
-	for i, t := range used {
-		if r.Intn(2) == 0 {
-			cut := r.Intn(1000)
-			where = append(where, fmt.Sprintf("%s_val < %d", t.name, cut))
-			idx := len(preds)
-			preds = append(preds, func(row types.Tuple, base int) bool {
-				return row[base+3].Float() < float64(cut)
-			})
-			predsBase[idx] = i * 4
-		}
-	}
-
-	grouped := r.Intn(2) == 0
-	var src string
-	if grouped {
-		src = fmt.Sprintf("select %s_grp, count(*) as cnt, sum(%s_val) as sv from %s where %s group by %s_grp",
-			used[0].name, used[k-1].name, strings.Join(from, ", "), strings.Join(where, " and "), used[0].name)
-	} else {
-		src = fmt.Sprintf("select %s_pk, %s_pk from %s where %s",
-			used[0].name, used[k-1].name, strings.Join(from, ", "), strings.Join(where, " and "))
-	}
-	if len(where) == 0 {
-		src = strings.Replace(src, " where ", " ", 1)
-	}
-
-	// Naive evaluation: nested loops over the chain.
-	var joined []types.Tuple
-	var recurse func(depth int, acc types.Tuple)
-	recurse = func(depth int, acc types.Tuple) {
-		if depth == k {
-			for idx, p := range preds {
-				if !p(acc, predsBase[idx]) {
-					return
+			if i+1 == td.AnalyzeAt {
+				if err := db.Analyze(td.Name, td.Family); err != nil {
+					t.Fatal(err)
 				}
 			}
-			joined = append(joined, acc)
-			return
 		}
-		t := used[depth]
-		for _, row := range t.rows {
-			if depth > 0 {
-				prevFk := acc[(depth-1)*4+1]
-				if !prevFk.Equal(row[0]) {
-					continue
-				}
+		if td.Indexed {
+			if err := db.CreateIndex(td.Name, td.Name+"_pk"); err != nil {
+				t.Fatal(err)
 			}
-			recurse(depth+1, acc.Concat(row))
 		}
 	}
-	recurse(0, types.Tuple{})
-
-	var want []types.Tuple
-	if grouped {
-		type aggState struct {
-			cnt int64
-			sum float64
-		}
-		groups := map[int64]*aggState{}
-		for _, row := range joined {
-			g := row[2].Int() // first table's grp
-			if groups[g] == nil {
-				groups[g] = &aggState{}
-			}
-			groups[g].cnt++
-			groups[g].sum += row[(k-1)*4+3].Float()
-		}
-		for g, st := range groups {
-			want = append(want, types.Tuple{types.NewInt(g), types.NewInt(st.cnt), types.NewFloat(st.sum)})
-		}
-	} else {
-		for _, row := range joined {
-			want = append(want, types.Tuple{row[0], row[(k-1)*4]})
-		}
-	}
-	return src, want, nil
+	return db
 }
 
-func canonical(rows []types.Tuple) []string {
-	out := make([]string, len(rows))
-	for i, r := range rows {
-		parts := make([]string, len(r))
-		for j, v := range r {
-			// Sums of floats can differ in the last bits across
-			// evaluation orders; canonicalize with limited precision.
-			if v.Kind() == types.KindFloat {
-				parts[j] = fmt.Sprintf("%.6g", v.Float())
-			} else {
-				parts[j] = v.String()
-			}
-		}
-		out[i] = strings.Join(parts, "|")
+// checkOracle compares an engine result against the case's naive
+// reference answer.
+func checkOracle(t *testing.T, env *fuzz.Env, label string, rows []Tuple) {
+	t.Helper()
+	got := fuzz.Canonical(rows)
+	if len(got) != len(env.Want) {
+		t.Fatalf("%s: %d rows, oracle %d\nquery: %s", label, len(got), len(env.Want), env.SQL)
 	}
-	sort.Strings(out)
-	return out
+	for i := range got {
+		if got[i] != env.Want[i] {
+			t.Fatalf("%s row %d:\n got %s\nwant %s\nquery: %s", label, i, got[i], env.Want[i], env.SQL)
+		}
+	}
 }
 
 func TestOracleRandomizedAllModes(t *testing.T) {
@@ -199,83 +73,63 @@ func TestOracleRandomizedAllModes(t *testing.T) {
 	}
 	modes := []Mode{ReoptOff, ReoptMemoryOnly, ReoptPlanOnly, ReoptFull, ReoptRestart}
 	for trial := 0; trial < trials; trial++ {
-		r := rand.New(rand.NewSource(int64(1000 + trial)))
-		o, err := buildRandomDB(r, 2+r.Intn(3))
+		c := fuzz.NewCase(int64(1000 + trial))
+		c.HostVar = false
+		// Cap the heavy tail: the mqr-fuzz harness owns large-data
+		// coverage; here 25 trials x 5 modes must stay quick.
+		if c.MaxRows > 620 {
+			c.MaxRows = 620
+		}
+		env, err := fuzz.Build(c)
 		if err != nil {
 			t.Fatal(err)
 		}
-		src, want, err := o.randomQuery(r, 2+r.Intn(3))
-		if err != nil {
-			t.Fatal(err)
-		}
-		wantCanon := canonical(want)
+		db := replayOracleDB(t, env)
+		r := rand.New(rand.NewSource(c.Seed))
 		for _, mode := range modes {
 			// Random tight budgets exercise the spill paths too.
 			budget := float64(64<<10 + r.Intn(1<<20))
-			res, err := o.db.Exec(src, ExecOptions{Mode: mode, MemBudget: budget, SpliceSwitch: r.Intn(2) == 0})
+			res, err := db.Exec(env.SQL, ExecOptions{Mode: mode, MemBudget: budget, SpliceSwitch: r.Intn(2) == 0})
 			if err != nil {
-				t.Fatalf("trial %d mode %v: %v\nquery: %s", trial, mode, err, src)
+				t.Fatalf("case %s mode %v: %v\nquery: %s", c, mode, err, env.SQL)
 			}
-			got := canonical(res.Rows)
-			if len(got) != len(wantCanon) {
-				t.Fatalf("trial %d mode %v: %d rows, oracle %d\nquery: %s",
-					trial, mode, len(got), len(wantCanon), src)
-			}
-			for i := range got {
-				if got[i] != wantCanon[i] {
-					t.Fatalf("trial %d mode %v row %d:\n got %s\nwant %s\nquery: %s",
-						trial, mode, i, got[i], wantCanon[i], src)
-				}
-			}
+			checkOracle(t, env, c.String()+" mode "+mode.String(), res.Rows)
 		}
 	}
 }
 
 // TestOracleHostVariables repeats the oracle check with host-variable
 // predicates, whose unknowable selectivities are the main trigger for
-// mid-query re-optimization.
+// mid-query re-optimization. Unlike the original version of this test,
+// the naive reference covers the host-variable plans directly — no
+// trusted-baseline indirection through ModeOff.
 func TestOracleHostVariables(t *testing.T) {
 	trials := 10
 	if testing.Short() {
 		trials = 3
 	}
 	for trial := 0; trial < trials; trial++ {
-		r := rand.New(rand.NewSource(int64(7000 + trial)))
-		o, err := buildRandomDB(r, 3)
+		c := fuzz.NewCase(int64(7000 + trial))
+		c.HostVar = true
+		if c.MaxRows > 620 {
+			c.MaxRows = 620
+		}
+		env, err := fuzz.Build(c)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cut := float64(r.Intn(1200)) // sometimes keeps everything
-		src := `select t0_grp, count(*) as cnt from t0, t1, t2
-			where t0.t0_fk = t1.t1_pk and t1.t1_fk = t2.t2_pk and t0_val < :cut
-			group by t0_grp`
-		params := map[string]Value{"cut": NewFloat(cut)}
-
-		// Oracle via the engine's own parser but naive semantics is
-		// avoided here; instead compare against ModeOff, which the
-		// previous test validated against the true oracle.
-		base, err := o.db.Exec(src, ExecOptions{Mode: ReoptOff, Params: params})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, mode := range []Mode{ReoptMemoryOnly, ReoptPlanOnly, ReoptFull, ReoptRestart} {
-			res, err := o.db.Exec(src, ExecOptions{
-				Mode: mode, Params: params,
+		db := replayOracleDB(t, env)
+		r := rand.New(rand.NewSource(c.Seed))
+		for _, mode := range []Mode{ReoptOff, ReoptMemoryOnly, ReoptPlanOnly, ReoptFull, ReoptRestart} {
+			res, err := db.Exec(env.SQL, ExecOptions{
+				Mode: mode, Params: env.Params,
 				MemBudget:    float64(64<<10 + r.Intn(1<<20)),
 				SpliceSwitch: trial%2 == 0,
 			})
 			if err != nil {
-				t.Fatalf("trial %d mode %v: %v", trial, mode, err)
+				t.Fatalf("case %s mode %v: %v", c, mode, err)
 			}
-			got, want := canonical(res.Rows), canonical(base.Rows)
-			if len(got) != len(want) {
-				t.Fatalf("trial %d mode %v: %d vs %d rows", trial, mode, len(got), len(want))
-			}
-			for i := range got {
-				if got[i] != want[i] {
-					t.Fatalf("trial %d mode %v row %d: %s vs %s", trial, mode, i, got[i], want[i])
-				}
-			}
+			checkOracle(t, env, c.String()+" mode "+mode.String(), res.Rows)
 		}
 	}
 }
