@@ -12,7 +12,15 @@
 //	mqr-bench -fig hist      # catalog histogram families
 //	mqr-bench -fig hybrid    # parametric/dynamic hybrid (paper §4)
 //	mqr-bench -fig parallel  # intra-query parallelism sweep
+//	mqr-bench -fig mixed     # concurrent write/read workload
 //	mqr-bench -fig all       # everything
+//
+// The mixed figure runs -writers concurrent writer sessions (each
+// committing -write-txns MVCC transactions against orders: batch
+// inserts plus a contended hot-row update) while the medium and complex
+// queries sweep under full re-optimization, and reports write
+// throughput, conflict counts, and the read-side estimate-error and
+// switch-rate summary.
 //
 // The parallel figure sweeps exchange-operator degrees 1..N (set N with
 // -parallel, default 4) over the medium and complex queries and reports
@@ -41,6 +49,7 @@ type figure struct {
 	Rows     any                    `json:"rows"`
 	Summary  *bench.Summary         `json:"summary,omitempty"`
 	Parallel *bench.ParallelSummary `json:"parallel_summary,omitempty"`
+	Writes   *bench.WriteStats      `json:"writes,omitempty"`
 }
 
 // report is the -json output document.
@@ -51,7 +60,7 @@ type report struct {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 10|11|12|mu|sens|abl|hist|hybrid|parallel|all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 10|11|12|mu|sens|abl|hist|hybrid|parallel|mixed|all")
 		sf      = flag.Float64("sf", 0.01, "TPC-D scale factor")
 		pool    = flag.Int("pool", 256, "buffer pool pages")
 		mem     = flag.Float64("mem", 2<<20, "per-query memory budget in bytes")
@@ -59,6 +68,8 @@ func main() {
 		seed    = flag.Int64("seed", 0, "data generator seed")
 		par     = flag.Int("parallel", 4, "top degree for the parallel sweep (degrees 1,2,..,N by doubling)")
 		parGate = flag.Float64("parallel-gate", 0, "exit non-zero if top-degree geomean wall speedup is below this (0 = no gate)")
+		writers = flag.Int("writers", 4, "concurrent writer sessions for the mixed workload")
+		wtxns   = flag.Int("write-txns", 30, "transactions each mixed-workload writer commits")
 		jsonOut = flag.String("json", "", `write a JSON report to this file ("-" for stdout)`)
 	)
 	flag.Parse()
@@ -164,6 +175,13 @@ func main() {
 				fmt.Printf("parallel gate passed: %s geomean wall speedup %.2f >= %.2f\n\n",
 					key, got, *parGate)
 			}
+		case "mixed":
+			res, err := bench.Mixed(cfg, *writers, *wtxns)
+			check(err)
+			fmt.Println(bench.FormatMixed(res))
+			s := bench.Summarize(res.Reads)
+			w := res.Writes
+			rep.Figures["mixed"] = figure{Rows: res.Reads, Summary: &s, Writes: &w}
 		case "hist":
 			rows, err := bench.HistFamilies(cfg)
 			check(err)
@@ -181,7 +199,7 @@ func main() {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"10", "11", "12", "mu", "sens", "abl", "hist", "hybrid", "parallel"} {
+		for _, name := range []string{"10", "11", "12", "mu", "sens", "abl", "hist", "hybrid", "parallel", "mixed"} {
 			run(name)
 		}
 	} else {

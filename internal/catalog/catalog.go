@@ -15,16 +15,29 @@ import (
 	"sync/atomic"
 
 	"repro/internal/histogram"
+	"repro/internal/sketch"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
 
-// ColumnStats summarizes one column's value distribution.
+// ColumnStats summarizes one column's value distribution. Once published
+// in a table's ColStats map the struct is immutable: incremental
+// maintenance clones it, mutates the clone, and swaps the pointer under
+// the table's stats lock, so readers holding an old pointer stay safe.
 type ColumnStats struct {
 	Hist     *histogram.Histogram // nil if no histogram was built
 	Distinct float64              // 0 if unknown
 	Min, Max types.Value          // NULL if unknown
 	NullFrac float64
+
+	// Sketch is the FM distinct-count sketch seeded by ANALYZE and fed
+	// by committed inserts, so Distinct tracks write activity between
+	// full scans (paper [6]).
+	Sketch *sketch.HybridDistinct
+
+	// nulls is the absolute null count backing NullFrac, needed to
+	// maintain the fraction incrementally.
+	nulls float64
 }
 
 // HasHistogram reports whether a histogram is available.
@@ -44,23 +57,40 @@ type Index struct {
 
 // Table is one base relation: schema, heap storage, indexes, and
 // statistics.
+//
+// Statistics fields (Cardinality, AvgTupleBytes, ColStats,
+// UpdatesSinceAnalyze) are protected by statsMu because committed DML
+// updates them while concurrent queries plan against them. Query-path
+// readers must use the Stats, ColStat, and StaleStats accessors; direct
+// field access remains safe only in single-threaded contexts (bulk
+// loading, temp tables private to one query, tests).
 type Table struct {
 	Name   string
 	Schema *types.Schema
 	Heap   *storage.HeapFile
 
-	// Indexes maps column ordinal to the index over that column.
+	// Indexes maps column ordinal to the index over that column. The
+	// map is populated under the catalog's schema-level exclusion
+	// (CREATE INDEX); the trees themselves are internally locked.
 	Indexes map[int]*Index
 
-	// Stats as of the last Analyze. Cardinality and AvgTupleBytes may
-	// be stale if UpdatesSinceAnalyze is large.
+	statsMu sync.RWMutex
+
+	// Stats as of the last Analyze plus incremental maintenance by
+	// committed writes. Guarded by statsMu.
 	Cardinality   float64
 	AvgTupleBytes float64
 	ColStats      map[int]*ColumnStats
 
-	// UpdatesSinceAnalyze counts tuples inserted since statistics were
-	// last collected.
+	// UpdatesSinceAnalyze counts tuples inserted or deleted since
+	// statistics were last collected. Guarded by statsMu.
 	UpdatesSinceAnalyze int64
+
+	// version counts statistics changes to this table alone: ANALYZE,
+	// CREATE INDEX, and every committed write transaction touching it.
+	// The plan cache keys entry validity on the versions of exactly the
+	// tables a plan references.
+	version atomic.Int64
 
 	// Temp marks a table registered via RegisterTemp: a materialized
 	// intermediate private to one query. Temp tables do not bump the
@@ -72,18 +102,45 @@ type Table struct {
 // NumPages returns the table's size in pages.
 func (t *Table) NumPages() float64 { return float64(t.Heap.NumPages()) }
 
+// Version returns the table's statistics version, which increases on
+// ANALYZE, CREATE INDEX, and every committed write transaction that
+// touched the table.
+func (t *Table) Version() int64 { return t.version.Load() }
+
+// Stats returns the table's cardinality and average tuple size under the
+// stats lock. This is the accessor the optimizer and re-optimizer use on
+// the query path, where committed writes may update stats concurrently.
+func (t *Table) Stats() (card, avgBytes float64) {
+	t.statsMu.RLock()
+	defer t.statsMu.RUnlock()
+	return t.Cardinality, t.AvgTupleBytes
+}
+
+// ColStat returns the column's statistics under the stats lock, or nil
+// if none were collected. The returned struct is immutable — maintenance
+// replaces the pointer rather than mutating in place.
+func (t *Table) ColStat(col int) *ColumnStats {
+	t.statsMu.RLock()
+	defer t.statsMu.RUnlock()
+	return t.ColStats[col]
+}
+
 // StaleStats reports whether update activity since the last ANALYZE is
 // significant — more than 10% of the analyzed cardinality — which bumps
 // every inaccuracy potential one level (§2.5).
 func (t *Table) StaleStats() bool {
+	t.statsMu.RLock()
+	defer t.statsMu.RUnlock()
 	if t.Cardinality <= 0 {
 		return t.UpdatesSinceAnalyze > 0
 	}
 	return float64(t.UpdatesSinceAnalyze) > 0.1*t.Cardinality
 }
 
-// Insert appends a tuple to the table, maintains indexes, and counts
-// update activity.
+// Insert appends a tuple to the table outside any transaction (frozen,
+// visible to every snapshot), maintains indexes, and counts update
+// activity. This is the bulk-load path; transactional writes go through
+// (*Txn).Insert.
 func (t *Table) Insert(tup types.Tuple) error {
 	if len(tup) != t.Schema.Len() {
 		return fmt.Errorf("catalog: tuple arity %d does not match %s%s", len(tup), t.Name, t.Schema)
@@ -95,7 +152,9 @@ func (t *Table) Insert(tup types.Tuple) error {
 	for col, idx := range t.Indexes {
 		idx.Tree.Insert(tup[col], rid)
 	}
+	t.statsMu.Lock()
 	t.UpdatesSinceAnalyze++
+	t.statsMu.Unlock()
 	return nil
 }
 
@@ -104,26 +163,56 @@ type Catalog struct {
 	mu     sync.RWMutex
 	pool   *storage.BufferPool
 	tables map[string]*Table
+	txns   *storage.TxnManager
 
 	// version counts persistent-statistics changes: CREATE TABLE, DROP
-	// of a non-temp table, CREATE INDEX, and ANALYZE. The plan cache
-	// keys entry validity on it — any plan optimized against an older
-	// version may embed stale estimates or miss an access path.
+	// of a non-temp table, CREATE INDEX, ANALYZE, and every committed
+	// write transaction. In-flight queries compare it against the value
+	// they planned under to detect write-driven staleness.
 	version atomic.Int64
+
+	// schemaVersion counts structural changes only — CREATE/DROP TABLE
+	// and CREATE INDEX — so the plan cache can separate "the world
+	// changed shape" (invalidate everything) from "one table's stats
+	// moved" (invalidate only plans referencing it).
+	schemaVersion atomic.Int64
 }
 
 // StatsVersion returns the current persistent-statistics version. It
-// increases monotonically whenever table DDL or ANALYZE changes what the
-// optimizer would see; temp-table registration does not affect it.
+// increases monotonically whenever DDL, ANALYZE, or a committing write
+// transaction changes what the optimizer would see; temp-table
+// registration does not affect it.
 func (c *Catalog) StatsVersion() int64 { return c.version.Load() }
+
+// SchemaVersion returns the structural version: CREATE/DROP TABLE and
+// CREATE INDEX bump it, writes and ANALYZE do not.
+func (c *Catalog) SchemaVersion() int64 { return c.schemaVersion.Load() }
+
+// TableVersion returns the named table's statistics version, or -1 if no
+// such table exists (so cached plans referencing a dropped-and-recreated
+// table never validate against the new table's counter by accident).
+func (c *Catalog) TableVersion(name string) int64 {
+	t, err := c.Table(name)
+	if err != nil {
+		return -1
+	}
+	return t.Version()
+}
 
 // New returns an empty catalog over the given buffer pool.
 func New(pool *storage.BufferPool) *Catalog {
-	return &Catalog{pool: pool, tables: make(map[string]*Table)}
+	return &Catalog{
+		pool:   pool,
+		tables: make(map[string]*Table),
+		txns:   storage.NewTxnManager(),
+	}
 }
 
 // Pool returns the buffer pool tables are stored in.
 func (c *Catalog) Pool() *storage.BufferPool { return c.pool }
+
+// Txns returns the catalog's transaction manager.
+func (c *Catalog) Txns() *storage.TxnManager { return c.txns }
 
 // CreateTable registers a new empty table. Column table qualifiers are
 // forced to the table name.
@@ -142,12 +231,13 @@ func (c *Catalog) CreateTable(name string, schema *types.Schema) (*Table, error)
 	t := &Table{
 		Name:     strings.ToLower(name),
 		Schema:   types.NewSchema(cols...),
-		Heap:     storage.NewHeapFile(c.pool),
+		Heap:     storage.NewStampedHeapFile(c.pool),
 		Indexes:  make(map[int]*Index),
 		ColStats: make(map[int]*ColumnStats),
 	}
 	c.tables[key] = t
 	c.version.Add(1)
+	c.schemaVersion.Add(1)
 	return t, nil
 }
 
@@ -164,6 +254,7 @@ func (c *Catalog) DropTable(name string) error {
 	delete(c.tables, key)
 	if !t.Temp {
 		c.version.Add(1)
+		c.schemaVersion.Add(1)
 	}
 	return t.Heap.Drop()
 }
@@ -253,7 +344,7 @@ func (c *Catalog) CreateIndex(table, column string) error {
 		return fmt.Errorf("catalog: index on %s.%s already exists", table, column)
 	}
 	tree := storage.NewBTree(c.pool.Disk().Meter())
-	s := t.Heap.Scan()
+	s := t.Heap.Scan().WithSnapshot(c.txns.LatestSnapshot())
 	// The clustering factor is measured during the build scan: the
 	// fraction of heap-order transitions where the key does not
 	// decrease. 1.0 means index order equals storage order, so
@@ -281,7 +372,9 @@ func (c *Catalog) CreateIndex(table, column string) error {
 		clustering = ordered / total
 	}
 	t.Indexes[col] = &Index{Tree: tree, Clustering: clustering}
+	t.version.Add(1)
 	c.version.Add(1)
+	c.schemaVersion.Add(1)
 	return nil
 }
 
@@ -327,7 +420,7 @@ func (c *Catalog) Analyze(table string, opts AnalyzeOptions) error {
 	nulls := make(map[int]float64)
 	var count float64
 	var bytes float64
-	s := t.Heap.Scan()
+	s := t.Heap.Scan().WithSnapshot(c.txns.LatestSnapshot())
 	for s.Next() {
 		tup := s.Tuple()
 		count++
@@ -345,12 +438,10 @@ func (c *Catalog) Analyze(table string, opts AnalyzeOptions) error {
 		return s.Err()
 	}
 
-	t.Cardinality = count
-	if count > 0 {
-		t.AvgTupleBytes = bytes / count
-	}
+	// Build the new statistics off-lock, then publish atomically.
+	newStats := make(map[int]*ColumnStats, len(want))
 	for col := range want {
-		cs := &ColumnStats{}
+		cs := &ColumnStats{nulls: nulls[col]}
 		vs := vals[col]
 		if count > 0 {
 			cs.NullFrac = nulls[col] / count
@@ -371,10 +462,88 @@ func (c *Catalog) Analyze(table string, opts AnalyzeOptions) error {
 			if !opts.SkipHistograms {
 				cs.Hist = h
 			}
+			// Seed the FM sketch with the scanned values so committed
+			// inserts after this ANALYZE keep the distinct estimate
+			// moving without another full scan.
+			cs.Sketch = sketch.NewHybridDistinct(sketchThreshold, sketchBitmaps)
+			for _, v := range vs {
+				cs.Sketch.Add(v)
+			}
 		}
-		t.ColStats[col] = cs
+		newStats[col] = cs
 	}
+
+	t.statsMu.Lock()
+	t.Cardinality = count
+	if count > 0 {
+		t.AvgTupleBytes = bytes / count
+	}
+	merged := make(map[int]*ColumnStats, len(t.ColStats)+len(newStats))
+	for col, cs := range t.ColStats {
+		merged[col] = cs
+	}
+	for col, cs := range newStats {
+		merged[col] = cs
+	}
+	t.ColStats = merged
 	t.UpdatesSinceAnalyze = 0
+	t.statsMu.Unlock()
+	t.version.Add(1)
 	c.version.Add(1)
 	return nil
+}
+
+// Sketch sizing for per-column distinct maintenance: exact up to 4096
+// distinct values, then a 64-bitmap PCSA sketch (~10% standard error).
+const (
+	sketchThreshold = 4096
+	sketchBitmaps   = 64
+)
+
+// Vacuum physically removes dead tuple versions — deleted by committed
+// transactions below the GC horizon — from every non-temp table. It
+// returns the number of versions removed. Index entries pointing at
+// removed versions remain and are skipped at fetch time.
+func (c *Catalog) Vacuum() (int64, error) {
+	c.mu.RLock()
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		if !t.Temp && t.Heap.Stamped() {
+			tables = append(tables, t)
+		}
+	}
+	c.mu.RUnlock()
+	horizon := c.txns.Horizon()
+	var removed int64
+	for _, t := range tables {
+		n, err := t.Heap.Sweep(horizon, c.txns.IsActive)
+		removed += n
+		if err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// DeadVersions counts tuple versions stamped deleted across all non-temp
+// tables — committed-dead plus in-flight deletions. The differential
+// fuzz harness asserts this drains to zero after quiescence and Vacuum.
+func (c *Catalog) DeadVersions() (int64, error) {
+	c.mu.RLock()
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		if !t.Temp && t.Heap.Stamped() {
+			tables = append(tables, t)
+		}
+	}
+	c.mu.RUnlock()
+	var total int64
+	for _, t := range tables {
+		n, err := t.Heap.DeadVersions()
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
 }

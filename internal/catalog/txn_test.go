@@ -1,0 +1,243 @@
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/histogram"
+	"repro/internal/types"
+)
+
+func loadedTable(t *testing.T, c *Catalog, name string, rows int) *Table {
+	t.Helper()
+	tbl, err := c.CreateTable(name, rsSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		tup := types.Tuple{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 10)),
+			types.NewString(fmt.Sprintf("name-%d", i%50)),
+		}
+		if err := tbl.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Analyze(name, AnalyzeOptions{Family: histogram.MaxDiff}); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestTxnCommitVisibilityAndRowCount(t *testing.T) {
+	c := newTestCatalog()
+	tbl := loadedTable(t, c, "r", 100)
+
+	tx := c.BeginTxn()
+	for i := 100; i < 120; i++ {
+		tup := types.Tuple{types.NewInt(int64(i)), types.NewInt(int64(i % 10)), types.NewString("new")}
+		if err := tx.Insert(tbl, tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tx.Rows() != 20 {
+		t.Errorf("Rows = %d, want 20", tx.Rows())
+	}
+	// Uncommitted: catalog stats unchanged.
+	if card, _ := tbl.Stats(); card != 100 {
+		t.Errorf("pre-commit cardinality = %.0f, want 100", card)
+	}
+	tx.Commit()
+	if card, _ := tbl.Stats(); card != 120 {
+		t.Errorf("post-commit cardinality = %.0f, want 120", card)
+	}
+	if tbl.UpdatesSinceAnalyze != 20 {
+		t.Errorf("UpdatesSinceAnalyze = %d, want 20", tbl.UpdatesSinceAnalyze)
+	}
+}
+
+// TestStatsVersionBumpsOncePerCommit is the satellite contract: the
+// global statistics version moves exactly once per committing write
+// transaction that wrote at least one row — not per statement, not per
+// table — and not at all for empty or aborted transactions.
+func TestStatsVersionBumpsOncePerCommit(t *testing.T) {
+	c := newTestCatalog()
+	r := loadedTable(t, c, "r", 50)
+	s := loadedTable(t, c, "s", 50)
+
+	v0 := c.StatsVersion()
+
+	// Multi-table transaction: one global bump, one per-table bump each.
+	rv0, sv0 := r.Version(), s.Version()
+	tx := c.BeginTxn()
+	for i := 0; i < 5; i++ {
+		if err := tx.Insert(r, types.Tuple{types.NewInt(int64(100 + i)), types.NewInt(0), types.NewString("x")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Insert(s, types.Tuple{types.NewInt(int64(100 + i)), types.NewInt(0), types.NewString("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Commit()
+	if got := c.StatsVersion(); got != v0+1 {
+		t.Errorf("StatsVersion = %d after multi-table commit, want %d", got, v0+1)
+	}
+	if r.Version() != rv0+1 || s.Version() != sv0+1 {
+		t.Errorf("table versions = %d,%d want %d,%d", r.Version(), s.Version(), rv0+1, sv0+1)
+	}
+
+	// Empty transaction: no bump.
+	c.BeginTxn().Commit()
+	if got := c.StatsVersion(); got != v0+1 {
+		t.Errorf("StatsVersion = %d after empty commit, want %d", got, v0+1)
+	}
+
+	// Aborted transaction: no bump.
+	tx = c.BeginTxn()
+	if err := tx.Insert(r, types.Tuple{types.NewInt(999), types.NewInt(0), types.NewString("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StatsVersion(); got != v0+1 {
+		t.Errorf("StatsVersion = %d after abort, want %d", got, v0+1)
+	}
+}
+
+// TestIncrementalStatsTrackAnalyze writes a batch through transactions
+// and checks the incrementally-maintained statistics stay within
+// tolerance of a from-scratch ANALYZE over the same data.
+func TestIncrementalStatsTrackAnalyze(t *testing.T) {
+	c := newTestCatalog()
+	tbl := loadedTable(t, c, "r", 500)
+
+	// A write mix: 300 inserts extending the id domain, 100 deletes.
+	tx := c.BeginTxn()
+	for i := 500; i < 800; i++ {
+		tup := types.Tuple{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 10)),
+			types.NewString(fmt.Sprintf("name-%d", i%50)),
+		}
+		if err := tx.Insert(tbl, tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := tx.Snapshot()
+	scan := tbl.Heap.Scan().WithSnapshot(snap)
+	deleted := 0
+	for scan.Next() && deleted < 100 {
+		tup := scan.Tuple()
+		if tup[0].Int() < 100 {
+			if err := tx.Delete(tbl, scan.RID(), tup.Clone()); err != nil {
+				t.Fatal(err)
+			}
+			deleted++
+		}
+	}
+	if scan.Err() != nil {
+		t.Fatal(scan.Err())
+	}
+	tx.Commit()
+
+	// Capture the incrementally-maintained stats.
+	incCard, incAvg := tbl.Stats()
+	incID := tbl.ColStat(0)
+	incGrp := tbl.ColStat(1)
+
+	// Re-analyze from scratch over the same (post-write) data.
+	if err := c.Analyze("r", AnalyzeOptions{Family: histogram.MaxDiff}); err != nil {
+		t.Fatal(err)
+	}
+	freshCard, freshAvg := tbl.Stats()
+	freshID := tbl.ColStat(0)
+	freshGrp := tbl.ColStat(1)
+
+	if incCard != freshCard {
+		t.Errorf("cardinality: incremental %.0f vs fresh %.0f", incCard, freshCard)
+	}
+	if math.Abs(incAvg-freshAvg)/freshAvg > 0.05 {
+		t.Errorf("avg tuple bytes: incremental %.1f vs fresh %.1f", incAvg, freshAvg)
+	}
+	// Min/Max extended by the out-of-range inserts.
+	if incID.Max.Int() != freshID.Max.Int() {
+		t.Errorf("id max: incremental %d vs fresh %d", incID.Max.Int(), freshID.Max.Int())
+	}
+	// FM-sketch-maintained distinct within 15% of the exact rebuild.
+	if math.Abs(incID.Distinct-freshID.Distinct)/freshID.Distinct > 0.15 {
+		t.Errorf("id distinct: incremental %.0f vs fresh %.0f", incID.Distinct, freshID.Distinct)
+	}
+	if math.Abs(incGrp.Distinct-freshGrp.Distinct)/math.Max(1, freshGrp.Distinct) > 0.5 {
+		t.Errorf("grp distinct: incremental %.0f vs fresh %.0f", incGrp.Distinct, freshGrp.Distinct)
+	}
+	// Histogram totals track the live row count.
+	if math.Abs(incID.Hist.Total-freshID.Hist.Total)/freshID.Hist.Total > 0.05 {
+		t.Errorf("id hist total: incremental %.0f vs fresh %.0f", incID.Hist.Total, freshID.Hist.Total)
+	}
+	// A committing transaction must not have mutated the previously
+	// published stats structs in place (copy-on-write contract).
+	if incID == freshID {
+		t.Error("ColStat pointer unchanged by ANALYZE; expected republication")
+	}
+}
+
+func TestTxnDeleteConflictSurfacesAndAborts(t *testing.T) {
+	c := newTestCatalog()
+	tbl := loadedTable(t, c, "r", 10)
+
+	// Find one RID.
+	scan := tbl.Heap.Scan().WithSnapshot(c.Txns().LatestSnapshot())
+	if !scan.Next() {
+		t.Fatal("empty table")
+	}
+	rid, tup := scan.RID(), scan.Tuple().Clone()
+
+	tx1 := c.BeginTxn()
+	tx2 := c.BeginTxn()
+	if err := tx1.Delete(tbl, rid, tup); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Delete(tbl, rid, tup); err == nil {
+		t.Fatal("second deleter did not conflict")
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	tx1.Commit()
+	if card, _ := tbl.Stats(); card != 9 {
+		t.Errorf("cardinality = %.0f, want 9", card)
+	}
+}
+
+func TestVacuumReclaimsDeadVersions(t *testing.T) {
+	c := newTestCatalog()
+	tbl := loadedTable(t, c, "r", 20)
+
+	tx := c.BeginTxn()
+	scan := tbl.Heap.Scan().WithSnapshot(tx.Snapshot())
+	removed := 0
+	for scan.Next() && removed < 5 {
+		if err := tx.Delete(tbl, scan.RID(), scan.Tuple().Clone()); err != nil {
+			t.Fatal(err)
+		}
+		removed++
+	}
+	if scan.Err() != nil {
+		t.Fatal(scan.Err())
+	}
+	tx.Commit()
+
+	if dead, err := c.DeadVersions(); err != nil || dead != 5 {
+		t.Fatalf("DeadVersions = %d (err %v), want 5", dead, err)
+	}
+	n, err := c.Vacuum()
+	if err != nil || n != 5 {
+		t.Fatalf("Vacuum removed %d (err %v), want 5", n, err)
+	}
+	if dead, _ := c.DeadVersions(); dead != 0 {
+		t.Errorf("DeadVersions = %d after vacuum, want 0", dead)
+	}
+}

@@ -166,6 +166,7 @@ func workerCtx(parent *exec.Ctx, r *region, part, of int, share float64) *exec.C
 		Part:       part,
 		PartOf:     of,
 		GrantShare: share,
+		Snap:       parent.Snap,
 		Spawn:      parent.Spawn,
 		Wall:       parent.Wall,
 		Trace:      parent.Trace,

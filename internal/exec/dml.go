@@ -1,0 +1,237 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// DML operators. Each runs its whole statement in Open under the
+// context's transaction (ctx.Txn) and streams no tuples; Affected
+// reports the row count. UPDATE and DELETE materialize the RIDs of
+// visible matching tuples before touching any of them, so an update
+// whose new version matches its own predicate is never revisited (the
+// Halloween problem).
+
+// dmlBase carries the shared state of the DML operators.
+type dmlBase struct {
+	ctx      *Ctx
+	affected int64
+	schema   *types.Schema
+}
+
+// Schema implements Operator.
+func (d *dmlBase) Schema() *types.Schema { return d.schema }
+
+// Next implements Operator: DML produces no tuples.
+func (d *dmlBase) Next() (types.Tuple, error) { return nil, nil }
+
+// Close implements Operator.
+func (d *dmlBase) Close() error { return nil }
+
+// Affected returns the number of rows the statement wrote.
+func (d *dmlBase) Affected() int64 { return d.affected }
+
+// InsertExec executes a plan.Insert.
+type InsertExec struct {
+	dmlBase
+	node *plan.Insert
+}
+
+// NewInsert returns the operator for an INSERT plan.
+func NewInsert(n *plan.Insert, ctx *Ctx) *InsertExec {
+	return &InsertExec{dmlBase: dmlBase{ctx: ctx, schema: n.Schema()}, node: n}
+}
+
+// Open implements Operator, performing the inserts.
+func (e *InsertExec) Open() error {
+	if e.ctx.Txn == nil {
+		return fmt.Errorf("exec: INSERT outside a transaction")
+	}
+	schema := e.node.Table.Schema
+	for _, row := range e.node.Rows {
+		if err := e.ctx.Tick(); err != nil {
+			return err
+		}
+		tup := make(types.Tuple, len(row))
+		for i, expr := range row {
+			v, err := expr.Eval(nil, e.ctx.Params)
+			if err != nil {
+				return err
+			}
+			cv, err := coerceValue(v, schema.Columns[i].Kind)
+			if err != nil {
+				return fmt.Errorf("exec: column %s: %w", schema.Columns[i].Name, err)
+			}
+			tup[i] = cv
+		}
+		if err := e.ctx.Txn.Insert(e.node.Table, tup); err != nil {
+			return err
+		}
+		e.ctx.Meter.ChargeTuples(1)
+		e.affected++
+	}
+	return nil
+}
+
+// DeleteExec executes a plan.Delete.
+type DeleteExec struct {
+	dmlBase
+	node *plan.Delete
+}
+
+// NewDelete returns the operator for a DELETE plan.
+func NewDelete(n *plan.Delete, ctx *Ctx) *DeleteExec {
+	return &DeleteExec{dmlBase: dmlBase{ctx: ctx, schema: n.Schema()}, node: n}
+}
+
+// Open implements Operator, performing the deletes.
+func (e *DeleteExec) Open() error {
+	if e.ctx.Txn == nil {
+		return fmt.Errorf("exec: DELETE outside a transaction")
+	}
+	matches, err := matchVisible(e.ctx, e.node.Table.Heap, e.node.Filters)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		if err := e.ctx.Txn.Delete(e.node.Table, m.rid, m.tup); err != nil {
+			return err
+		}
+		e.ctx.Meter.ChargeTuples(1)
+		e.affected++
+	}
+	return nil
+}
+
+// UpdateExec executes a plan.Update: delete old version, insert new.
+type UpdateExec struct {
+	dmlBase
+	node *plan.Update
+}
+
+// NewUpdate returns the operator for an UPDATE plan.
+func NewUpdate(n *plan.Update, ctx *Ctx) *UpdateExec {
+	return &UpdateExec{dmlBase: dmlBase{ctx: ctx, schema: n.Schema()}, node: n}
+}
+
+// Open implements Operator, performing the updates.
+func (e *UpdateExec) Open() error {
+	if e.ctx.Txn == nil {
+		return fmt.Errorf("exec: UPDATE outside a transaction")
+	}
+	matches, err := matchVisible(e.ctx, e.node.Table.Heap, e.node.Filters)
+	if err != nil {
+		return err
+	}
+	schema := e.node.Table.Schema
+	for _, m := range matches {
+		next := m.tup.Clone()
+		for _, set := range e.node.Set {
+			v, err := set.Val.Eval(m.tup, e.ctx.Params)
+			if err != nil {
+				return err
+			}
+			cv, err := coerceValue(v, schema.Columns[set.Col].Kind)
+			if err != nil {
+				return fmt.Errorf("exec: column %s: %w", schema.Columns[set.Col].Name, err)
+			}
+			next[set.Col] = cv
+		}
+		if err := e.ctx.Txn.Delete(e.node.Table, m.rid, m.tup); err != nil {
+			return err
+		}
+		if err := e.ctx.Txn.Insert(e.node.Table, next); err != nil {
+			return err
+		}
+		e.ctx.Meter.ChargeTuples(1)
+		e.affected++
+	}
+	return nil
+}
+
+type match struct {
+	rid storage.RID
+	tup types.Tuple
+}
+
+// matchVisible scans the heap under the transaction's snapshot and
+// materializes the RID and tuple of every row passing the filters.
+func matchVisible(ctx *Ctx, heap *storage.HeapFile, filters []plan.Pred) ([]match, error) {
+	snap := ctx.Snap
+	if snap == nil && ctx.Txn != nil {
+		snap = ctx.Txn.Snapshot()
+	}
+	s := heap.Scan().WithSnapshot(snap)
+	var out []match
+	for s.Next() {
+		if err := ctx.Tick(); err != nil {
+			return nil, err
+		}
+		ctx.Meter.ChargeTuples(1)
+		t := s.Tuple()
+		ok := true
+		for _, f := range filters {
+			pass, err := f.Test(t, ctx.Params)
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, match{rid: s.RID(), tup: t.Clone()})
+		}
+	}
+	return out, s.Err()
+}
+
+// coerceValue converts v to the column kind where the conversion is
+// lossless-enough for the engine's numeric model (int ↔ float); other
+// mismatches are errors.
+func coerceValue(v types.Value, k types.Kind) (types.Value, error) {
+	if v.IsNull() || v.Kind() == k {
+		return v, nil
+	}
+	switch {
+	case k == types.KindFloat && v.Kind() == types.KindInt:
+		return types.NewFloat(float64(v.Int())), nil
+	case k == types.KindInt && v.Kind() == types.KindFloat:
+		return types.NewInt(int64(v.Float())), nil
+	case k == types.KindDate && v.Kind() == types.KindInt:
+		return types.NewDate(v.Int()), nil
+	}
+	return types.Value{}, fmt.Errorf("cannot store %s value as %s", v.Kind(), k)
+}
+
+// RunDML builds and runs the operator for a DML plan node, returning the
+// number of rows affected.
+func RunDML(n plan.Node, ctx *Ctx) (int64, error) {
+	var op interface {
+		Operator
+		Affected() int64
+	}
+	switch x := n.(type) {
+	case *plan.Insert:
+		op = NewInsert(x, ctx)
+	case *plan.Update:
+		op = NewUpdate(x, ctx)
+	case *plan.Delete:
+		op = NewDelete(x, ctx)
+	default:
+		return 0, fmt.Errorf("exec: %T is not a DML plan", n)
+	}
+	if err := op.Open(); err != nil {
+		op.Close()
+		return 0, err
+	}
+	defer op.Close()
+	if _, err := Drain(op); err != nil {
+		return 0, err
+	}
+	return op.Affected(), nil
+}

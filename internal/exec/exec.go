@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/catalog"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
@@ -34,6 +35,13 @@ type Ctx struct {
 	Pool   *storage.BufferPool
 	Meter  *storage.CostMeter
 	Params plan.Params
+	// Snap is the MVCC snapshot base-table scans and index fetches
+	// filter versions through. Nil means "see all undeleted tuples",
+	// which is correct only when no writers run concurrently.
+	Snap *storage.TxnSnapshot
+	// Txn is the write transaction DML operators run under. Nil for
+	// read-only queries.
+	Txn *catalog.Txn
 	// Context, when non-nil, aborts the query: operators poll it at
 	// amortized intervals (Tick) inside their tuple loops and the
 	// dispatcher polls it (Err) at every checkpoint, so a cancelled or

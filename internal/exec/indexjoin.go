@@ -56,9 +56,15 @@ func (j *IndexJoin) Next() (types.Tuple, error) {
 		for j.ridPos < len(j.rids) {
 			rid := j.rids[j.ridPos]
 			j.ridPos++
-			inner, err := j.node.Table.Heap.Fetch(rid)
+			// Visibility-checked fetch: index entries may point at
+			// versions outside the snapshot, deleted slots from aborted
+			// inserts, or swept versions — all skipped here.
+			inner, visible, err := j.node.Table.Heap.FetchVisible(rid, j.ctx.Snap)
 			if err != nil {
 				return nil, err
+			}
+			if !visible {
+				continue
 			}
 			ok := true
 			for _, f := range j.node.InnerFilters {

@@ -33,6 +33,7 @@ func (s *SeqScan) Open() error {
 	} else {
 		s.scan = s.node.Table.Heap.Scan()
 	}
+	s.scan.WithSnapshot(s.ctx.Snap)
 	return nil
 }
 

@@ -107,6 +107,11 @@ func RunCase(c Case) CaseResult {
 			FaultAfter: after,
 		}))
 	}
+
+	// The interleaved writer/reader schedule goes last: it commits DML,
+	// moving the data away from the reference answer every read-only
+	// configuration above was checked against.
+	add(runInterleaved(env))
 	return cr
 }
 

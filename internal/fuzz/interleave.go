@@ -1,0 +1,254 @@
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/reopt"
+	"repro/internal/session"
+	"repro/internal/types"
+)
+
+// ConfigInterleaved names the interleaved writer/reader schedule in
+// verdicts and seed files. It is not part of the static matrix because
+// it commits writes: it must run after every read-only configuration,
+// and a replay rebuilds the environment from scratch (see Check).
+const ConfigInterleaved = "interleaved"
+
+// writeOp is one statement of the seed-derived write schedule: the SQL
+// the engine executes and the equivalent naive mutation of the
+// reference tables. apply returns how many rows the statement touched
+// so the engine's RowsAffected can be differentially checked.
+type writeOp struct {
+	sql   string
+	apply func() int64
+}
+
+// writeOps derives the case's write schedule: a few multi-row inserts
+// with fresh keys, predicate deletes, and predicate updates against the
+// joined tables. The same seed always yields the same schedule, and
+// apply replays it serially against the in-memory reference rows — the
+// serializable oracle the committed engine state must match.
+func (e *Env) writeOps() []writeOp {
+	r := rand.New(rand.NewSource(e.Case.Seed ^ 0x317e5eed))
+	k := e.Case.JoinK
+	nextPK := make([]int64, k)
+	for i := 0; i < k; i++ {
+		nextPK[i] = int64(len(e.Tables[i].Rows))
+	}
+	nOps := 2 + r.Intn(3)
+	var ops []writeOp
+	for n := 0; n < nOps; n++ {
+		ti := r.Intn(k)
+		td := &e.Tables[ti]
+		name := td.Name
+		switch r.Intn(3) {
+		case 0: // multi-row insert extending the pk domain
+			m := 3 + r.Intn(30)
+			var vals []string
+			var rows []types.Tuple
+			for j := 0; j < m; j++ {
+				pk := nextPK[ti]
+				nextPK[ti]++
+				fk := int64(r.Intn(len(td.Rows) + m))
+				grp := int64(r.Intn(10))
+				val := float64(r.Intn(1000))
+				vals = append(vals, fmt.Sprintf("(%d, %d, %d, %.1f)", pk, fk, grp, val))
+				rows = append(rows, types.Tuple{
+					types.NewInt(pk), types.NewInt(fk), types.NewInt(grp), types.NewFloat(val),
+				})
+			}
+			sql := fmt.Sprintf("insert into %s (%s_pk, %s_fk, %s_grp, %s_val) values %s",
+				name, name, name, name, name, strings.Join(vals, ", "))
+			ops = append(ops, writeOp{sql, func() int64 {
+				td.Rows = append(td.Rows, rows...)
+				return int64(len(rows))
+			}})
+		case 1: // predicate delete
+			cut := float64(r.Intn(400))
+			sql := fmt.Sprintf("delete from %s where %s_val < %.1f", name, name, cut)
+			ops = append(ops, writeOp{sql, func() int64 {
+				var kept []types.Tuple
+				var removed int64
+				for _, row := range td.Rows {
+					if row[3].Float() < cut {
+						removed++
+						continue
+					}
+					kept = append(kept, row)
+				}
+				td.Rows = kept
+				return removed
+			}})
+		default: // predicate update
+			g := int64(r.Intn(10))
+			v := float64(r.Intn(1000))
+			sql := fmt.Sprintf("update %s set %s_val = %.1f where %s_grp = %d",
+				name, name, v, name, g)
+			ops = append(ops, writeOp{sql, func() int64 {
+				var touched int64
+				for _, row := range td.Rows {
+					if row[2].Int() == g {
+						row[3] = types.NewFloat(v)
+						touched++
+					}
+				}
+				return touched
+			}})
+		}
+	}
+	return ops
+}
+
+// runInterleaved executes the case's write schedule interleaved with
+// readers and checks snapshot isolation differentially:
+//
+//  1. With the whole schedule applied but uncommitted, and again after
+//     its rollback, a reader must still see the original reference
+//     answer.
+//  2. A reader whose query is in flight when the schedule commits (via
+//     the checkpoint hook) must also still see the original answer —
+//     its snapshot predates the commit.
+//  3. A fresh reader after the commit must see the answer the naive
+//     reference computes over the serially-mutated rows, and each
+//     statement's RowsAffected must match the reference's count.
+//  4. Vacuum must reclaim every dead version once no snapshot pins
+//     them, and the usual residue invariants (no temp tables, broker
+//     repaid, no running queries) must hold.
+//
+// It must run LAST for its case: the committed writes move the data
+// away from the reference answer every other configuration checks.
+func runInterleaved(env *Env) (string, *Failure) {
+	rc := RunConfig{Name: ConfigInterleaved, Mode: reopt.ModeFull, Degree: 1, Budget: bigBudget}
+	fail := func(format string, args ...any) (string, *Failure) {
+		msg := fmt.Sprintf(format, args...)
+		return fmt.Sprintf("%s: FAIL %s", rc.Name, msg),
+			&Failure{Case: env.Case, Config: rc, Err: msg}
+	}
+
+	mgr := newManager(env, bigBudget)
+	ctx := context.Background()
+	ops := env.writeOps()
+	readOpts := session.Options{Mode: reopt.ModeFull, Params: env.Params, Seed: env.Case.Seed}
+
+	check := func(s *session.Session, opts session.Options, want []string, label string) string {
+		res, err := s.Exec(ctx, env.SQL, opts)
+		if err != nil {
+			return fmt.Sprintf("%s: %v", label, err)
+		}
+		got := Canonical(res.Rows)
+		if len(got) != len(want) {
+			return fmt.Sprintf("%s: %d rows, reference has %d", label, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return fmt.Sprintf("%s: row %d: got %s, want %s", label, i, got[i], want[i])
+			}
+		}
+		return ""
+	}
+
+	// Phase 1: uncommitted writes are invisible; rollback undoes them.
+	writer := mgr.Session()
+	if _, err := writer.Exec(ctx, "begin", session.Options{}); err != nil {
+		return fail("begin: %v", err)
+	}
+	for _, op := range ops {
+		if _, err := writer.Exec(ctx, op.sql, session.Options{}); err != nil {
+			return fail("uncommitted writer %q: %v", op.sql, err)
+		}
+	}
+	reader := mgr.Session()
+	if msg := check(reader, readOpts, env.Want, "reader during open write txn"); msg != "" {
+		return fail("%s", msg)
+	}
+	if _, err := writer.Exec(ctx, "rollback", session.Options{}); err != nil {
+		return fail("rollback: %v", err)
+	}
+	if msg := check(reader, readOpts, env.Want, "reader after rollback"); msg != "" {
+		return fail("%s", msg)
+	}
+
+	// Phase 2: commit the schedule mid-query from the reader's first
+	// checkpoint; the in-flight snapshot must not see it. Cases whose
+	// queries reach no checkpoint commit right after instead — the
+	// post-commit state is the same either way.
+	var affected []int64
+	var commitErr error
+	committed := false
+	commit := func() {
+		if committed {
+			return
+		}
+		committed = true
+		w := mgr.Session()
+		if _, err := w.Exec(ctx, "begin", session.Options{}); err != nil {
+			commitErr = err
+			return
+		}
+		for _, op := range ops {
+			res, err := w.Exec(ctx, op.sql, session.Options{})
+			if err != nil {
+				commitErr = fmt.Errorf("%q: %w", op.sql, err)
+				return
+			}
+			affected = append(affected, res.RowsAffected)
+		}
+		if _, err := w.Exec(ctx, "commit", session.Options{}); err != nil {
+			commitErr = err
+		}
+	}
+	hooked := readOpts
+	hooked.NoCache = true // force a fresh plan so checkpoints are live
+	hookFired := false
+	hooked.CheckpointHook = func(int) { hookFired = true; commit() }
+	if msg := check(reader, hooked, env.Want, "reader overlapping commit"); msg != "" {
+		return fail("%s", msg)
+	}
+	commit()
+	if commitErr != nil {
+		return fail("committing writer: %v", commitErr)
+	}
+
+	// Phase 3: the committed state must match the serializable naive
+	// reference, statement by statement and row by row.
+	for i, op := range ops {
+		want := op.apply()
+		if affected[i] != want {
+			return fail("%q affected %d rows, reference says %d", op.sql, affected[i], want)
+		}
+	}
+	want2 := Canonical(env.reference())
+	if msg := check(reader, readOpts, want2, "reader after commit"); msg != "" {
+		return fail("%s", msg)
+	}
+
+	// Phase 4: no snapshot pins anything now — vacuum must reclaim
+	// every dead version, and the run must leave no residue.
+	if _, err := env.Cat.Vacuum(); err != nil {
+		return fail("vacuum: %v", err)
+	}
+	if dead, err := env.Cat.DeadVersions(); err != nil || dead != 0 {
+		return fail("%d dead versions after vacuum (err %v)", dead, err)
+	}
+	if temps := env.Cat.TempTables(); len(temps) != 0 {
+		return fail("temp tables leaked: %v", temps)
+	}
+	// Same rounding tolerance as checkResidue: grants are fractional
+	// float shares, so the pool balances to within noise, not exactly.
+	if bs := mgr.Broker().Stats(); math.Abs(bs.AvailBytes-bs.PoolBytes) > 1e-3 {
+		return fail("broker imbalance: %.6f of %.0f bytes available (delta %g)",
+			bs.AvailBytes, bs.PoolBytes, bs.PoolBytes-bs.AvailBytes)
+	}
+	if running := mgr.Running(); len(running) != 0 {
+		return fail("queries still registered as running: %v", running)
+	}
+	outcome := "ok"
+	if hookFired {
+		outcome = "ok (mid-query commit)"
+	}
+	return fmt.Sprintf("%s: %s (%d ops)", rc.Name, outcome, len(ops)), nil
+}

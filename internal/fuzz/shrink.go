@@ -34,6 +34,10 @@ func Check(c Case, rc RunConfig) *Failure {
 	if err != nil {
 		return &Failure{Case: c, Config: rc, Err: fmt.Sprintf("build: %v", err)}
 	}
+	if rc.Name == ConfigInterleaved {
+		_, f := runInterleaved(env)
+		return f
+	}
 	_, f := runOne(env, rc)
 	return f
 }

@@ -180,6 +180,101 @@ func (h *Histogram) Scaled(total float64) *Histogram {
 	return c
 }
 
+// Clone returns a deep copy of the histogram. Incremental stats
+// maintenance clones before mutating so published histograms stay
+// immutable for concurrent readers.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{
+		Family:        h.Family,
+		Buckets:       append([]Bucket(nil), h.Buckets...),
+		Total:         h.Total,
+		TotalDistinct: h.TotalDistinct,
+	}
+}
+
+// bucketFor returns the index of the bucket whose interval contains f,
+// or -1 if f falls outside every bucket.
+func (h *Histogram) bucketFor(f float64) int {
+	for i := range h.Buckets {
+		if f >= h.Buckets[i].Lo && f <= h.Buckets[i].Hi {
+			return i
+		}
+	}
+	return -1
+}
+
+// AddValue folds one inserted value into the histogram in place,
+// incrementing the containing bucket's count. Values outside the
+// histogram's range extend the boundary bucket (and its distinct count,
+// since a value beyond the old min/max is necessarily new). Values in a
+// gap between buckets are credited to the nearest bucket. Bucket
+// boundaries are otherwise not re-balanced — the histogram drifts from
+// what a fresh build would produce, which is exactly the staleness
+// ANALYZE repairs.
+func (h *Histogram) AddValue(v types.Value) {
+	f := v.AsFloat()
+	if math.IsNaN(f) {
+		return
+	}
+	h.Total++
+	if len(h.Buckets) == 0 {
+		h.Buckets = []Bucket{{Lo: f, Hi: f, Count: 1, Distinct: 1}}
+		h.TotalDistinct = 1
+		return
+	}
+	if i := h.bucketFor(f); i >= 0 {
+		h.Buckets[i].Count++
+		return
+	}
+	switch {
+	case f < h.Buckets[0].Lo:
+		h.Buckets[0].Lo = f
+		h.Buckets[0].Count++
+		h.Buckets[0].Distinct++
+		h.TotalDistinct++
+	case f > h.Buckets[len(h.Buckets)-1].Hi:
+		last := len(h.Buckets) - 1
+		h.Buckets[last].Hi = f
+		h.Buckets[last].Count++
+		h.Buckets[last].Distinct++
+		h.TotalDistinct++
+	default:
+		// In a gap between two buckets: extend whichever is closer.
+		for i := 0; i+1 < len(h.Buckets); i++ {
+			if f > h.Buckets[i].Hi && f < h.Buckets[i+1].Lo {
+				if f-h.Buckets[i].Hi <= h.Buckets[i+1].Lo-f {
+					h.Buckets[i].Hi = f
+					h.Buckets[i].Count++
+					h.Buckets[i].Distinct++
+				} else {
+					h.Buckets[i+1].Lo = f
+					h.Buckets[i+1].Count++
+					h.Buckets[i+1].Distinct++
+				}
+				h.TotalDistinct++
+				return
+			}
+		}
+	}
+}
+
+// RemoveValue folds one deleted value out of the histogram in place,
+// decrementing the containing bucket's count. Distinct counts are left
+// untouched — without per-value frequencies a delete cannot know whether
+// it removed the last occurrence.
+func (h *Histogram) RemoveValue(v types.Value) {
+	f := v.AsFloat()
+	if math.IsNaN(f) {
+		return
+	}
+	if h.Total > 0 {
+		h.Total--
+	}
+	if i := h.bucketFor(f); i >= 0 && h.Buckets[i].Count > 0 {
+		h.Buckets[i].Count--
+	}
+}
+
 // Build constructs a histogram of the given family with at most buckets
 // buckets over the sample. If streamTotal > 0 and differs from the sample
 // size, bucket counts are scaled to summarize streamTotal tuples (and,

@@ -28,6 +28,14 @@ type EngineMetrics struct {
 	MuBudget         *Gauge
 
 	QueryCost *Histogram
+
+	// DML counters: row versions written by committed transactions,
+	// transaction outcomes, and first-writer-wins conflicts (each
+	// conflict also aborts a transaction).
+	RowsWritten    *Counter
+	TxnsCommitted  *Counter
+	TxnsAborted    *Counter
+	WriteConflicts *Counter
 }
 
 // NewEngineMetrics registers the engine metric set on a registry.
@@ -50,6 +58,11 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 
 		QueryCost: r.NewHistogram("mqr_query_cost_units", "Per-query simulated execution cost",
 			[]float64{100, 1000, 10000, 100000, 1e6, 1e7}),
+
+		RowsWritten:    r.NewCounter("mqr_rows_written_total", "Row versions written by committed transactions (update = delete + insert)"),
+		TxnsCommitted:  r.NewCounter("mqr_txns_committed_total", "Write transactions committed"),
+		TxnsAborted:    r.NewCounter("mqr_txns_aborted_total", "Write transactions aborted (rollback, error, or conflict)"),
+		WriteConflicts: r.NewCounter("mqr_write_conflicts_total", "First-writer-wins conflicts (losing transaction aborted)"),
 	}
 }
 

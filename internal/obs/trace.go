@@ -11,7 +11,7 @@ type Event struct {
 	// the ring buffer starts dropping old events.
 	Seq int `json:"seq"`
 	// Kind classifies the event: "plan", "collector", "checkpoint",
-	// "decision", "realloc", "switch", "scia".
+	// "decision", "realloc", "switch", "scia", "commit".
 	Kind string `json:"kind"`
 	// Msg is the human-readable summary.
 	Msg string `json:"msg,omitempty"`

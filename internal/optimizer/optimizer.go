@@ -164,12 +164,11 @@ func (o *Optimizer) buildLeaf(q *Query, i int, cm *costModel) (*dpEntry, error) 
 		predSQL = append(predSQL, pr.AST)
 	}
 	sel := relSelectivity(rel, o.HostVarSelectivity)
-	card := t.Cardinality
+	card, avg := t.Stats()
 	if card <= 0 {
 		card = float64(t.Heap.NumTuples()) // unanalyzed: physical count
 	}
 	rows := math.Max(0, card*sel)
-	avg := t.AvgTupleBytes
 	if avg <= 0 {
 		avg = defaultWidth(rel.Schema)
 	}
@@ -411,7 +410,8 @@ func (o *Optimizer) tryIndexJoin(q *Query, entry *dpEntry, j int, equi []*PredRe
 		InnerSQL:     innerSQL,
 		InnerOut:     rel.Schema,
 	}
-	matches := rel.Table.Cardinality / colNDV(rel.Table, rCol)
+	innerCard, _ := rel.Table.Stats()
+	matches := innerCard / colNDV(rel.Table, rCol)
 	node.EstMatches = matches
 	self := cm.indexJoinSelf(entry.rows, matches, outRows,
 		rel.Table.NumPages(), float64(rel.Table.Heap.NumTuples()), idx.Clustering)

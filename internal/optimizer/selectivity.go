@@ -14,9 +14,11 @@ import (
 // the textbook defaults — precisely the estimation-error source the paper
 // names (§1). Literal-only predicates consult the column's histogram.
 
-// colStats fetches a relation column's catalog statistics, nil if absent.
+// colStats fetches a relation column's catalog statistics, nil if
+// absent, via the table's stats lock — committed writes may swap the
+// column-stats pointers while a concurrent query plans.
 func colStats(t *catalog.Table, col int) *catalog.ColumnStats {
-	return t.ColStats[col]
+	return t.ColStat(col)
 }
 
 // colHist returns the column's histogram if one exists.
@@ -33,8 +35,8 @@ func colNDV(t *catalog.Table, col int) float64 {
 	if cs := colStats(t, col); cs != nil && cs.Distinct > 0 {
 		return cs.Distinct
 	}
-	if t.Cardinality > 0 {
-		return math.Max(1, t.Cardinality/10)
+	if card, _ := t.Stats(); card > 0 {
+		return math.Max(1, card/10)
 	}
 	return 10
 }

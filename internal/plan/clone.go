@@ -55,6 +55,19 @@ func Clone(n Node) Node {
 		cp.Input = Clone(x.Input)
 		cp.Keys = append([]int(nil), x.Keys...)
 		return &cp
+	case *Insert:
+		cp := *x
+		cp.Rows = append([][]Expr(nil), x.Rows...)
+		return &cp
+	case *Update:
+		cp := *x
+		cp.Filters = append([]Pred(nil), x.Filters...)
+		cp.Set = append([]SetCol(nil), x.Set...)
+		return &cp
+	case *Delete:
+		cp := *x
+		cp.Filters = append([]Pred(nil), x.Filters...)
+		return &cp
 	default:
 		panic(fmt.Sprintf("plan: Clone of unknown node %T", n))
 	}

@@ -13,12 +13,16 @@
 // tree itself (SCIA collector insertion) during execution, so the cached
 // original must never be executed directly.
 //
-// Invalidation is versioned, not evented: entries record the catalog's
-// statistics version at insertion and are dropped lazily when a lookup
-// finds the version has moved (ANALYZE, CREATE TABLE/INDEX, DROP).
-// Temp tables materialized by mid-query re-optimization do not bump the
-// version — they are private to one query and would otherwise flush the
-// cache on every plan switch.
+// Invalidation is versioned, not evented, and scoped to what a plan
+// actually references: entries record the catalog's schema version plus
+// the per-table statistics version of every table in the plan's FROM
+// list, and are dropped lazily when a lookup finds any of them moved.
+// A committed write or ANALYZE on one table therefore invalidates only
+// the plans that read it; CREATE/DROP TABLE and CREATE INDEX move the
+// schema version and flush everything (cheap, rare, and renaming can
+// change what any statement resolves to). Temp tables materialized by
+// mid-query re-optimization bump neither — they are private to one
+// query and would otherwise flush the cache on every plan switch.
 package plancache
 
 import (
@@ -34,36 +38,46 @@ import (
 
 // Cache is a concurrency-safe LRU of optimized plans.
 type Cache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[string]*entry
-	lru     *list.List // front = most recent; elements hold keys
-	version func() int64
+	mu        sync.Mutex
+	cap       int
+	entries   map[string]*entry
+	lru       *list.List // front = most recent; elements hold keys
+	schemaVer func() int64
+	tableVer  func(name string) int64
 
 	hits, misses, invalidations, evictions int64
 }
 
 type entry struct {
-	res     *optimizer.Result
-	version int64
-	elem    *list.Element
+	res       *optimizer.Result
+	schemaVer int64
+	// tables records the statistics version of every referenced table
+	// at insertion time.
+	tables map[string]int64
+	elem   *list.Element
 }
 
-// New returns a cache of at most capacity plans. version reports the
-// catalog's current statistics version; entries stored under an older
-// version are invalid. A nil version function disables invalidation.
-func New(capacity int, version func() int64) *Cache {
+// New returns a cache of at most capacity plans. schemaVer reports the
+// catalog's structural version (CREATE/DROP TABLE, CREATE INDEX);
+// tableVer reports one table's statistics version (bumped by ANALYZE and
+// committed writes). Entries whose recorded versions lag either are
+// invalid. Nil functions disable the corresponding check.
+func New(capacity int, schemaVer func() int64, tableVer func(name string) int64) *Cache {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	if version == nil {
-		version = func() int64 { return 0 }
+	if schemaVer == nil {
+		schemaVer = func() int64 { return 0 }
+	}
+	if tableVer == nil {
+		tableVer = func(string) int64 { return 0 }
 	}
 	return &Cache{
-		cap:     capacity,
-		entries: make(map[string]*entry),
-		lru:     list.New(),
-		version: version,
+		cap:       capacity,
+		entries:   make(map[string]*entry),
+		lru:       list.New(),
+		schemaVer: schemaVer,
+		tableVer:  tableVer,
 	}
 }
 
@@ -78,7 +92,7 @@ func (c *Cache) Get(key string) *optimizer.Result {
 		c.misses++
 		return nil
 	}
-	if e.version != c.version() {
+	if !c.validLocked(e) {
 		c.removeLocked(key, e)
 		c.invalidations++
 		c.misses++
@@ -97,7 +111,8 @@ func (c *Cache) Put(key string, res *optimizer.Result) {
 	defer c.mu.Unlock()
 	if e, ok := c.entries[key]; ok {
 		e.res = clone
-		e.version = c.version()
+		e.schemaVer = c.schemaVer()
+		e.tables = c.tableVersions(res)
 		c.lru.MoveToFront(e.elem)
 		return
 	}
@@ -110,9 +125,38 @@ func (c *Cache) Put(key string, res *optimizer.Result) {
 		c.removeLocked(k, c.entries[k])
 		c.evictions++
 	}
-	e := &entry{res: clone, version: c.version()}
+	e := &entry{res: clone, schemaVer: c.schemaVer(), tables: c.tableVersions(res)}
 	e.elem = c.lru.PushFront(key)
 	c.entries[key] = e
+}
+
+// validLocked reports whether an entry's recorded versions still match
+// the catalog: the schema version, and each referenced table's version.
+func (c *Cache) validLocked(e *entry) bool {
+	if e.schemaVer != c.schemaVer() {
+		return false
+	}
+	for name, ver := range e.tables {
+		if c.tableVer(name) != ver {
+			return false
+		}
+	}
+	return true
+}
+
+// tableVersions snapshots the statistics version of every table the
+// plan references.
+func (c *Cache) tableVersions(res *optimizer.Result) map[string]int64 {
+	if res.Query == nil {
+		return nil
+	}
+	tables := make(map[string]int64, len(res.Query.Rels))
+	for i := range res.Query.Rels {
+		if t := res.Query.Rels[i].Table; t != nil {
+			tables[t.Name] = c.tableVer(t.Name)
+		}
+	}
+	return tables
 }
 
 func (c *Cache) removeLocked(key string, e *entry) {

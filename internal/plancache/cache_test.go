@@ -75,7 +75,7 @@ const paramQuery = `select t1_val from t1, t2
 
 func TestHitOnResubmittedParameterizedSQL(t *testing.T) {
 	e := newEnv(t)
-	c := New(16, e.cat.StatsVersion)
+	c := New(16, e.cat.SchemaVersion, e.cat.TableVersion)
 	stmt, res := e.optimize(t, paramQuery)
 	key := Key(stmt, "fp")
 	if c.Get(key) != nil {
@@ -134,7 +134,7 @@ func TestHostVarSignatureInKey(t *testing.T) {
 
 func TestMissAfterCatalogStatsChange(t *testing.T) {
 	e := newEnv(t)
-	c := New(16, e.cat.StatsVersion)
+	c := New(16, e.cat.SchemaVersion, e.cat.TableVersion)
 	stmt, res := e.optimize(t, paramQuery)
 	key := Key(stmt, "fp")
 	c.Put(key, res)
@@ -162,7 +162,7 @@ func TestMissAfterCatalogStatsChange(t *testing.T) {
 
 func TestTempTablesDoNotInvalidate(t *testing.T) {
 	e := newEnv(t)
-	c := New(16, e.cat.StatsVersion)
+	c := New(16, e.cat.SchemaVersion, e.cat.TableVersion)
 	stmt, res := e.optimize(t, paramQuery)
 	key := Key(stmt, "fp")
 	c.Put(key, res)
@@ -184,7 +184,7 @@ func TestTempTablesDoNotInvalidate(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	e := newEnv(t)
-	c := New(2, e.cat.StatsVersion)
+	c := New(2, e.cat.SchemaVersion, e.cat.TableVersion)
 	stmt, res := e.optimize(t, paramQuery)
 	c.Put("k1", res)
 	c.Put("k2", res)
@@ -208,7 +208,7 @@ func TestLRUEviction(t *testing.T) {
 // under -race this is the cache's thread-safety regression test.
 func TestConcurrentGetPut(t *testing.T) {
 	e := newEnv(t)
-	c := New(8, e.cat.StatsVersion)
+	c := New(8, e.cat.SchemaVersion, e.cat.TableVersion)
 	stmt, res := e.optimize(t, paramQuery)
 	_ = stmt
 	var wg sync.WaitGroup
@@ -231,5 +231,45 @@ func TestConcurrentGetPut(t *testing.T) {
 	st := c.Stats()
 	if st.Hits == 0 || st.Misses == 0 {
 		t.Errorf("stress saw no traffic: %+v", st)
+	}
+}
+
+// TestScopedInvalidation is the per-table invalidation contract: a write
+// transaction committing against t2 invalidates only cached plans that
+// reference t2, leaving a t1-only plan live.
+func TestScopedInvalidation(t *testing.T) {
+	e := newEnv(t)
+	c := New(16, e.cat.SchemaVersion, e.cat.TableVersion)
+
+	t1Stmt, t1Res := e.optimize(t, "select t1_val from t1 where t1_pk < 10")
+	t1Key := Key(t1Stmt, "fp")
+	c.Put(t1Key, t1Res)
+
+	joinStmt, joinRes := e.optimize(t, paramQuery)
+	joinKey := Key(joinStmt, "fp")
+	c.Put(joinKey, joinRes)
+
+	// Commit a write to t2 only.
+	t2, err := e.cat.Table("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.cat.BeginTxn()
+	if err := tx.Insert(t2, types.Tuple{
+		types.NewInt(10_000), types.NewInt(0), types.NewFloat(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	if got := c.Get(t1Key); got == nil {
+		t.Error("t1-only plan was invalidated by a write to t2")
+	}
+	if got := c.Get(joinKey); got != nil {
+		t.Error("plan referencing t2 survived a write to t2")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Errorf("Invalidations = %d, want 1", st.Invalidations)
 	}
 }

@@ -34,6 +34,7 @@ func (d *Dispatcher) dispatchWith(res *optimizer.Result, params plan.Params, ctx
 	}
 	origTotal := res.Root.Est().Cost
 	startSnap := ctx.Meter.Snapshot()
+	stale := d.captureStale(res)
 
 	// Intercept collector reports for the duration of this dispatch.
 	var pending []*plan.Observed
@@ -116,7 +117,7 @@ func (d *Dispatcher) dispatchWith(res *optimizer.Result, params plan.Params, ctx
 		if len(pending) > 0 {
 			obs := pending[len(pending)-1] // latest = closest to this join
 			pending = nil
-			doSwitch, err := d.checkpoint(res, dec, i, obs, collectors, origTotal, startSnap, ctx, st, switchesLeft)
+			doSwitch, err := d.checkpoint(res, dec, i, obs, collectors, origTotal, startSnap, stale, ctx, st, switchesLeft)
 			if err != nil {
 				return abort(err)
 			}
@@ -200,12 +201,141 @@ func (d *Dispatcher) decide(st *Stats, msg string, kv ...any) {
 	}
 }
 
+// staleBase snapshots the catalog's statistics version and the
+// base-relation cardinalities the optimizer planned against, taken when
+// a dispatch begins. Checkpoints compare against it to detect
+// statistics that went stale mid-query — concurrent committed write
+// transactions bump the stats version and shift cardinalities while
+// the plan is running on the old numbers.
+type staleBase struct {
+	statsVer int64
+	cards    map[*catalog.Table]float64
+}
+
+// captureStale records the dispatch-start statistics baseline for every
+// base relation in the query.
+func (d *Dispatcher) captureStale(res *optimizer.Result) *staleBase {
+	sb := &staleBase{
+		statsVer: d.Cat.StatsVersion(),
+		cards:    make(map[*catalog.Table]float64, len(res.Query.Rels)),
+	}
+	for _, rel := range res.Query.Rels {
+		card, _ := rel.Table.Stats()
+		sb.cards[rel.Table] = card
+	}
+	return sb
+}
+
+// refreshStale folds concurrent committed writes into the unexecuted
+// plan suffix. If the catalog's stats version moved since the baseline
+// was taken, every not-yet-scanned base relation whose cardinality
+// shifted scales its pipeline and the joins above it by the growth
+// ratio, exactly as applyImproved scales by a collector's
+// observed/estimated ratio — so write-driven staleness participates in
+// Equation 2 and can trigger a re-optimization that the collectors
+// alone would not have. The baseline is then re-anchored so each
+// checkpoint applies only the growth that arrived since the last one.
+func (d *Dispatcher) refreshStale(dec *decomposed, i int, stale *staleBase) {
+	ver := d.Cat.StatsVersion()
+	if ver == stale.statsVer {
+		return
+	}
+	ratios := map[*catalog.Table]float64{}
+	for t, c0 := range stale.cards {
+		card, _ := t.Stats()
+		r := 1.0
+		switch {
+		case c0 > 0:
+			r = card / c0
+		case card > 0:
+			r = card // planned as empty; scale from 1
+		}
+		if math.Abs(r-1) > 1e-9 {
+			ratios[t] = r
+			stale.cards[t] = card
+		}
+	}
+	stale.statsVer = ver
+	if len(ratios) == 0 {
+		return
+	}
+	scale := func(n plan.Node, r float64) {
+		e := n.Est()
+		e.Rows *= r
+		e.Bytes *= r
+	}
+	// scalePipeline walks a base-relation pipeline (scan plus unary
+	// wrappers) down to its scan and, if that table shifted, scales the
+	// pipeline's estimates, returning the ratio for the join above.
+	var scalePipeline func(n plan.Node) float64
+	scalePipeline = func(n plan.Node) float64 {
+		switch x := n.(type) {
+		case *plan.Scan:
+			r, ok := ratios[x.Table]
+			if !ok {
+				return 1
+			}
+			scale(x, r)
+			return r
+		case *plan.Exchange:
+			// Delegates Est to its input; scale below only.
+			return scalePipeline(x.Input)
+		case *plan.Filter:
+			r := scalePipeline(x.Input)
+			if r != 1 {
+				scale(x, r)
+			}
+			return r
+		case *plan.Collector:
+			r := scalePipeline(x.Input)
+			if r != 1 {
+				scale(x, r)
+			}
+			return r
+		}
+		return 1
+	}
+	// Growth compounds up the join chain: if step k's probe side grew,
+	// its output — the next step's build input — grew with it.
+	acc := 1.0
+	for k := i; k < len(dec.steps); k++ {
+		step := dec.steps[k]
+		r := 1.0
+		switch j := step.join.(type) {
+		case *plan.HashJoin:
+			r = scalePipeline(j.Probe)
+		case *plan.IndexJoin:
+			// Index-join probe cost reads the heap's live page and
+			// tuple counts, which already reflect the writes; the
+			// output estimate still needs the inner growth.
+			if g, ok := ratios[j.Table]; ok {
+				r = g
+			}
+		}
+		total := acc * r
+		if total != 1 {
+			scale(step.join, total)
+			for _, w := range step.wrappers {
+				if _, ok := w.(*plan.Exchange); ok {
+					continue
+				}
+				scale(w, total)
+			}
+		}
+		acc = total
+	}
+	if d.Cfg.Trace.Enabled() {
+		d.Cfg.Trace.Emit("checkpoint", "stats went stale mid-query, suffix re-scaled",
+			"step", i, "stats_version", ver, "tables_shifted", len(ratios), "growth", acc)
+	}
+}
+
 // checkpoint processes one statistics report at the decision point after
 // step i's build phase. It updates estimates for the unexecuted plan
 // suffix, re-invokes the Memory Manager (memory modes), and evaluates
 // Equations 1 and 2 plus the trial re-optimization (plan modes),
 // returning whether to switch plans.
-func (d *Dispatcher) checkpoint(res *optimizer.Result, dec *decomposed, i int, obs *plan.Observed, collectors map[int]*plan.Collector, origTotal float64, startSnap storage.Snapshot, ctx *exec.Ctx, st *Stats, switchesLeft int) (bool, error) {
+func (d *Dispatcher) checkpoint(res *optimizer.Result, dec *decomposed, i int, obs *plan.Observed, collectors map[int]*plan.Collector, origTotal float64, startSnap storage.Snapshot, stale *staleBase, ctx *exec.Ctx, st *Stats, switchesLeft int) (bool, error) {
 	// A cancelled query must not start a trial re-optimization or commit
 	// to a plan switch; check once at the decision point.
 	if err := ctx.Err(); err != nil {
@@ -213,6 +343,9 @@ func (d *Dispatcher) checkpoint(res *optimizer.Result, dec *decomposed, i int, o
 	}
 	if err := faultinject.Hit("reopt.checkpoint"); err != nil {
 		return false, err
+	}
+	if d.Cfg.CheckpointHook != nil {
+		d.Cfg.CheckpointHook(i)
 	}
 	cnode := collectors[obs.CollectorID]
 	if cnode == nil {
@@ -237,6 +370,7 @@ func (d *Dispatcher) checkpoint(res *optimizer.Result, dec *decomposed, i int, o
 			"ratio", ratio,
 		)
 	}
+	d.refreshStale(dec, i, stale)
 
 	// In the combined mode the Memory Manager is re-invoked before the
 	// plan-modification decision: re-allocation is free (grants only
@@ -717,7 +851,7 @@ func fillTempStats(tbl *catalog.Table, matSchema *types.Schema, obs *plan.Observ
 					continue
 				}
 				if bi, err := rel.Schema.Resolve(c.Table, c.Name); err == nil {
-					if bcs := rel.Table.ColStats[bi]; bcs != nil {
+					if bcs := rel.Table.ColStat(bi); bcs != nil {
 						cs.Hist = bcs.Hist
 						cs.Distinct = math.Min(bcs.Distinct, outRows)
 						cs.Min, cs.Max = bcs.Min, bcs.Max

@@ -5,8 +5,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/catalog"
-	"repro/internal/exec"
 	"repro/internal/exchange"
+	"repro/internal/exec"
 	"repro/internal/faultinject"
 	"repro/internal/histogram"
 	"repro/internal/memmgr"
@@ -136,6 +136,12 @@ type Config struct {
 	// DisableIndexJoin is forwarded to the optimizer (ablations).
 	DisableIndexJoin bool
 	Seed             int64
+	// CheckpointHook, when non-nil, runs at the start of every
+	// checkpoint decision with the step index. It is a deterministic
+	// interleaving seam: concurrency tests use it to commit writes at
+	// an exact decision point and assert the dispatcher notices the
+	// resulting statistics staleness.
+	CheckpointHook func(step int)
 	// Trace, when non-nil, receives the dispatcher's lifecycle events:
 	// plan registrations, SCIA placements, checkpoint evaluations,
 	// memory re-allocations, and plan switches. Nil (the default)

@@ -3,8 +3,8 @@ package reopt
 import (
 	"fmt"
 
-	"repro/internal/exec"
 	"repro/internal/exchange"
+	"repro/internal/exec"
 	"repro/internal/memmgr"
 	"repro/internal/optimizer"
 	"repro/internal/plan"

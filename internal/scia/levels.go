@@ -50,7 +50,7 @@ func (lt *levelTracer) baseColLevel(binding, name string) Level {
 	if err != nil {
 		return High
 	}
-	cs := t.ColStats[col]
+	cs := t.ColStat(col)
 	var l Level
 	switch {
 	case cs.HasHistogram() && cs.Hist.Family.Class() == histogram.ClassSerial:

@@ -83,17 +83,20 @@ type CancelResponse struct {
 // QueryResponse is one query's outcome. Rows are rendered to strings
 // with the engine's display formatting.
 type QueryResponse struct {
-	Columns  []string          `json:"columns"`
-	Rows     [][]string        `json:"rows"`
-	Cost     float64           `json:"cost"`
-	WallCost float64           `json:"wall_cost"`
-	Query    string            `json:"query"`
-	CacheHit bool              `json:"cache_hit"`
-	Stats    *reopt.Stats      `json:"stats,omitempty"`
-	Broker   memmgr.LeaseStats `json:"broker"`
-	Plan     string            `json:"plan,omitempty"`
-	Trace    []obs.Event       `json:"trace,omitempty"`
-	Error    string            `json:"error,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// RowsAffected is the row count a DML statement wrote (COMMIT
+	// reports the whole transaction's total).
+	RowsAffected int64             `json:"rows_affected,omitempty"`
+	Cost         float64           `json:"cost"`
+	WallCost     float64           `json:"wall_cost"`
+	Query        string            `json:"query"`
+	CacheHit     bool              `json:"cache_hit"`
+	Stats        *reopt.Stats      `json:"stats,omitempty"`
+	Broker       memmgr.LeaseStats `json:"broker"`
+	Plan         string            `json:"plan,omitempty"`
+	Trace        []obs.Event       `json:"trace,omitempty"`
+	Error        string            `json:"error,omitempty"`
 }
 
 // AnalyzeRequest refreshes one table's statistics.
@@ -251,13 +254,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, QueryResponse{Error: err.Error()})
 		return
 	}
+	switches := 0
+	if res.Stats != nil { // DML and transaction control carry no dispatcher stats
+		switches = res.Stats.PlanSwitches
+	}
 	s.log.Info("query",
 		"session", req.Session,
 		"tag", res.Query,
 		"duration", time.Since(start),
 		"rows", len(res.Rows),
+		"rows_affected", res.RowsAffected,
 		"cost", res.Cost,
-		"switches", res.Stats.PlanSwitches,
+		"switches", switches,
 		"cache_hit", res.CacheHit)
 	rows := make([][]string, len(res.Rows))
 	for i, tup := range res.Rows {
@@ -268,16 +276,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rows[i] = row
 	}
 	writeJSON(w, QueryResponse{
-		Columns:  res.Columns,
-		Rows:     rows,
-		Cost:     res.Cost,
-		WallCost: res.WallCost,
-		Query:    res.Query,
-		CacheHit: res.CacheHit,
-		Stats:    res.Stats,
-		Broker:   res.Broker,
-		Plan:     res.Plan,
-		Trace:    res.Trace,
+		Columns:      res.Columns,
+		Rows:         rows,
+		RowsAffected: res.RowsAffected,
+		Cost:         res.Cost,
+		WallCost:     res.WallCost,
+		Query:        res.Query,
+		CacheHit:     res.CacheHit,
+		Stats:        res.Stats,
+		Broker:       res.Broker,
+		Plan:         res.Plan,
+		Trace:        res.Trace,
 	})
 }
 

@@ -1,0 +1,206 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+func TestSessionDMLAutocommit(t *testing.T) {
+	db := newTestDB(64)
+	db.addTable(t, "r", 100, 10, 5)
+	m := db.manager(Config{})
+	s := m.Session()
+	ctx := context.Background()
+
+	res, err := s.Exec(ctx, `insert into r (r_pk, r_fk, r_grp, r_val) values (1000, 1, 1, 1.5), (1001, 2, 2, 2.5)`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Errorf("RowsAffected = %d, want 2", res.RowsAffected)
+	}
+
+	q, err := s.Exec(ctx, `select r_pk from r where r_pk >= 1000`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 2 {
+		t.Errorf("committed inserts: %d rows visible, want 2", len(q.Rows))
+	}
+
+	res, err = s.Exec(ctx, `update r set r_val = 9.0 where r_pk >= 1000`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Errorf("update RowsAffected = %d, want 2", res.RowsAffected)
+	}
+
+	res, err = s.Exec(ctx, `delete from r where r_pk >= 1000`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 {
+		t.Errorf("delete RowsAffected = %d, want 2", res.RowsAffected)
+	}
+	q, _ = s.Exec(ctx, `select r_pk from r where r_pk >= 1000`, Options{})
+	if len(q.Rows) != 0 {
+		t.Errorf("deleted rows still visible: %d", len(q.Rows))
+	}
+}
+
+func TestSessionExplicitTxnRollback(t *testing.T) {
+	db := newTestDB(64)
+	db.addTable(t, "r", 50, 10, 5)
+	m := db.manager(Config{})
+	s := m.Session()
+	ctx := context.Background()
+
+	if _, err := s.Exec(ctx, `begin`, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(ctx, `insert into r (r_pk, r_fk, r_grp, r_val) values (500, 0, 0, 0.0)`, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// The transaction reads its own write; another session does not.
+	q, err := s.Exec(ctx, `select r_pk from r where r_pk = 500`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 1 {
+		t.Errorf("own uncommitted write invisible to transaction")
+	}
+	other := m.Session()
+	q, _ = other.Exec(ctx, `select r_pk from r where r_pk = 500`, Options{})
+	if len(q.Rows) != 0 {
+		t.Errorf("uncommitted write visible to another session")
+	}
+
+	if _, err := s.Exec(ctx, `rollback`, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	q, _ = s.Exec(ctx, `select r_pk from r where r_pk = 500`, Options{})
+	if len(q.Rows) != 0 {
+		t.Errorf("rolled-back write survived")
+	}
+	// Statement outside any transaction errors on COMMIT.
+	if _, err := s.Exec(ctx, `commit`, Options{}); err == nil {
+		t.Error("COMMIT outside a transaction succeeded")
+	}
+}
+
+func TestSessionExplicitTxnCommitCountsRows(t *testing.T) {
+	db := newTestDB(64)
+	db.addTable(t, "r", 50, 10, 5)
+	m := db.manager(Config{})
+	s := m.Session()
+	ctx := context.Background()
+
+	v0 := db.cat.StatsVersion()
+	if _, err := s.Exec(ctx, `begin`, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		stmt := fmt.Sprintf(`insert into r (r_pk, r_fk, r_grp, r_val) values (%d, 0, 0, 0.0)`, 600+i)
+		if _, err := s.Exec(ctx, stmt, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No version bump until commit.
+	if got := db.cat.StatsVersion(); got != v0 {
+		t.Errorf("StatsVersion moved before commit: %d -> %d", v0, got)
+	}
+	res, err := s.Exec(ctx, `commit`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 3 {
+		t.Errorf("commit RowsAffected = %d, want 3", res.RowsAffected)
+	}
+	if got := db.cat.StatsVersion(); got != v0+1 {
+		t.Errorf("StatsVersion = %d after commit, want %d (exactly one bump)", got, v0+1)
+	}
+}
+
+func TestSessionWriteConflictMetrics(t *testing.T) {
+	db := newTestDB(64)
+	db.addTable(t, "r", 50, 10, 5)
+	m := db.manager(Config{})
+	ctx := context.Background()
+
+	s1, s2 := m.Session(), m.Session()
+	if _, err := s1.Exec(ctx, `begin`, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Exec(ctx, `delete from r where r_pk = 7`, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Second session autocommits a delete of the same row: conflict.
+	_, err := s2.Exec(ctx, `delete from r where r_pk = 7`, Options{})
+	if !errors.Is(err, storage.ErrWriteConflict) {
+		t.Fatalf("got %v, want ErrWriteConflict", err)
+	}
+	if _, err := s1.Exec(ctx, `commit`, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]float64{
+		"mqr_write_conflicts_total": 1,
+		"mqr_txns_aborted_total":    1,
+		"mqr_txns_committed_total":  1,
+		"mqr_rows_written_total":    1,
+	}
+	for name, v := range want {
+		c, ok := m.Registry().Get(name).(*obs.Counter)
+		if !ok {
+			t.Errorf("%s not registered", name)
+			continue
+		}
+		if got := c.Value(); got != v {
+			t.Errorf("%s = %v, want %v", name, got, v)
+		}
+	}
+}
+
+func TestSessionReaderSnapshotIgnoresConcurrentCommit(t *testing.T) {
+	db := newTestDB(64)
+	db.addTable(t, "r", 100, 10, 5)
+	m := db.manager(Config{})
+	ctx := context.Background()
+
+	// Writer session holds an open transaction with a visible-to-itself
+	// delete; a reader session's query planned before commit must count
+	// the original rows.
+	w := m.Session()
+	if _, err := w.Exec(ctx, `begin`, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Exec(ctx, `delete from r where r_pk < 50`, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := m.Session()
+	q, err := r.Exec(ctx, `select r_pk from r`, Options{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 100 {
+		t.Errorf("reader during open txn sees %d rows, want 100", len(q.Rows))
+	}
+
+	if _, err := w.Exec(ctx, `commit`, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	q, err = r.Exec(ctx, `select r_pk from r`, Options{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 50 {
+		t.Errorf("reader after commit sees %d rows, want 50", len(q.Rows))
+	}
+}

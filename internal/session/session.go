@@ -111,7 +111,7 @@ func NewManager(cat *catalog.Catalog, pool *storage.BufferPool, meter *storage.C
 		if size == 0 {
 			size = 256
 		}
-		m.cache = plancache.New(size, cat.StatsVersion)
+		m.cache = plancache.New(size, cat.SchemaVersion, cat.TableVersion)
 	}
 	m.em = obs.NewEngineMetrics(m.reg)
 	m.registerResourceMetrics()
@@ -228,10 +228,19 @@ func (m *Manager) Analyze(table string, family histogram.Family) error {
 
 // Session is one client's handle on the shared engine. Sessions are
 // cheap; a session's Exec calls may themselves run concurrently (each
-// query gets its own tag and lease).
+// query gets its own tag and lease). A session additionally carries at
+// most one open explicit transaction (BEGIN … COMMIT/ROLLBACK); DML
+// outside an explicit transaction autocommits.
 type Session struct {
 	m  *Manager
 	id int64
+
+	// txnMu guards txn. Concurrent Execs on one session are legal for
+	// reads; interleaving writes inside one explicit transaction from
+	// multiple goroutines is the caller's own hazard, but the session
+	// state itself stays consistent.
+	txnMu sync.Mutex
+	txn   *catalog.Txn
 }
 
 // Session opens a new session.
@@ -269,6 +278,11 @@ type Options struct {
 	// between checkpoint boundaries run on this many worker goroutines
 	// behind exchange operators. Values below 2 run serially.
 	Parallel int
+	// CheckpointHook, when non-nil, runs at the start of every
+	// re-optimization checkpoint with the step index — a deterministic
+	// interleaving seam the fuzz harness uses to commit concurrent
+	// writes at an exact decision point.
+	CheckpointHook func(step int)
 }
 
 // Result is one query's outcome, extending the single-query result with
@@ -288,6 +302,9 @@ type Result struct {
 	// Query is the engine-unique tag ("s3_q17") the query ran under —
 	// the same tag appears in broker traces and temp-table names.
 	Query string
+	// RowsAffected is the number of rows a DML statement wrote (for
+	// COMMIT, the whole transaction's count). Zero for queries.
+	RowsAffected int64
 	// CacheHit reports whether the plan came from the plan cache.
 	CacheHit bool
 	// Broker is the query's traffic against the shared memory pool.
@@ -349,10 +366,33 @@ func (s *Session) exec(ctx context.Context, src string, opts Options) (*Result, 
 	m.schemaMu.RLock()
 	defer m.schemaMu.RUnlock()
 
-	stmt, err := sql.Parse(src)
+	stmt, err := sql.ParseStatement(src)
 	if err != nil {
 		return nil, err
 	}
+	switch st := stmt.(type) {
+	case *sql.SelectStmt:
+		return s.execSelect(ctx, st, opts, tag)
+	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+		return s.execDML(ctx, st, opts, tag)
+	case *sql.BeginStmt:
+		return s.beginTxn(tag)
+	case *sql.CommitStmt:
+		return s.commitTxn(tag)
+	case *sql.RollbackStmt:
+		return s.rollbackTxn(tag)
+	}
+	return nil, fmt.Errorf("session: unsupported statement %T", stmt)
+}
+
+// execSelect runs one query under the broker's memory admission and the
+// re-optimizing dispatcher. Reads execute under a snapshot: the open
+// explicit transaction's if one exists (so a transaction reads its own
+// uncommitted writes), otherwise a fresh read snapshot registered with
+// the transaction manager so concurrent committers stay invisible and
+// the garbage collector keeps every version the query can still see.
+func (s *Session) execSelect(ctx context.Context, stmt *sql.SelectStmt, opts Options, tag string) (*Result, error) {
+	m := s.m
 	res, hit, err := s.plan(stmt, opts)
 	if err != nil {
 		return nil, err
@@ -391,7 +431,18 @@ func (s *Session) exec(ctx context.Context, src string, opts Options) (*Result, 
 	for k, v := range opts.Params {
 		params[k] = v
 	}
-	ectx := &exec.Ctx{Context: ctx, Pool: m.pool, Meter: m.meter, Params: params, Trace: tr, Analyze: az}
+	s.txnMu.Lock()
+	tx := s.txn
+	s.txnMu.Unlock()
+	var snap *storage.TxnSnapshot
+	if tx != nil {
+		snap = tx.Snapshot()
+	} else {
+		rd := m.cat.BeginRead()
+		defer rd.End()
+		snap = rd.Snapshot()
+	}
+	ectx := &exec.Ctx{Context: ctx, Pool: m.pool, Meter: m.meter, Params: params, Trace: tr, Analyze: az, Snap: snap}
 	before := m.meter.Snapshot()
 	rows, st, err := d.RunPlan(res, params, ectx)
 	if err != nil {
@@ -420,6 +471,117 @@ func (s *Session) exec(ctx context.Context, src string, opts Options) (*Result, 
 		out.Trace = tr.Events()
 	}
 	return out, nil
+}
+
+// execDML plans and runs one write statement. Inside an explicit
+// transaction the writes join it; otherwise the statement autocommits.
+// Any error aborts the governing transaction — MVCC undo is physical
+// and statement-level rollback would need per-statement savepoints —
+// so an explicit transaction that hits an error (including a
+// first-writer-wins conflict) is rolled back and closed.
+func (s *Session) execDML(ctx context.Context, stmt sql.Stmt, opts Options, tag string) (*Result, error) {
+	m := s.m
+	node, err := plan.PlanDML(m.cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	var tr *obs.Trace
+	if opts.Trace {
+		tr = obs.NewTrace(obs.DefaultTraceCap)
+	}
+	s.txnMu.Lock()
+	tx := s.txn
+	s.txnMu.Unlock()
+	own := tx == nil
+	if own {
+		tx = m.cat.BeginTxn()
+	}
+	params := plan.Params{}
+	for k, v := range opts.Params {
+		params[k] = v
+	}
+	ectx := &exec.Ctx{Context: ctx, Pool: m.pool, Meter: m.meter, Params: params, Trace: tr, Txn: tx, Snap: tx.Snapshot()}
+	n, err := exec.RunDML(node, ectx)
+	if err != nil {
+		tx.Abort()
+		if !own {
+			s.clearTxn(tx)
+		}
+		m.em.TxnsAborted.Inc()
+		if errors.Is(err, storage.ErrWriteConflict) {
+			m.em.WriteConflicts.Inc()
+		}
+		return nil, err
+	}
+	if own {
+		rows := tx.Rows()
+		tx.Commit()
+		m.em.TxnsCommitted.Inc()
+		m.em.RowsWritten.Add(float64(rows))
+		if tr.Enabled() {
+			tr.Emit("commit", "autocommit",
+				"txn", int64(tx.ID()), "rows", rows, "stats_version", m.cat.StatsVersion())
+		}
+	}
+	m.em.Queries.Inc()
+	out := &Result{RowsAffected: n, Query: tag}
+	if tr != nil {
+		out.Trace = tr.Events()
+	}
+	return out, nil
+}
+
+// beginTxn opens the session's explicit transaction.
+func (s *Session) beginTxn(tag string) (*Result, error) {
+	s.txnMu.Lock()
+	defer s.txnMu.Unlock()
+	if s.txn != nil {
+		return nil, errors.New("session: transaction already open")
+	}
+	s.txn = s.m.cat.BeginTxn()
+	return &Result{Query: tag}, nil
+}
+
+// commitTxn commits the session's explicit transaction. RowsAffected
+// reports the transaction's total row versions written.
+func (s *Session) commitTxn(tag string) (*Result, error) {
+	s.txnMu.Lock()
+	tx := s.txn
+	s.txn = nil
+	s.txnMu.Unlock()
+	if tx == nil {
+		return nil, errors.New("session: no transaction open")
+	}
+	rows := tx.Rows()
+	tx.Commit()
+	s.m.em.TxnsCommitted.Inc()
+	s.m.em.RowsWritten.Add(float64(rows))
+	return &Result{Query: tag, RowsAffected: rows}, nil
+}
+
+// rollbackTxn aborts the session's explicit transaction, undoing its
+// writes physically (inserted versions deleted, delete stamps cleared).
+func (s *Session) rollbackTxn(tag string) (*Result, error) {
+	s.txnMu.Lock()
+	tx := s.txn
+	s.txn = nil
+	s.txnMu.Unlock()
+	if tx == nil {
+		return nil, errors.New("session: no transaction open")
+	}
+	err := tx.Abort()
+	s.m.em.TxnsAborted.Inc()
+	return &Result{Query: tag}, err
+}
+
+// clearTxn closes the session's explicit-transaction slot if it still
+// holds tx (a concurrent Exec may have already replaced it).
+func (s *Session) clearTxn(tx *catalog.Txn) {
+	s.txnMu.Lock()
+	if s.txn == tx {
+		s.txn = nil
+	}
+	s.txnMu.Unlock()
 }
 
 // Registry exposes the manager's metrics registry (the /metrics
@@ -513,5 +675,6 @@ func (s *Session) dispatcherConfig(opts Options, lease *memmgr.Lease, tag string
 	cfg.Seed = opts.Seed
 	cfg.PoolPages = float64(s.m.pool.Capacity())
 	cfg.Degree = opts.Parallel
+	cfg.CheckpointHook = opts.CheckpointHook
 	return cfg
 }

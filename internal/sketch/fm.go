@@ -66,6 +66,13 @@ func (c *DistinctCounter) Estimate() float64 {
 	return m / fmPhi * math.Pow(2, mean)
 }
 
+// Clone returns an independent copy of the counter. The catalog clones
+// sketches at commit so incremental stats maintenance can publish a new
+// version without mutating state a concurrent reader may hold.
+func (c *DistinctCounter) Clone() *DistinctCounter {
+	return &DistinctCounter{maps: append([]uint64(nil), c.maps...)}
+}
+
 // Merge folds another counter's state into c. Both must have the same
 // number of bitmaps. Merging supports combining per-partition counts.
 func (c *DistinctCounter) Merge(o *DistinctCounter) {
@@ -144,6 +151,19 @@ func (h *HybridDistinct) Estimate() float64 {
 		return float64(len(h.exact))
 	}
 	return h.fm.Estimate()
+}
+
+// Clone returns an independent copy of the hybrid counter, preserving
+// its exact-or-sketched state and threshold.
+func (h *HybridDistinct) Clone() *HybridDistinct {
+	c := &HybridDistinct{threshold: h.threshold, fm: h.fm.Clone()}
+	if h.exact != nil {
+		c.exact = make(map[uint64]struct{}, len(h.exact))
+		for k := range h.exact {
+			c.exact[k] = struct{}{}
+		}
+	}
+	return c
 }
 
 // Merge folds another hybrid counter into h, for combining per-partition

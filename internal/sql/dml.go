@@ -1,0 +1,285 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is any parsed SQL statement. SelectStmt and the DML statements
+// below implement it; session routing type-switches on the result of
+// ParseStatement.
+type Stmt interface {
+	SQL() string
+}
+
+// InsertStmt is INSERT INTO table [(columns)] VALUES (row), (row), ...
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty means schema order
+	Rows    [][]Expr
+}
+
+// SQL renders the statement.
+func (s *InsertStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.Table)
+	if len(s.Columns) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(s.Columns, ", "))
+		b.WriteString(")")
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.SQL())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Assignment is one SET column = expr clause of an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is UPDATE table SET assignments [WHERE predicates].
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where []Predicate
+}
+
+// SQL renders the statement.
+func (s *UpdateStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(s.Table)
+	b.WriteString(" SET ")
+	for i, a := range s.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s = %s", a.Column, a.Value.SQL())
+	}
+	writeWhere(&b, s.Where)
+	return b.String()
+}
+
+// DeleteStmt is DELETE FROM table [WHERE predicates].
+type DeleteStmt struct {
+	Table string
+	Where []Predicate
+}
+
+// SQL renders the statement.
+func (s *DeleteStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	b.WriteString(s.Table)
+	writeWhere(&b, s.Where)
+	return b.String()
+}
+
+func writeWhere(b *strings.Builder, where []Predicate) {
+	for i, p := range where {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(p.SQL())
+	}
+}
+
+// BeginStmt is BEGIN: open an explicit transaction on the session.
+type BeginStmt struct{}
+
+// SQL renders the statement.
+func (*BeginStmt) SQL() string { return "BEGIN" }
+
+// CommitStmt is COMMIT.
+type CommitStmt struct{}
+
+// SQL renders the statement.
+func (*CommitStmt) SQL() string { return "COMMIT" }
+
+// RollbackStmt is ROLLBACK.
+type RollbackStmt struct{}
+
+// SQL renders the statement.
+func (*RollbackStmt) SQL() string { return "ROLLBACK" }
+
+// ParseStatement parses one statement of any supported kind: SELECT,
+// INSERT, UPDATE, DELETE, or the transaction-control statements
+// BEGIN/COMMIT/ROLLBACK.
+func ParseStatement(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Stmt
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		stmt, err = p.parseSelect()
+	case p.at(tokKeyword, "INSERT"):
+		stmt, err = p.parseInsert()
+	case p.at(tokKeyword, "UPDATE"):
+		stmt, err = p.parseUpdate()
+	case p.at(tokKeyword, "DELETE"):
+		stmt, err = p.parseDelete()
+	case p.accept(tokKeyword, "BEGIN"):
+		stmt = &BeginStmt{}
+	case p.accept(tokKeyword, "COMMIT"):
+		stmt = &CommitStmt{}
+	case p.accept(tokKeyword, "ROLLBACK"):
+		stmt = &RollbackStmt{}
+	default:
+		return nil, fmt.Errorf("sql: expected a statement, found %s", p.peek())
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %s", p.peek())
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if _, err := p.expect(tokKeyword, "INSERT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: strings.ToLower(t.text)}
+	if p.accept(tokSymbol, "(") {
+		for {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, strings.ToLower(c.text))
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if len(stmt.Columns) > 0 && len(row) != len(stmt.Columns) {
+			return nil, fmt.Errorf("sql: INSERT row has %d values for %d columns", len(row), len(stmt.Columns))
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if _, err := p.expect(tokKeyword, "UPDATE"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: strings.ToLower(t.text)}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, Assignment{Column: strings.ToLower(c.text), Value: e})
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	stmt.Where, err = p.parseWhere()
+	return stmt, err
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if _, err := p.expect(tokKeyword, "DELETE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: strings.ToLower(t.text)}
+	stmt.Where, err = p.parseWhere()
+	return stmt, err
+}
+
+// parseWhere parses an optional WHERE clause as an AND list.
+func (p *parser) parseWhere() ([]Predicate, error) {
+	if !p.accept(tokKeyword, "WHERE") {
+		return nil, nil
+	}
+	var preds []Predicate
+	for {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred)
+		if !p.accept(tokKeyword, "AND") {
+			break
+		}
+	}
+	return preds, nil
+}

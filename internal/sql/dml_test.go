@@ -1,0 +1,141 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := ParseStatement(`insert into r (id, name) values (1, 'a'), (2, 'b');`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := stmt.(*InsertStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ins.Table != "r" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Errorf("parsed %q cols=%v rows=%d", ins.Table, ins.Columns, len(ins.Rows))
+	}
+	if got := ins.SQL(); !strings.Contains(got, "INSERT INTO r") {
+		t.Errorf("SQL() = %q", got)
+	}
+}
+
+func TestParseInsertNoColumnList(t *testing.T) {
+	stmt, err := ParseStatement(`insert into r values (1, 2.5, 'x')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if len(ins.Columns) != 0 || len(ins.Rows) != 1 || len(ins.Rows[0]) != 3 {
+		t.Errorf("cols=%v rows=%v", ins.Columns, ins.Rows)
+	}
+}
+
+func TestParseInsertArityMismatch(t *testing.T) {
+	if _, err := ParseStatement(`insert into r (a, b) values (1)`); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	stmt, err := ParseStatement(`update r set name = 'z', grp = grp where id > 5 and grp = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, ok := stmt.(*UpdateStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if up.Table != "r" || len(up.Set) != 2 || len(up.Where) != 2 {
+		t.Errorf("table=%q set=%d where=%d", up.Table, len(up.Set), len(up.Where))
+	}
+	if up.Set[0].Column != "name" {
+		t.Errorf("first assignment column = %q", up.Set[0].Column)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	stmt, err := ParseStatement(`delete from r where id = :target`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, ok := stmt.(*DeleteStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if del.Table != "r" || len(del.Where) != 1 {
+		t.Errorf("table=%q where=%d", del.Table, len(del.Where))
+	}
+}
+
+func TestParseDeleteNoWhere(t *testing.T) {
+	stmt, err := ParseStatement(`delete from r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del := stmt.(*DeleteStmt); len(del.Where) != 0 {
+		t.Errorf("where=%d", len(del.Where))
+	}
+}
+
+func TestParseTxnControl(t *testing.T) {
+	for src, want := range map[string]string{
+		"begin":     "*sql.BeginStmt",
+		"BEGIN;":    "*sql.BeginStmt",
+		"commit":    "*sql.CommitStmt",
+		"rollback;": "*sql.RollbackStmt",
+	} {
+		stmt, err := ParseStatement(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if got := typeName(stmt); got != want {
+			t.Errorf("%q parsed as %s, want %s", src, got, want)
+		}
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case *BeginStmt:
+		return "*sql.BeginStmt"
+	case *CommitStmt:
+		return "*sql.CommitStmt"
+	case *RollbackStmt:
+		return "*sql.RollbackStmt"
+	}
+	return "?"
+}
+
+func TestParseStatementSelectPassthrough(t *testing.T) {
+	stmt, err := ParseStatement(`select a from r where a > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*SelectStmt); !ok {
+		t.Fatalf("got %T", stmt)
+	}
+}
+
+func TestDMLRoundTripThroughSQL(t *testing.T) {
+	for _, src := range []string{
+		`insert into r (a) values (1)`,
+		`update r set a = 2 where b = 3`,
+		`delete from r where a = 1`,
+	} {
+		stmt, err := ParseStatement(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		again, err := ParseStatement(stmt.SQL())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", stmt.SQL(), src, err)
+		}
+		if stmt.SQL() != again.SQL() {
+			t.Errorf("round trip: %q != %q", stmt.SQL(), again.SQL())
+		}
+	}
+}

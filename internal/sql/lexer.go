@@ -45,6 +45,8 @@ var keywords = map[string]bool{
 	"LIKE": true, "IS": true, "NULL": true, "DISTINCT": true, "LIMIT": true,
 	"SUM": true, "AVG": true, "COUNT": true, "MIN": true, "MAX": true,
 	"DATE": true, "INTERVAL": true, "DAY": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
 }
 
 type lexer struct {

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"sync"
+
 	"repro/internal/types"
 )
 
@@ -13,8 +15,15 @@ const btreeOrder = 64
 // while each distinct leaf visit costs one page read. A Lookup therefore
 // charges one read plus the heap fetches the caller performs — the same
 // cost model the optimizer uses for indexed nested-loops joins.
+//
+// The tree is safe for concurrent use: DML inserts take the write
+// lock, probes and range scans the read lock. Entries are never
+// removed — a dead version's index entry is skipped at fetch time by
+// the heap's visibility check, the classic "index points at garbage"
+// tolerance of MVCC heaps without index vacuuming.
 type BTree struct {
 	meter  *CostMeter
+	mu     sync.RWMutex
 	root   node
 	height int
 	keys   int64
@@ -41,11 +50,17 @@ func NewBTree(meter *CostMeter) *BTree {
 }
 
 // Len returns the number of (key, rid) entries.
-func (t *BTree) Len() int64 { return t.keys }
+func (t *BTree) Len() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.keys
+}
 
 // Insert adds an entry. Building an index is charged one write per
 // btreeOrder entries, approximating bulk-load I/O.
 func (t *BTree) Insert(k types.Value, rid RID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.keys++
 	if t.keys%btreeOrder == 0 {
 		t.meter.ChargeWrite(1)
@@ -152,12 +167,16 @@ func (t *BTree) findLeaf(k types.Value) *leafNode {
 }
 
 // Lookup returns the RIDs for an exact key, charging one leaf read.
+// The returned slice is a copy, safe to hold across concurrent
+// inserts.
 func (t *BTree) Lookup(k types.Value) []RID {
 	t.meter.ChargeRead(1)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	l := t.findLeaf(k)
 	i := l.search(k)
 	if i < len(l.keys) && l.keys[i].Equal(k) {
-		return l.vals[i]
+		return append([]RID(nil), l.vals[i]...)
 	}
 	return nil
 }
@@ -166,6 +185,8 @@ func (t *BTree) Lookup(k types.Value) []RID {
 // charging one read per leaf visited. A nil lo or hi bound (Kind NULL)
 // means unbounded on that side. fn returning false stops the scan.
 func (t *BTree) Range(lo, hi types.Value, fn func(k types.Value, rids []RID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var l *leafNode
 	if lo.IsNull() {
 		l = t.leftmostLeaf()
@@ -202,4 +223,8 @@ func (t *BTree) leftmostLeaf() *leafNode {
 }
 
 // Height returns the tree height (for tests).
-func (t *BTree) Height() int { return t.height }
+func (t *BTree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}

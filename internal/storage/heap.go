@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -12,20 +14,44 @@ type RID struct {
 	Slot int
 }
 
+// stampSize is the per-record MVCC overhead of a stamped heap: two
+// little-endian uint32 transaction stamps (xmin, xmax) preceding the
+// encoded tuple payload. The stamps are the only bytes of a record
+// ever mutated in place — slotted pages never move record data, so an
+// 8-byte overwrite at the record's start is safe.
+const stampSize = 8
+
 // HeapFile is an unordered collection of tuples stored across slotted
 // pages. Base tables, temporary spill partitions, and materialized
 // intermediate results are all heap files.
+//
+// A stamped heap (NewStampedHeapFile) prefixes every record with MVCC
+// transaction stamps and supports versioned inserts, deletes, and
+// snapshot-visible scans; temp and spill files stay unstamped and pay
+// no per-record overhead. All methods are safe for concurrent use: a
+// single writer's page mutations (appends, stamp updates, slot
+// deletes) exclude readers via an RW mutex.
 type HeapFile struct {
-	pool   *BufferPool
+	pool    *BufferPool
+	stamped bool
+	temp    bool
+
+	mu     sync.RWMutex
 	pages  []PageID
 	tuples int64
 	bytes  int64
-	temp   bool
 }
 
-// NewHeapFile creates an empty heap file backed by pool.
+// NewHeapFile creates an empty unstamped heap file backed by pool.
 func NewHeapFile(pool *BufferPool) *HeapFile {
 	return &HeapFile{pool: pool}
+}
+
+// NewStampedHeapFile creates an empty heap file whose records carry
+// MVCC transaction stamps. Base tables that accept DML use stamped
+// heaps.
+func NewStampedHeapFile(pool *BufferPool) *HeapFile {
+	return &HeapFile{pool: pool, stamped: true}
 }
 
 // NewTempFile creates a heap file whose pages are released by Drop. The
@@ -36,24 +62,68 @@ func NewTempFile(pool *BufferPool) *HeapFile {
 }
 
 // NumPages returns the number of pages in the file.
-func (h *HeapFile) NumPages() int { return len(h.pages) }
+func (h *HeapFile) NumPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.pages)
+}
 
-// NumTuples returns the number of tuples appended.
-func (h *HeapFile) NumTuples() int64 { return h.tuples }
+// NumTuples returns the number of tuple versions physically present
+// (live versions plus committed-deleted versions not yet swept).
+func (h *HeapFile) NumTuples() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.tuples
+}
 
-// ByteSize returns the total encoded bytes of all tuples, used for
-// average-tuple-size statistics.
-func (h *HeapFile) ByteSize() int64 { return h.bytes }
+// ByteSize returns the total encoded bytes of all tuple payloads
+// (excluding MVCC stamps), used for average-tuple-size statistics.
+func (h *HeapFile) ByteSize() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.bytes
+}
 
 // IsTemp reports whether Drop will free the file's pages.
 func (h *HeapFile) IsTemp() bool { return h.temp }
 
-// Append adds a tuple to the file and returns its RID.
+// Stamped reports whether records carry MVCC transaction stamps.
+func (h *HeapFile) Stamped() bool { return h.stamped }
+
+// Append adds a tuple to the file and returns its RID. On a stamped
+// heap the record is frozen (xmin 0): visible to every snapshot, as
+// bulk loads outside any transaction should be.
 func (h *HeapFile) Append(t types.Tuple) (RID, error) {
-	rec := types.EncodeTuple(nil, t)
+	return h.appendStamped(t, 0)
+}
+
+// AppendVersion adds a tuple version owned by transaction xmin. The
+// version is invisible to snapshots that do not include xmin.
+func (h *HeapFile) AppendVersion(t types.Tuple, xmin TxnID) (RID, error) {
+	if !h.stamped {
+		return RID{}, fmt.Errorf("storage: AppendVersion on unstamped heap")
+	}
+	return h.appendStamped(t, xmin)
+}
+
+func (h *HeapFile) appendStamped(t types.Tuple, xmin TxnID) (RID, error) {
+	var rec []byte
+	if h.stamped {
+		rec = make([]byte, stampSize, stampSize+types.EncodedSize(t))
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(xmin))
+		rec = types.EncodeTuple(rec, t)
+	} else {
+		rec = types.EncodeTuple(nil, t)
+	}
+	payload := len(rec)
+	if h.stamped {
+		payload -= stampSize
+	}
 	if len(rec) > PageSize-pageHeaderSize-4 {
 		return RID{}, fmt.Errorf("storage: tuple of %d bytes exceeds page capacity", len(rec))
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	// Try the last page first.
 	if n := len(h.pages); n > 0 {
 		id := h.pages[n-1]
@@ -71,7 +141,7 @@ func (h *HeapFile) Append(t types.Tuple) (RID, error) {
 			h.pool.MarkDirty(id)
 			h.pool.Unpin(id)
 			h.tuples++
-			h.bytes += int64(len(rec))
+			h.bytes += int64(payload)
 			return RID{Page: id, Slot: slot}, nil
 		}
 		h.pool.Unpin(id)
@@ -90,12 +160,31 @@ func (h *HeapFile) Append(t types.Tuple) (RID, error) {
 	h.pool.Unpin(id)
 	h.pages = append(h.pages, id)
 	h.tuples++
-	h.bytes += int64(len(rec))
+	h.bytes += int64(payload)
 	return RID{Page: id, Slot: slot}, nil
 }
 
-// Fetch reads the tuple at rid.
+// decodeStamp reads the (xmin, xmax) stamps from a stamped record.
+func decodeStamp(rec []byte) (xmin, xmax TxnID) {
+	return TxnID(binary.LittleEndian.Uint32(rec[0:4])),
+		TxnID(binary.LittleEndian.Uint32(rec[4:8]))
+}
+
+// versionVisible decides visibility of a stamped version for snap. A
+// nil snapshot sees exactly the undeleted versions — correct only for
+// scans that cannot run concurrently with writers (bulk loads, tests).
+func versionVisible(snap *TxnSnapshot, xmin, xmax TxnID) bool {
+	if snap == nil {
+		return xmax == 0
+	}
+	return snap.Sees(xmin, xmax)
+}
+
+// Fetch reads the tuple at rid, regardless of version visibility (the
+// slot must not have been physically deleted).
 func (h *HeapFile) Fetch(rid RID) (types.Tuple, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	buf, err := h.pool.Pin(rid.Page)
 	if err != nil {
 		return nil, err
@@ -105,11 +194,206 @@ func (h *HeapFile) Fetch(rid RID) (types.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
+	if h.stamped {
+		rec = rec[stampSize:]
+	}
 	t, _, err := types.DecodeTuple(rec)
 	return t, err
 }
 
-// Scan returns an iterator over every tuple in the file, in storage order.
+// FetchVisible reads the tuple at rid if its version is visible to
+// snap. It returns ok=false — without error — when the slot was
+// physically deleted (aborted insert, swept version) or the version is
+// outside the snapshot, so index probes can skip stale entries.
+func (h *HeapFile) FetchVisible(rid RID, snap *TxnSnapshot) (types.Tuple, bool, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	buf, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return nil, false, err
+	}
+	defer h.pool.Unpin(rid.Page)
+	rec, err := LoadSlottedPage(buf).Record(rid.Slot)
+	if err != nil {
+		return nil, false, nil // deleted slot: not an error for probes
+	}
+	if h.stamped {
+		xmin, xmax := decodeStamp(rec)
+		if !versionVisible(snap, xmin, xmax) {
+			return nil, false, nil
+		}
+		rec = rec[stampSize:]
+	}
+	t, _, err := types.DecodeTuple(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}
+
+// SetXmax stamps the version at rid as deleted by transaction id.
+// First writer wins: if any transaction already stamped the version —
+// still in flight or committed — ErrWriteConflict is returned. (An
+// aborted deleter clears its stamp before deactivating, so a non-zero
+// stamp never belongs to an aborted transaction; at worst a racing
+// abort costs a spurious conflict.)
+func (h *HeapFile) SetXmax(rid RID, id TxnID) error {
+	if !h.stamped {
+		return fmt.Errorf("storage: SetXmax on unstamped heap")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buf, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(rid.Page)
+	rec, err := LoadSlottedPage(buf).Record(rid.Slot)
+	if err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(rec[4:8]) != 0 {
+		return ErrWriteConflict
+	}
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(id))
+	h.pool.MarkDirty(rid.Page)
+	return nil
+}
+
+// ClearXmax undoes a delete stamp during abort. Only the stamping
+// transaction's own mark is cleared.
+func (h *HeapFile) ClearXmax(rid RID, id TxnID) error {
+	if !h.stamped {
+		return fmt.Errorf("storage: ClearXmax on unstamped heap")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	buf, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(rid.Page)
+	rec, err := LoadSlottedPage(buf).Record(rid.Slot)
+	if err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(rec[4:8]) == uint32(id) {
+		binary.LittleEndian.PutUint32(rec[4:8], 0)
+		h.pool.MarkDirty(rid.Page)
+	}
+	return nil
+}
+
+// DeleteSlot physically removes the record at rid (abort undo of an
+// insert, or garbage collection of a dead version).
+func (h *HeapFile) DeleteSlot(rid RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.deleteSlotLocked(rid)
+}
+
+func (h *HeapFile) deleteSlotLocked(rid RID) error {
+	buf, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(rid.Page)
+	page := LoadSlottedPage(buf)
+	rec, err := page.Record(rid.Slot)
+	if err != nil {
+		return err
+	}
+	payload := len(rec)
+	if h.stamped {
+		payload -= stampSize
+	}
+	if err := page.Delete(rid.Slot); err != nil {
+		return err
+	}
+	h.pool.MarkDirty(rid.Page)
+	h.tuples--
+	h.bytes -= int64(payload)
+	return nil
+}
+
+// Sweep physically deletes dead versions: those stamped deleted by a
+// transaction that committed below the GC horizon (no live snapshot
+// can still see them). isActive guards against sweeping versions whose
+// deleter is still in flight. It returns the number of versions
+// removed.
+func (h *HeapFile) Sweep(horizon TxnID, isActive func(TxnID) bool) (int64, error) {
+	if !h.stamped {
+		return 0, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var removed int64
+	for _, id := range h.pages {
+		buf, err := h.pool.Pin(id)
+		if err != nil {
+			return removed, err
+		}
+		page := LoadSlottedPage(buf)
+		dirty := false
+		for slot := 0; slot < page.NumSlots(); slot++ {
+			rec, err := page.Record(slot)
+			if err != nil {
+				continue // already deleted
+			}
+			_, xmax := decodeStamp(rec)
+			if xmax == 0 || xmax >= horizon || (isActive != nil && isActive(xmax)) {
+				continue
+			}
+			payload := len(rec) - stampSize
+			if err := page.Delete(slot); err != nil {
+				h.pool.Unpin(id)
+				return removed, err
+			}
+			h.tuples--
+			h.bytes -= int64(payload)
+			removed++
+			dirty = true
+		}
+		if dirty {
+			h.pool.MarkDirty(id)
+		}
+		h.pool.Unpin(id)
+	}
+	return removed, nil
+}
+
+// DeadVersions counts versions carrying a delete stamp (committed or
+// in-flight). The fuzz harness uses it to assert GC leaves no residue.
+func (h *HeapFile) DeadVersions() (int64, error) {
+	if !h.stamped {
+		return 0, nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var dead int64
+	for _, id := range h.pages {
+		buf, err := h.pool.Pin(id)
+		if err != nil {
+			return dead, err
+		}
+		page := LoadSlottedPage(buf)
+		for slot := 0; slot < page.NumSlots(); slot++ {
+			rec, err := page.Record(slot)
+			if err != nil {
+				continue
+			}
+			if _, xmax := decodeStamp(rec); xmax != 0 {
+				dead++
+			}
+		}
+		h.pool.Unpin(id)
+	}
+	return dead, nil
+}
+
+// Scan returns an iterator over every tuple in the file, in storage
+// order. On a stamped heap the iterator skips deleted versions; give
+// it a snapshot with WithSnapshot for transactional visibility.
 func (h *HeapFile) Scan() *HeapScanner {
 	return &HeapScanner{file: h, stride: 1}
 }
@@ -132,6 +416,8 @@ func (h *HeapFile) Drop() error {
 	if !h.temp {
 		return nil
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for _, id := range h.pages {
 		if err := h.pool.Evict(id); err != nil {
 			return err
@@ -151,25 +437,40 @@ func (h *HeapFile) Drop() error {
 type HeapScanner struct {
 	file    *HeapFile
 	pageIdx int
-	stride  int        // page-index step; 1 for a full scan
-	meter   *CostMeter // charge target for pool misses; nil = shared
+	stride  int          // page-index step; 1 for a full scan
+	meter   *CostMeter   // charge target for pool misses; nil = shared
+	snap    *TxnSnapshot // visibility filter for stamped heaps; nil = undeleted
 	slot    int
 	err     error
 	cur     types.Tuple
 	curRID  RID
 }
 
-// Next advances to the next tuple, returning false at the end of the file
-// or on error.
+// WithSnapshot filters a stamped heap's scan to the versions visible
+// to snap, returning the scanner for chaining. No effect on unstamped
+// heaps.
+func (s *HeapScanner) WithSnapshot(snap *TxnSnapshot) *HeapScanner {
+	s.snap = snap
+	return s
+}
+
+// Next advances to the next visible tuple, returning false at the end
+// of the file or on error.
 func (s *HeapScanner) Next() bool {
 	h := s.file
 	if s.stride == 0 {
 		s.stride = 1
 	}
-	for s.pageIdx < len(h.pages) {
+	for {
+		h.mu.RLock()
+		if s.pageIdx >= len(h.pages) {
+			h.mu.RUnlock()
+			return false
+		}
 		id := h.pages[s.pageIdx]
 		buf, err := h.pool.PinMetered(id, s.meter)
 		if err != nil {
+			h.mu.RUnlock()
 			s.err = err
 			return false
 		}
@@ -181,8 +482,16 @@ func (s *HeapScanner) Next() bool {
 			if err != nil {
 				continue // deleted slot
 			}
+			if h.stamped {
+				xmin, xmax := decodeStamp(rec)
+				if !versionVisible(s.snap, xmin, xmax) {
+					continue
+				}
+				rec = rec[stampSize:]
+			}
 			t, _, err := types.DecodeTuple(rec)
 			h.pool.Unpin(id)
+			h.mu.RUnlock()
 			if err != nil {
 				s.err = err
 				return false
@@ -192,10 +501,10 @@ func (s *HeapScanner) Next() bool {
 			return true
 		}
 		h.pool.Unpin(id)
+		h.mu.RUnlock()
 		s.pageIdx += s.stride
 		s.slot = 0
 	}
-	return false
 }
 
 // Tuple returns the current tuple after a successful Next.

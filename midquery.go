@@ -23,7 +23,9 @@ package midquery
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/reopt"
 	"repro/internal/session"
+	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/tpcd"
 	"repro/internal/types"
@@ -117,6 +120,12 @@ type DB struct {
 	cat   *catalog.Catalog
 	pool  *storage.BufferPool
 	meter *storage.CostMeter
+
+	// txnMu guards txn, the one explicit transaction a DB-level client
+	// may hold open between Exec calls (BEGIN … COMMIT/ROLLBACK). DML
+	// outside it autocommits.
+	txnMu sync.Mutex
+	txn   *catalog.Txn
 }
 
 // Open creates an empty database.
@@ -322,14 +331,61 @@ type Result struct {
 	Plan string
 	// Trace is the query's event log (ExecOptions.Trace only).
 	Trace []TraceEvent
+	// RowsAffected is the number of rows a DML statement wrote (for
+	// COMMIT, the whole transaction's total). Zero for queries.
+	RowsAffected int64
 }
 
-// Exec compiles and runs one SQL query.
+// Exec compiles and runs one SQL statement: SELECT queries go through
+// the re-optimizing dispatcher; INSERT/UPDATE/DELETE execute under
+// snapshot-isolation MVCC (autocommitting unless a BEGIN is open); and
+// BEGIN/COMMIT/ROLLBACK manage the DB's explicit transaction.
 func (db *DB) Exec(src string, opts ExecOptions) (*Result, error) {
 	return db.exec(src, opts, nil)
 }
 
 func (db *DB) exec(src string, opts ExecOptions, az *obs.Analyze) (*Result, error) {
+	stmt, err := sql.ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt.(type) {
+	case *sql.SelectStmt:
+		// Falls through to the dispatcher path below.
+	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+		return db.execDML(stmt, opts)
+	case *sql.BeginStmt:
+		db.txnMu.Lock()
+		defer db.txnMu.Unlock()
+		if db.txn != nil {
+			return nil, errors.New("midquery: transaction already open")
+		}
+		db.txn = db.cat.BeginTxn()
+		return &Result{Stats: &Stats{}}, nil
+	case *sql.CommitStmt:
+		db.txnMu.Lock()
+		tx := db.txn
+		db.txn = nil
+		db.txnMu.Unlock()
+		if tx == nil {
+			return nil, errors.New("midquery: no transaction open")
+		}
+		rows := tx.Rows()
+		tx.Commit()
+		return &Result{Stats: &Stats{}, RowsAffected: rows}, nil
+	case *sql.RollbackStmt:
+		db.txnMu.Lock()
+		tx := db.txn
+		db.txn = nil
+		db.txnMu.Unlock()
+		if tx == nil {
+			return nil, errors.New("midquery: no transaction open")
+		}
+		if err := tx.Abort(); err != nil {
+			return nil, err
+		}
+		return &Result{Stats: &Stats{}}, nil
+	}
 	var tr *obs.Trace
 	if opts.Trace {
 		tr = obs.NewTrace(obs.DefaultTraceCap)
@@ -351,7 +407,22 @@ func (db *DB) exec(src string, opts ExecOptions, az *obs.Analyze) (*Result, erro
 	for k, v := range opts.Params {
 		params[k] = v
 	}
-	ctx := &exec.Ctx{Context: qctx, Pool: db.pool, Meter: db.meter, Params: params, Trace: tr, Analyze: az}
+	// Reads run under a snapshot: the open explicit transaction's if
+	// any (reading its own uncommitted writes), else a fresh read
+	// snapshot registered with the transaction manager so the garbage
+	// collector keeps every version this query can still see.
+	db.txnMu.Lock()
+	tx := db.txn
+	db.txnMu.Unlock()
+	var snap *storage.TxnSnapshot
+	if tx != nil {
+		snap = tx.Snapshot()
+	} else {
+		rd := db.cat.BeginRead()
+		defer rd.End()
+		snap = rd.Snapshot()
+	}
+	ctx := &exec.Ctx{Context: qctx, Pool: db.pool, Meter: db.meter, Params: params, Trace: tr, Analyze: az, Snap: snap}
 	before := db.meter.Snapshot()
 	rows, st, err := d.RunSQL(src, params, ctx)
 	if err != nil {
@@ -379,6 +450,63 @@ func (db *DB) exec(src string, opts ExecOptions, az *obs.Analyze) (*Result, erro
 	}
 	return res, nil
 }
+
+// execDML plans and runs one write statement under MVCC. Inside an
+// explicit transaction the writes join it; otherwise the statement
+// autocommits. Any error aborts the governing transaction (MVCC undo is
+// physical; there are no statement-level savepoints).
+func (db *DB) execDML(stmt sql.Stmt, opts ExecOptions) (*Result, error) {
+	node, err := plan.PlanDML(db.cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	qctx := opts.Context
+	if qctx == nil {
+		qctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(qctx, opts.Timeout)
+		defer cancel()
+	}
+	db.txnMu.Lock()
+	tx := db.txn
+	db.txnMu.Unlock()
+	own := tx == nil
+	if own {
+		tx = db.cat.BeginTxn()
+	}
+	params := plan.Params{}
+	for k, v := range opts.Params {
+		params[k] = v
+	}
+	ctx := &exec.Ctx{Context: qctx, Pool: db.pool, Meter: db.meter, Params: params, Txn: tx, Snap: tx.Snapshot()}
+	before := db.meter.Snapshot()
+	n, err := exec.RunDML(node, ctx)
+	if err != nil {
+		tx.Abort()
+		if !own {
+			db.txnMu.Lock()
+			if db.txn == tx {
+				db.txn = nil
+			}
+			db.txnMu.Unlock()
+		}
+		return nil, err
+	}
+	if own {
+		tx.Commit()
+	}
+	return &Result{
+		Stats:        &Stats{},
+		RowsAffected: n,
+		Cost:         db.meter.Snapshot().Sub(before).Cost(),
+	}, nil
+}
+
+// Vacuum removes dead row versions no live snapshot can see, returning
+// how many were reclaimed. Safe to run concurrently with queries.
+func (db *DB) Vacuum() (int64, error) { return db.cat.Vacuum() }
 
 // Explain compiles a query and returns its annotated plan text — each
 // operator with its estimated rows, output size, cumulative cost, and
