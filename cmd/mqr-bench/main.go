@@ -13,6 +13,7 @@
 //	mqr-bench -fig hybrid    # parametric/dynamic hybrid (paper §4)
 //	mqr-bench -fig parallel  # intra-query parallelism sweep
 //	mqr-bench -fig mixed     # concurrent write/read workload
+//	mqr-bench -fig overhead  # live-progress monitoring overhead
 //	mqr-bench -fig all       # everything
 //
 // The mixed figure runs -writers concurrent writer sessions (each
@@ -21,6 +22,12 @@
 // queries sweep under full re-optimization, and reports write
 // throughput, conflict counts, and the read-side estimate-error and
 // switch-rate summary.
+//
+// The overhead figure measures real wall-clock time of the medium and
+// complex queries with live-progress monitoring on vs off (min over
+// -reps runs, interleaved arms). With -progress-gate X the process
+// exits non-zero if the geometric-mean slowdown exceeds X — the CI
+// regression gate on monitoring cost.
 //
 // The parallel figure sweeps exchange-operator degrees 1..N (set N with
 // -parallel, default 4) over the medium and complex queries and reports
@@ -50,6 +57,7 @@ type figure struct {
 	Summary  *bench.Summary         `json:"summary,omitempty"`
 	Parallel *bench.ParallelSummary `json:"parallel_summary,omitempty"`
 	Writes   *bench.WriteStats      `json:"writes,omitempty"`
+	Overhead *bench.OverheadSummary `json:"overhead_summary,omitempty"`
 }
 
 // report is the -json output document.
@@ -60,7 +68,7 @@ type report struct {
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 10|11|12|mu|sens|abl|hist|hybrid|parallel|mixed|all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 10|11|12|mu|sens|abl|hist|hybrid|parallel|mixed|overhead|all")
 		sf      = flag.Float64("sf", 0.01, "TPC-D scale factor")
 		pool    = flag.Int("pool", 256, "buffer pool pages")
 		mem     = flag.Float64("mem", 2<<20, "per-query memory budget in bytes")
@@ -70,6 +78,8 @@ func main() {
 		parGate = flag.Float64("parallel-gate", 0, "exit non-zero if top-degree geomean wall speedup is below this (0 = no gate)")
 		writers = flag.Int("writers", 4, "concurrent writer sessions for the mixed workload")
 		wtxns   = flag.Int("write-txns", 30, "transactions each mixed-workload writer commits")
+		reps    = flag.Int("reps", 3, "measured repetitions per arm for the overhead figure")
+		ovGate  = flag.Float64("progress-gate", 0, "exit non-zero if the overhead geomean wall ratio exceeds this (0 = no gate)")
 		jsonOut = flag.String("json", "", `write a JSON report to this file ("-" for stdout)`)
 	)
 	flag.Parse()
@@ -182,6 +192,28 @@ func main() {
 			s := bench.Summarize(res.Reads)
 			w := res.Writes
 			rep.Figures["mixed"] = figure{Rows: res.Reads, Summary: &s, Writes: &w}
+		case "overhead":
+			rows, err := bench.ProgressOverhead(cfg, *reps)
+			check(err)
+			fmt.Println(bench.FormatOverhead(
+				"Live-progress monitoring overhead (real wall time, min of reps):", rows))
+			s := bench.SummarizeOverhead(rows)
+			rep.Figures["overhead"] = figure{Rows: rows, Overhead: &s}
+			if *ovGate > 0 {
+				if s.Skipped {
+					fmt.Fprintln(os.Stderr,
+						"mqr-bench: progress gate failed: no valid overhead measurements")
+					os.Exit(1)
+				}
+				if s.GeomeanRatio > *ovGate {
+					fmt.Fprintf(os.Stderr,
+						"mqr-bench: progress gate failed: geomean wall ratio %.3f > %.3f (max %.3f)\n",
+						s.GeomeanRatio, *ovGate, s.MaxRatio)
+					os.Exit(1)
+				}
+				fmt.Printf("progress gate passed: geomean wall ratio %.3f <= %.3f (max %.3f)\n\n",
+					s.GeomeanRatio, *ovGate, s.MaxRatio)
+			}
 		case "hist":
 			rows, err := bench.HistFamilies(cfg)
 			check(err)
@@ -199,7 +231,7 @@ func main() {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"10", "11", "12", "mu", "sens", "abl", "hist", "hybrid", "parallel", "mixed"} {
+		for _, name := range []string{"10", "11", "12", "mu", "sens", "abl", "hist", "hybrid", "parallel", "mixed", "overhead"} {
 			run(name)
 		}
 	} else {

@@ -32,13 +32,20 @@
 //	-rows     print at most this many result rows (default 10)
 //	-server   serve the loaded database over HTTP on this address
 //	          instead of running queries locally
+//	-slow-query-ms  with -server: log a structured warning for any
+//	          statement slower than this many milliseconds (0 = off)
 //	-connect  run as a thin client against a running mqr-server at this
 //	          address (no local data is loaded)
+//	-watch    with -connect: instead of running queries, poll the
+//	          server's /status and /progress at this interval and render
+//	          the live queries (fraction, suboptimality score, per-op
+//	          rows) until interrupted
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -63,12 +70,18 @@ func main() {
 		maxRows = flag.Int("rows", 10, "result rows to print")
 		seed    = flag.Int64("seed", 1, "data generator seed")
 		serveOn = flag.String("server", "", "serve the database over HTTP on this address instead of querying")
+		slowMS  = flag.Int64("slow-query-ms", 0, "with -server: warn about statements slower than this (0 = off)")
 		connect = flag.String("connect", "", "run queries against a running mqr-server at this address")
+		watch   = flag.Duration("watch", 0, "with -connect: poll live progress at this interval instead of querying")
 	)
 	flag.Parse()
 
 	if *serveOn != "" && *connect != "" {
 		fatal(fmt.Errorf("-server and -connect are mutually exclusive"))
+	}
+
+	if *connect != "" && *watch > 0 {
+		os.Exit(runWatch(*connect, *watch))
 	}
 
 	queries := selectQueries()
@@ -88,8 +101,13 @@ func main() {
 
 	if *serveOn != "" {
 		m := db.NewSessionManager(midquery.SessionConfig{})
+		srv := server.New(m)
+		if *slowMS > 0 {
+			srv.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+			srv.SetSlowQueryThreshold(time.Duration(*slowMS) * time.Millisecond)
+		}
 		fmt.Printf("serving on %s\n", *serveOn)
-		if err := server.New(m).ListenAndServe(*serveOn); err != nil {
+		if err := srv.ListenAndServe(*serveOn); err != nil {
 			fatal(err)
 		}
 		return
@@ -214,6 +232,49 @@ func runThinClient(addr, mode string, queries []namedQuery, maxRows int, analyze
 		return 1
 	}
 	return 0
+}
+
+// runWatch polls /status and /progress, rendering each running query's
+// fraction, live suboptimality score, and per-operator rows until the
+// process is interrupted; returns the process exit code.
+func runWatch(addr string, interval time.Duration) int {
+	c, err := server.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mqr:", err)
+		return 1
+	}
+	for {
+		st, err := c.Status()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mqr:", err)
+			return 1
+		}
+		ps, err := c.Progress("")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mqr:", err)
+			return 1
+		}
+		fmt.Printf("--- %s  queries=%d running=%d broker_avail=%.0fMB queue=%d\n",
+			time.Now().Format("15:04:05"), st.Queries, len(st.Running),
+			st.Broker.AvailBytes/(1<<20), st.Broker.Waiting)
+		for _, p := range ps {
+			fmt.Printf("%-10s %5.1f%%  score=%.2f  cost=%.0f/%.0f  ckpt=%d sw=%d  %s\n",
+				p.Query, p.Fraction*100, p.Score, p.Cost, p.EstCost,
+				p.Checkpoints, p.Switches, truncate(p.SQL, 60))
+			for _, o := range p.Operators {
+				fmt.Printf("  %s%-20s %-8s rows=%d/%.0f\n",
+					strings.Repeat("  ", o.Depth), o.Label, o.State, o.Rows, o.EstRows)
+			}
+		}
+		time.Sleep(interval)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
 }
 
 func selectQueries() []namedQuery {

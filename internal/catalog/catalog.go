@@ -97,6 +97,13 @@ type Table struct {
 	// catalog's statistics version — they come and go on every plan
 	// switch and are invisible to other queries' plans.
 	Temp bool
+
+	// Virtual, when non-nil, makes the table a system view: a scan
+	// calls the provider for a point-in-time row set instead of reading
+	// the heap (which stays an empty placeholder for the planner). The
+	// provider must be safe for concurrent calls and must not acquire
+	// engine-wide locks a running query could hold.
+	Virtual func() []types.Tuple
 }
 
 // NumPages returns the table's size in pages.
@@ -286,6 +293,46 @@ func (c *Catalog) RegisterTemp(name string, schema *types.Schema, heap *storage.
 	if heap.NumTuples() > 0 {
 		t.AvgTupleBytes = float64(heap.ByteSize()) / float64(heap.NumTuples())
 	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// RegisterVirtual registers a provider-backed system table (the mqr
+// schema). The heap is an empty placeholder so planner arithmetic and
+// vacuum walks see an ordinary (if tiny) table; the nominal cardinality
+// gives the optimizer something nonzero to cost scans with. Unlike temp
+// tables, virtual tables are permanent and visible to every session.
+func (c *Catalog) RegisterVirtual(name string, schema *types.Schema, provider func() []types.Tuple) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if old, ok := c.tables[key]; ok {
+		if old.Virtual == nil {
+			return nil, fmt.Errorf("catalog: table %q already exists", name)
+		}
+		// Re-registration rebinds the provider (like the metrics
+		// registry's func-backed series): a second engine built over a
+		// shared catalog must not read the first one's torn-down state.
+		// Callers must rebind before running queries — scans read the
+		// provider without a lock.
+		old.Virtual = provider
+		return old, nil
+	}
+	cols := make([]types.Column, schema.Len())
+	for i, col := range schema.Columns {
+		col.Table = key
+		cols[i] = col
+	}
+	t := &Table{
+		Name:     key,
+		Schema:   types.NewSchema(cols...),
+		Heap:     storage.NewHeapFile(c.pool),
+		Indexes:  make(map[int]*Index),
+		ColStats: make(map[int]*ColumnStats),
+		Virtual:  provider,
+	}
+	t.Cardinality = 16
+	t.AvgTupleBytes = 64
 	c.tables[key] = t
 	return t, nil
 }

@@ -171,6 +171,7 @@ func workerCtx(parent *exec.Ctx, r *region, part, of int, share float64) *exec.C
 		Wall:       parent.Wall,
 		Trace:      parent.Trace,
 		Analyze:    parent.Analyze,
+		Prog:       parent.Prog,
 	}
 }
 

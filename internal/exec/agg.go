@@ -432,6 +432,19 @@ func (a *Agg) Spilled() bool { return a.spilled }
 // MemUsed reports the peak group-table memory in bytes.
 func (a *Agg) MemUsed() float64 { return a.peakMem }
 
+// SpilledBytes reports the bytes currently held in spill partitions
+// (entries are nil'd as emitStates consumes them; the progress layer
+// keeps the high-water mark).
+func (a *Agg) SpilledBytes() float64 {
+	var b float64
+	for _, h := range a.parts {
+		if h != nil {
+			b += float64(h.ByteSize())
+		}
+	}
+	return b
+}
+
 // Close implements Operator. Idempotent; cascades to the input so an
 // abort mid-absorb releases the child's side state too.
 func (a *Agg) Close() error {

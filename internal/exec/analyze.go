@@ -12,15 +12,23 @@ type memReporter interface {
 	MemUsed() float64
 }
 
-// instrument wraps op with EXPLAIN ANALYZE instrumentation when
-// ctx.Analyze is set. It is the single gate: with analysis off (the
-// default) the operator is returned untouched, so the normal path
-// never allocates or indirects through a wrapper.
+// instrument wraps op with whatever observation layers the context has
+// enabled: EXPLAIN ANALYZE accounting (ctx.Analyze) and live progress
+// publication (ctx.Prog). It is the single gate: with both off the
+// operator is returned untouched, so the bare path never allocates or
+// indirects through a wrapper. Progress wraps outermost so its row
+// counts see exactly what the consumer sees.
 func instrument(op Operator, n plan.Node, ctx *Ctx) Operator {
-	if ctx.Analyze == nil || op == nil {
+	if op == nil {
 		return op
 	}
-	return &analyzedOp{op: op, ctx: ctx, acc: ctx.Analyze.Op(n)}
+	if ctx.Analyze != nil {
+		op = &analyzedOp{op: op, ctx: ctx, acc: ctx.Analyze.Op(n)}
+	}
+	if ctx.Prog != nil {
+		op = &progressOp{op: op, prog: ctx.Prog, acc: ctx.Prog.Op(n)}
+	}
+	return op
 }
 
 // Instrument exposes the EXPLAIN ANALYZE wrapper for operators composed
@@ -89,6 +97,15 @@ func (a *analyzedOp) Spilled() bool {
 func (a *analyzedOp) MemUsed() float64 {
 	if m, ok := a.op.(memReporter); ok {
 		return m.MemUsed()
+	}
+	return 0
+}
+
+// SpilledBytes forwards the wrapped operator's spill footprint so the
+// progress wrapper (which composes outside this one) keeps seeing it.
+func (a *analyzedOp) SpilledBytes() float64 {
+	if s, ok := a.op.(spillReporter); ok {
+		return s.SpilledBytes()
 	}
 	return 0
 }

@@ -84,6 +84,13 @@ type Ctx struct {
 	// Build and BuildStep wrap every operator to record per-operator
 	// rows, cost, and peak memory. Nil skips wrapping entirely.
 	Analyze *obs.Analyze
+	// Prog, when non-nil, turns on live progress publication: every
+	// built operator is wrapped to flush row counts and spill bytes
+	// into the query's obs.Progress on an amortized cadence, so
+	// concurrent observers (system tables, /progress) can watch the
+	// query without perturbing it. Unlike Analyze it is cheap enough to
+	// stay on for every query.
+	Prog *obs.Progress
 }
 
 // grantShare returns the fraction of a node's memory grant available to

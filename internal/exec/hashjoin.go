@@ -358,6 +358,24 @@ func (j *HashJoin) Spilled() bool { return j.spilled }
 // ANALYZE's actual-memory column).
 func (j *HashJoin) MemUsed() float64 { return j.peakMem }
 
+// SpilledBytes reports the bytes currently held in spill partitions.
+// Partitions are dropped as the probe consumes them, so this shrinks
+// over time; the progress layer keeps the high-water mark.
+func (j *HashJoin) SpilledBytes() float64 {
+	var b float64
+	for _, h := range j.buildParts {
+		if h != nil {
+			b += float64(h.ByteSize())
+		}
+	}
+	for _, h := range j.probeParts {
+		if h != nil {
+			b += float64(h.ByteSize())
+		}
+	}
+	return b
+}
+
 // Close implements Operator. It is idempotent and cascades to both
 // children, so closing the topmost live operator after an abort releases
 // every descendant's side state (spill partitions, sort runs) even when

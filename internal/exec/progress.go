@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// spillReporter is implemented by operators that can report how many
+// bytes they have written to spill files (hash join, aggregate, sort).
+type spillReporter interface {
+	SpilledBytes() float64
+}
+
+// progressFlushRows is how many output rows a progress wrapper buffers
+// locally before publishing to the shared atomics — the same amortized
+// cadence idea as Ctx.Tick, keeping the per-tuple cost of always-on
+// monitoring to one local increment.
+const progressFlushRows = 64
+
+// progressOp publishes an operator's live state into the query's
+// obs.Progress. Writes are batched: the hot path increments a local
+// counter, and every progressFlushRows rows (plus at open, end of
+// stream, and close) the batch is flushed to the lock-free accumulator
+// where concurrent observers read it.
+type progressOp struct {
+	op    Operator
+	prog  *obs.Progress
+	acc   *obs.OpProgress
+	local int64
+}
+
+// Open implements Operator.
+func (p *progressOp) Open() error {
+	p.acc.MarkOpen()
+	err := p.op.Open()
+	// Blocking operators do their heavy lifting (builds, spills) in
+	// Open; publish what they produced before the first Next.
+	p.flush()
+	return err
+}
+
+// Next implements Operator.
+func (p *progressOp) Next() (types.Tuple, error) {
+	t, err := p.op.Next()
+	if t != nil && err == nil {
+		if p.local++; p.local >= progressFlushRows {
+			p.flush()
+		}
+		return t, nil
+	}
+	if p.local > 0 {
+		p.flush()
+	}
+	return t, err
+}
+
+// Close implements Operator.
+func (p *progressOp) Close() error {
+	p.flush()
+	p.acc.MarkDone()
+	return p.op.Close()
+}
+
+// flush publishes the batched rows, refreshes the spill footprint, and
+// folds this operator's estimate error into the query-level overshoot
+// (the live suboptimality signal).
+func (p *progressOp) flush() {
+	if p.local > 0 {
+		p.acc.AddRows(p.local)
+		p.local = 0
+	}
+	if s, ok := p.op.(spillReporter); ok {
+		p.acc.SetSpillBytes(s.SpilledBytes())
+	}
+	p.prog.NoteRatio(p.acc)
+}
+
+// Schema implements Operator.
+func (p *progressOp) Schema() *types.Schema { return p.op.Schema() }
+
+// Spilled forwards the wrapped operator's spill report.
+func (p *progressOp) Spilled() bool {
+	if s, ok := p.op.(interface{ Spilled() bool }); ok {
+		return s.Spilled()
+	}
+	return false
+}
+
+// MemUsed forwards the wrapped operator's peak memory.
+func (p *progressOp) MemUsed() float64 {
+	if m, ok := p.op.(memReporter); ok {
+		return m.MemUsed()
+	}
+	return 0
+}
+
+// SpilledBytes forwards the wrapped operator's spill footprint.
+func (p *progressOp) SpilledBytes() float64 {
+	if s, ok := p.op.(spillReporter); ok {
+		return s.SpilledBytes()
+	}
+	return 0
+}
+
+// Unwrap exposes the wrapped operator (diagnostics).
+func (p *progressOp) Unwrap() Operator { return p.op }

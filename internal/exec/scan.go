@@ -14,6 +14,13 @@ type SeqScan struct {
 	node *plan.Scan
 	ctx  *Ctx
 	scan *storage.HeapScanner
+
+	// rows/idx drive virtual tables (catalog.Table.Virtual): the
+	// provider materializes its rows once at Open and the scan iterates
+	// the snapshot, so a system table is a consistent point-in-time
+	// view even while the engine state behind it keeps moving.
+	rows []types.Tuple
+	idx  int
 }
 
 // NewSeqScan returns a sequential scan over the node's table.
@@ -28,6 +35,16 @@ func (s *SeqScan) Schema() *types.Schema { return s.node.Out }
 // worker) the scan covers only its own page partition and attributes the
 // partition's I/O to the worker's tributary meter.
 func (s *SeqScan) Open() error {
+	if s.node.Table.Virtual != nil {
+		// Virtual tables have no pages to partition; in a parallel
+		// region only partition 0 produces rows so the gather sees each
+		// row exactly once.
+		s.idx = 0
+		if s.ctx.PartOf <= 1 || s.ctx.Part == 0 {
+			s.rows = s.node.Table.Virtual()
+		}
+		return nil
+	}
 	if s.ctx.PartOf > 1 {
 		s.scan = s.node.Table.Heap.ScanPartition(s.ctx.Part, s.ctx.PartOf, s.ctx.Meter)
 	} else {
@@ -39,6 +56,31 @@ func (s *SeqScan) Open() error {
 
 // Next implements Operator.
 func (s *SeqScan) Next() (types.Tuple, error) {
+	if s.node.Table.Virtual != nil {
+		for s.idx < len(s.rows) {
+			if err := s.ctx.Tick(); err != nil {
+				return nil, err
+			}
+			s.ctx.Meter.ChargeTuples(1)
+			t := s.rows[s.idx]
+			s.idx++
+			ok := true
+			for _, f := range s.node.Filters {
+				pass, err := f.Test(t, s.ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				if !pass {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return t, nil
+			}
+		}
+		return nil, nil
+	}
 	for s.scan.Next() {
 		if err := s.ctx.Tick(); err != nil {
 			return nil, err
@@ -69,5 +111,6 @@ func (s *SeqScan) Next() (types.Tuple, error) {
 // Close implements Operator.
 func (s *SeqScan) Close() error {
 	s.scan = nil
+	s.rows = nil
 	return nil
 }

@@ -192,6 +192,17 @@ func (s *Sort) Spilled() bool { return len(s.runs) > 0 }
 // MemUsed reports the peak sort-buffer memory in bytes.
 func (s *Sort) MemUsed() float64 { return s.peakMem }
 
+// SpilledBytes reports the bytes currently held in external sort runs.
+func (s *Sort) SpilledBytes() float64 {
+	var b float64
+	for _, h := range s.runs {
+		if h != nil {
+			b += float64(h.ByteSize())
+		}
+	}
+	return b
+}
+
 // Close implements Operator. Idempotent; cascades to the input so an
 // abort mid-drain releases the child's side state too.
 func (s *Sort) Close() error {

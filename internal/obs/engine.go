@@ -29,6 +29,17 @@ type EngineMetrics struct {
 
 	QueryCost *Histogram
 
+	// QueryDuration and BrokerWait are real wall-clock latency
+	// histograms (seconds): p99 end-to-end latency and the admission
+	// queue's contribution to it, which the cost-unit metrics above
+	// cannot show.
+	QueryDuration *Histogram
+	BrokerWait    *Histogram
+
+	// TraceDropped counts lifecycle events the per-query trace rings
+	// overwrote — nonzero means trace dumps are truncated.
+	TraceDropped *Counter
+
 	// DML counters: row versions written by committed transactions,
 	// transaction outcomes, and first-writer-wins conflicts (each
 	// conflict also aborts a transaction).
@@ -58,6 +69,13 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 
 		QueryCost: r.NewHistogram("mqr_query_cost_units", "Per-query simulated execution cost",
 			[]float64{100, 1000, 10000, 100000, 1e6, 1e7}),
+
+		QueryDuration: r.NewHistogram("mqr_query_duration_seconds", "Per-query wall-clock latency",
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}),
+		BrokerWait: r.NewHistogram("mqr_broker_wait_seconds", "Wall-clock time spent queued for memory admission",
+			[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}),
+
+		TraceDropped: r.NewCounter("mqr_trace_dropped_total", "Trace events overwritten by full ring buffers"),
 
 		RowsWritten:    r.NewCounter("mqr_rows_written_total", "Row versions written by committed transactions (update = delete + insert)"),
 		TxnsCommitted:  r.NewCounter("mqr_txns_committed_total", "Write transactions committed"),

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceForwardTee(t *testing.T) {
+	eng := NewTrace(16)
+	q1 := NewTrace(16)
+	q1.SetQuery("s1_q1")
+	q1.SetForward(eng)
+	q2 := NewTrace(16)
+	q2.SetQuery("s1_q2")
+	q2.SetForward(eng)
+
+	q1.Emit("plan", "initial")
+	q2.Emit("plan", "initial")
+	q1.Emit("switch", "switched")
+
+	if n := q1.Len(); n != 2 {
+		t.Fatalf("q1 ring has %d events, want 2", n)
+	}
+	evs := eng.Events()
+	if len(evs) != 3 {
+		t.Fatalf("engine ring has %d events, want 3", len(evs))
+	}
+	wantQ := []string{"s1_q1", "s1_q2", "s1_q1"}
+	for i, e := range evs {
+		if e.Query != wantQ[i] {
+			t.Errorf("event %d query = %q, want %q", i, e.Query, wantQ[i])
+		}
+		// The engine ring re-sequences: Seq orders the interleaved
+		// stream, not the per-query stream.
+		if e.Seq != i {
+			t.Errorf("event %d seq = %d", i, e.Seq)
+		}
+	}
+}
+
+func TestTraceDroppedCountsRingEvictions(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit("k", "m")
+	}
+	if d := tr.Dropped(); d != 6 {
+		t.Fatalf("dropped = %d, want 6", d)
+	}
+	if n := tr.Len(); n != 4 {
+		t.Fatalf("len = %d, want 4", n)
+	}
+	// Survivors are the newest events.
+	evs := tr.Events()
+	if evs[0].Seq != 6 || evs[len(evs)-1].Seq != 9 {
+		t.Fatalf("surviving seqs %d..%d, want 6..9", evs[0].Seq, evs[len(evs)-1].Seq)
+	}
+}
+
+func TestTraceForwardConcurrent(t *testing.T) {
+	eng := NewTrace(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := NewTrace(8)
+			q.SetQuery(fmt.Sprintf("s%d_q1", g))
+			q.SetForward(eng)
+			for i := 0; i < 50; i++ {
+				q.Emit("k", "m", "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := eng.Len(); n != 400 {
+		t.Fatalf("engine ring has %d events, want 400", n)
+	}
+}
+
+func TestRegistrySamples(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("zz_total", "")
+	c.Add(3)
+	g := r.NewGauge("aa_gauge", "")
+	g.Set(7)
+	h := r.NewHistogram("mm_seconds", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+
+	samples := r.Samples()
+	byName := map[string]Sample{}
+	for i, s := range samples {
+		byName[s.Name] = s
+		if i > 0 && samples[i-1].Name > s.Name {
+			t.Fatalf("samples not sorted: %q before %q", samples[i-1].Name, s.Name)
+		}
+	}
+	if s := byName["zz_total"]; s.Type != "counter" || s.Value != 3 {
+		t.Errorf("counter sample = %+v", s)
+	}
+	if s := byName["aa_gauge"]; s.Type != "gauge" || s.Value != 7 {
+		t.Errorf("gauge sample = %+v", s)
+	}
+	if s := byName["mm_seconds_count"]; s.Type != "histogram" || s.Value != 2 {
+		t.Errorf("histogram count sample = %+v", s)
+	}
+	if s := byName["mm_seconds_sum"]; s.Value != 5.5 {
+		t.Errorf("histogram sum sample = %+v", s)
+	}
+}

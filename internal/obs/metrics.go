@@ -273,6 +273,42 @@ func (r *Registry) Get(name string) any {
 	return nil
 }
 
+// Sample is one scalar reading of a registered metric, the row format
+// of the mqr.metrics system table. Histograms expose two samples
+// (name_sum, name_count) rather than their full bucket vectors.
+type Sample struct {
+	Name  string
+	Type  string
+	Value float64
+}
+
+// Samples reads every metric once, sorted by name. Func-backed metrics
+// are evaluated at call time, like a Prometheus scrape.
+func (r *Registry) Samples() []Sample {
+	r.mu.Lock()
+	ms := make([]metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(ms))
+	for _, m := range ms {
+		if h, ok := m.(*Histogram); ok {
+			out = append(out,
+				Sample{Name: h.name() + "_sum", Type: "histogram", Value: h.Sum()},
+				Sample{Name: h.name() + "_count", Type: "histogram", Value: float64(h.Count())})
+			continue
+		}
+		type valuer interface{ Value() float64 }
+		if v, ok := m.(valuer); ok {
+			out = append(out, Sample{Name: m.name(), Type: m.typ(), Value: v.Value()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // WritePrometheus renders every metric in the Prometheus text
 // exposition format (version 0.0.4), sorted by name for stable output.
 func (r *Registry) WritePrometheus(w io.Writer) error {

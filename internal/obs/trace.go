@@ -10,6 +10,10 @@ type Event struct {
 	// Seq orders events within the trace; it keeps counting even after
 	// the ring buffer starts dropping old events.
 	Seq int `json:"seq"`
+	// Query tags the event with the emitting query ("s3_q17") when the
+	// trace carries a query tag — engine-wide rings interleave many
+	// queries' events.
+	Query string `json:"query,omitempty"`
 	// Kind classifies the event: "plan", "collector", "checkpoint",
 	// "decision", "realloc", "switch", "scia", "commit".
 	Kind string `json:"kind"`
@@ -41,6 +45,11 @@ type Trace struct {
 	buf   []Event
 	start int // ring read position
 	n     int // events currently buffered
+
+	// query stamps every emitted event's Query field; fwd, when set,
+	// tees each event into a second (typically engine-wide) ring.
+	query string
+	fwd   *Trace
 }
 
 // DefaultTraceCap bounds a trace when NewTrace is given no capacity.
@@ -57,6 +66,30 @@ func NewTrace(capacity int) *Trace {
 
 // Enabled reports whether events are being recorded. Safe on nil.
 func (t *Trace) Enabled() bool { return t != nil }
+
+// SetQuery tags every subsequently emitted event with the query tag.
+// Safe on nil.
+func (t *Trace) SetQuery(tag string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.query = tag
+	t.mu.Unlock()
+}
+
+// SetForward tees every subsequently emitted event into fwd as well
+// (the engine-wide ring behind mqr.trace). The forwarded copy keeps the
+// originating Query tag but is re-sequenced by the receiving ring. Safe
+// on nil.
+func (t *Trace) SetForward(fwd *Trace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.fwd = fwd
+	t.mu.Unlock()
+}
 
 // Emit records one event. kv is alternating key, value pairs; a
 // trailing key without a value is dropped. Safe on nil (no-op).
@@ -75,18 +108,32 @@ func (t *Trace) Emit(kind, msg string, kv ...any) {
 			attrs[key] = kv[i+1]
 		}
 	}
+	t.add(Event{Kind: kind, Msg: msg, Attrs: attrs})
+}
+
+// add stamps, sequences, and buffers one event, then forwards it
+// outside the lock (the forward target has its own lock; never holding
+// both at once rules out ordering deadlocks).
+func (t *Trace) add(e Event) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := Event{Seq: t.seq, Kind: kind, Msg: msg, Attrs: attrs}
+	if e.Query == "" {
+		e.Query = t.query
+	}
+	e.Seq = t.seq
 	t.seq++
 	if t.n < t.cap {
 		t.buf = append(t.buf, e)
 		t.n++
-		return
+	} else {
+		// Ring full: overwrite the oldest.
+		t.buf[t.start] = e
+		t.start = (t.start + 1) % t.cap
 	}
-	// Ring full: overwrite the oldest.
-	t.buf[t.start] = e
-	t.start = (t.start + 1) % t.cap
+	fwd := t.fwd
+	t.mu.Unlock()
+	if fwd != nil {
+		fwd.add(e)
+	}
 }
 
 // Len returns the number of buffered events. Safe on nil.

@@ -110,6 +110,15 @@ func Analyze(cat *catalog.Catalog, stmt *sql.SelectStmt) (*Query, error) {
 			q.Rels[pr.Rels[0]].LocalPreds = append(q.Rels[pr.Rels[0]].LocalPreds, pr)
 		}
 	}
+	if expanded, err := expandStars(stmt, q.Rels); err != nil {
+		return nil, err
+	} else if expanded != nil {
+		// Planning proceeds on a shallow clone with the concrete select
+		// list; the caller's statement (and the plan-cache key derived
+		// from its SQL) keeps the star.
+		stmt = expanded
+		q.Stmt = expanded
+	}
 	q.HasAggregate = len(stmt.GroupBy) > 0 || stmt.Distinct
 	var sink [][2]int
 	for _, item := range stmt.Select {
@@ -128,6 +137,50 @@ func Analyze(cat *catalog.Catalog, stmt *sql.SelectStmt) (*Query, error) {
 	// ORDER BY may reference select-list aliases, so unknown columns
 	// there are checked at plan-build time instead.
 	return q, nil
+}
+
+// expandStars replaces `*` / `t.*` select items with explicit column
+// references over the FROM relations, in relation order. It returns nil
+// when the statement has no star (the common case pays one scan of the
+// select list), or a shallow clone with the expanded list.
+func expandStars(stmt *sql.SelectStmt, rels []Rel) (*sql.SelectStmt, error) {
+	hasStar := false
+	for _, item := range stmt.Select {
+		if _, ok := item.Expr.(*sql.Star); ok {
+			hasStar = true
+			break
+		}
+	}
+	if !hasStar {
+		return nil, nil
+	}
+	var out []sql.SelectItem
+	for _, item := range stmt.Select {
+		star, ok := item.Expr.(*sql.Star)
+		if !ok {
+			out = append(out, item)
+			continue
+		}
+		matched := false
+		for i := range rels {
+			r := &rels[i]
+			if star.Table != "" && !strings.EqualFold(star.Table, r.Binding) {
+				continue
+			}
+			matched = true
+			for _, col := range r.Schema.Columns {
+				out = append(out, sql.SelectItem{
+					Expr: &sql.ColumnRef{Table: r.Binding, Name: col.Name},
+				})
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("optimizer: %s does not match any FROM relation", star.SQL())
+		}
+	}
+	clone := *stmt
+	clone.Select = out
+	return &clone, nil
 }
 
 // requalify clones a schema with every column's table qualifier replaced

@@ -372,6 +372,25 @@ func (d *Dispatcher) checkpoint(res *optimizer.Result, dec *decomposed, i int, o
 	}
 	d.refreshStale(dec, i, stale)
 
+	// Publish the checkpoint's Eq.2 position (elapsed + improved
+	// remainder over the original promise) into the live progress
+	// state: between checkpoints the continuous score is derived from
+	// operator counters alone, and each checkpoint pins it from below
+	// with this measured value.
+	if ctx.Prog.Enabled() {
+		if origTotal > 0 {
+			elapsed := ctx.Meter.Snapshot().Sub(startSnap).Cost()
+			pos := (elapsed + d.recostRemainder(dec, i)) / origTotal
+			ctx.Prog.RecordCheckpoint(pos)
+			if d.Cfg.Trace.Enabled() {
+				d.Cfg.Trace.Emit("score", "suboptimality at checkpoint",
+					"step", i, "eq2_position", pos, "live_score", ctx.Prog.Score())
+			}
+		} else {
+			ctx.Prog.RecordCheckpoint(0)
+		}
+	}
+
 	// In the combined mode the Memory Manager is re-invoked before the
 	// plan-modification decision: re-allocation is free (grants only
 	// matter once an operator starts), and Equation 2's improved

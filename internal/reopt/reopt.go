@@ -481,6 +481,8 @@ func (d *Dispatcher) registerPlan(res *optimizer.Result, st *Stats, ctx *exec.Ct
 		st.EstimatedCost = res.Root.Est().Cost
 	}
 	ctx.Analyze.StartPlan(res.Root)
+	ctx.Prog.StartPlan(res.Root)
+	ctx.Prog.SetEstimate(res.Root.Est().Cost)
 	if d.Cfg.Trace.Enabled() {
 		d.Cfg.Trace.Emit("plan", "plan compiled",
 			"plan_index", len(st.Plans),

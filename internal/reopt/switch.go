@@ -116,6 +116,7 @@ func (d *Dispatcher) splicePlan(res *optimizer.Result, matNode plan.Node, liveOp
 	memmgr.New(d.budget()).Allocate(newRes.Root)
 	newRes.Root = exchange.Parallelize(newRes.Root, d.Cfg.Degree)
 	st.PlanSwitches++
+	ctx.Prog.RecordSwitch()
 	d.registerPlan(newRes, st, ctx)
 	d.decide(st, fmt.Sprintf("splice: remainder spliced onto live stream as %s", tempName),
 		"strategy", "splice", "temp", tempName)
@@ -196,6 +197,7 @@ func (d *Dispatcher) materializeAndResubmit(res *optimizer.Result, matNode plan.
 		return nil, err
 	}
 	st.PlanSwitches++
+	ctx.Prog.RecordSwitch()
 	if d.Cfg.Trace.Enabled() {
 		d.Cfg.Trace.Emit("switch", "plan switch via materialize-and-resubmit (Figure 6)",
 			"strategy", "materialize",

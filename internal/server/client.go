@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client is a thin client for a running mqr-server. Each client owns
@@ -83,6 +86,28 @@ func (c *Client) Status() (*StatusResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Progress fetches live per-operator progress: every running query when
+// tag is empty, or one query (running or recently finished) by tag.
+func (c *Client) Progress(tag string) ([]obs.ProgressSnapshot, error) {
+	u := c.base + "/progress"
+	if tag != "" {
+		u += "?id=" + url.QueryEscape(tag)
+	}
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("/progress: HTTP %d", resp.StatusCode)
+	}
+	var out []obs.ProgressSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // post sends a JSON request and decodes the JSON response into out. On

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/reopt"
+	"repro/internal/session"
+	"repro/internal/tpcd"
+)
+
+// TestServerProgressEndpoint: while a query is paused at its first
+// checkpoint, GET /progress and /status expose its live snapshot with
+// operators; after it finishes, /progress?id= serves the frozen
+// terminal snapshot and unknown tags get 404.
+func TestServerProgressEndpoint(t *testing.T) {
+	ts, m := startTPCD(t, session.Config{})
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := tpcd.ByName("Q3")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Session().Exec(t.Context(), q.SQL, session.Options{
+			Mode:    reopt.ModeFull,
+			NoCache: true,
+			CheckpointHook: func(int) {
+				if first {
+					first = false
+					ckpt <- struct{}{}
+					<-release
+				}
+			},
+		})
+		done <- err
+	}()
+	select {
+	case <-ckpt:
+	case <-time.After(30 * time.Second):
+		t.Fatal("query never reached a checkpoint")
+	}
+	running := m.Running()
+	if len(running) != 1 {
+		t.Fatalf("running = %v, want one query", running)
+	}
+	tag := running[0]
+
+	// The list view carries the running query with operators.
+	list, err := c.Progress("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen bool
+	for _, p := range list {
+		if p.Query != tag {
+			continue
+		}
+		seen = true
+		if p.State != "running" {
+			t.Errorf("state = %q, want running", p.State)
+		}
+		if p.Fraction <= 0 || p.Fraction >= 1 {
+			t.Errorf("live fraction = %v, want in (0,1)", p.Fraction)
+		}
+		if len(p.Operators) == 0 {
+			t.Error("live snapshot has no operator rows")
+		}
+	}
+	if !seen {
+		t.Fatalf("/progress list missing %s: %+v", tag, list)
+	}
+
+	// The by-id view serves exactly that query.
+	one, err := c.Progress(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Query != tag {
+		t.Fatalf("/progress?id=%s = %+v", tag, one)
+	}
+
+	// /status includes the running summary alongside the tag list.
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inStatus bool
+	for _, p := range st.Progress {
+		if p.Query == tag {
+			inStatus = true
+			if len(p.Operators) != 0 {
+				t.Error("/status progress should omit operator rows")
+			}
+		}
+	}
+	if !inStatus {
+		t.Fatalf("/status progress missing %s", tag)
+	}
+
+	release <- struct{}{}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query never finished after release")
+	}
+
+	// Finished: the by-id view serves the frozen terminal snapshot.
+	fin, err := c.Progress(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fin) != 1 || fin[0].State != "done" || fin[0].Fraction != 1 {
+		t.Fatalf("finished snapshot = %+v, want done/1", fin)
+	}
+
+	if _, err := c.Progress("no_such_query"); err == nil {
+		t.Fatal("unknown id did not error")
+	}
+}

@@ -11,6 +11,8 @@
 //	POST /cancel           CancelRequest -> CancelResponse
 //	POST /analyze          AnalyzeRequest -> {}
 //	GET  /status           -> StatusResponse
+//	GET  /progress         -> []obs.ProgressSnapshot (live queries)
+//	GET  /progress?id=TAG  -> [snapshot] for one query (404 if unknown)
 //	GET  /metrics          -> Prometheus text exposition
 //
 // Every query is abortable: /cancel aborts by tag, QueryRequest can
@@ -96,7 +98,9 @@ type QueryResponse struct {
 	Broker       memmgr.LeaseStats `json:"broker"`
 	Plan         string            `json:"plan,omitempty"`
 	Trace        []obs.Event       `json:"trace,omitempty"`
-	Error        string            `json:"error,omitempty"`
+	// TraceDropped counts trace events the query's ring evicted.
+	TraceDropped int    `json:"trace_dropped,omitempty"`
+	Error        string `json:"error,omitempty"`
 }
 
 // AnalyzeRequest refreshes one table's statistics.
@@ -117,6 +121,10 @@ type StatusResponse struct {
 	// Running lists the tags of queries currently executing — the
 	// handles POST /cancel accepts.
 	Running []string `json:"running,omitempty"`
+	// Progress summarizes each running query's live state (fraction,
+	// suboptimality score, spill) without per-operator detail; GET
+	// /progress returns the full operator breakdown.
+	Progress []obs.ProgressSnapshot `json:"progress,omitempty"`
 }
 
 // Server serves one session.Manager over HTTP.
@@ -162,6 +170,13 @@ func (s *Server) SetQueryTimeout(d time.Duration) { s.queryTimeout = d }
 // Individual requests override it with Parallel; 0 disables the default.
 func (s *Server) SetParallel(deg int) { s.parallel = deg }
 
+// SetSlowQueryThreshold makes the engine warn (on the server's logger)
+// about statements slower than d; 0 disables.
+func (s *Server) SetSlowQueryThreshold(d time.Duration) {
+	s.m.SetLogger(s.log)
+	s.m.SetSlowQueryThreshold(d)
+}
+
 // Handler returns the server's HTTP handler (httptest and embedding).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -170,6 +185,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/cancel", s.handleCancel)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -287,6 +303,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Broker:       res.Broker,
 		Plan:         res.Plan,
 		Trace:        res.Trace,
+		TraceDropped: res.TraceDropped,
 	})
 }
 
@@ -345,7 +362,25 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Queries:       s.m.QueriesRun(),
 		UptimeSeconds: s.m.Uptime().Seconds(),
 		Running:       s.m.Running(),
+		Progress:      s.m.ProgressSnapshots(false, false),
 	})
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		p := s.m.Progress().Get(id)
+		if p == nil {
+			httpError(w, http.StatusNotFound, "unknown query "+id)
+			return
+		}
+		writeJSON(w, []obs.ProgressSnapshot{p.Snapshot(true)})
+		return
+	}
+	writeJSON(w, s.m.ProgressSnapshots(true, false))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

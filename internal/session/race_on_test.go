@@ -1,0 +1,7 @@
+//go:build race
+
+package session
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation distorts wall-clock measurements.
+const raceEnabled = true

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -83,6 +84,18 @@ type Manager struct {
 	reg   *obs.Registry
 	em    *obs.EngineMetrics
 	start time.Time
+
+	// prog tracks every in-flight query's live progress; engTrace is
+	// the always-on engine-wide event ring every per-query trace tees
+	// into (the mqr.queries/mqr.trace system tables read them).
+	prog     *obs.ProgressRegistry
+	engTrace *obs.Trace
+
+	// log receives the slow-query warnings; slowQueryNanos is the
+	// manager-wide threshold (0 disables; Options.SlowQueryThreshold
+	// overrides per query).
+	log            *slog.Logger
+	slowQueryNanos atomic.Int64
 }
 
 // NewManager wraps an engine's shared state for concurrent use.
@@ -97,14 +110,17 @@ func NewManager(cat *catalog.Catalog, pool *storage.BufferPool, meter *storage.C
 		cfg.MemBudget = cfg.MemPoolBytes
 	}
 	m := &Manager{
-		cat:     cat,
-		pool:    pool,
-		meter:   meter,
-		broker:  memmgr.NewBroker(cfg.MemPoolBytes),
-		cfg:     cfg,
-		reg:     obs.NewRegistry(),
-		running: make(map[string]context.CancelFunc),
-		start:   time.Now(),
+		cat:      cat,
+		pool:     pool,
+		meter:    meter,
+		broker:   memmgr.NewBroker(cfg.MemPoolBytes),
+		cfg:      cfg,
+		reg:      obs.NewRegistry(),
+		running:  make(map[string]context.CancelFunc),
+		start:    time.Now(),
+		prog:     obs.NewProgressRegistry(),
+		engTrace: obs.NewTrace(1024),
+		log:      slog.Default(),
 	}
 	if cfg.PlanCacheSize >= 0 {
 		size := cfg.PlanCacheSize
@@ -115,8 +131,30 @@ func NewManager(cat *catalog.Catalog, pool *storage.BufferPool, meter *storage.C
 	}
 	m.em = obs.NewEngineMetrics(m.reg)
 	m.registerResourceMetrics()
+	m.registerIntrospection()
 	return m
 }
+
+// SetLogger replaces the slow-query logger (defaults to slog.Default).
+func (m *Manager) SetLogger(l *slog.Logger) {
+	if l != nil {
+		m.log = l
+	}
+}
+
+// SetSlowQueryThreshold sets the manager-wide slow-query threshold.
+// Queries (and DML statements) slower than d produce a structured
+// warning on the manager's logger; 0 disables.
+func (m *Manager) SetSlowQueryThreshold(d time.Duration) {
+	m.slowQueryNanos.Store(int64(d))
+}
+
+// Progress exposes the live-progress registry (the /progress endpoint
+// and tests read it).
+func (m *Manager) Progress() *obs.ProgressRegistry { return m.prog }
+
+// EngineTrace exposes the engine-wide trace ring behind mqr.trace.
+func (m *Manager) EngineTrace() *obs.Trace { return m.engTrace }
 
 // registerResourceMetrics exposes the broker pool and plan cache as
 // function-backed gauges: the shared structures are already their own
@@ -274,6 +312,13 @@ type Options struct {
 	// wait for memory admission and execution; 0 means no deadline.
 	// Expiry surfaces as context.DeadlineExceeded.
 	Timeout time.Duration
+	// NoProgress disables live-progress tracking for this query: no
+	// ProgressRegistry entry, no per-operator counters, no mqr.queries
+	// row. The overhead benchmark uses it as its baseline.
+	NoProgress bool
+	// SlowQueryThreshold overrides the manager-wide slow-query threshold
+	// for this statement; 0 defers to the manager's setting.
+	SlowQueryThreshold time.Duration
 	// Parallel is the intra-query degree of parallelism: plan segments
 	// between checkpoint boundaries run on this many worker goroutines
 	// behind exchange operators. Values below 2 run serially.
@@ -313,6 +358,10 @@ type Result struct {
 	Plan string
 	// Trace is the query's event log (Options.Trace only).
 	Trace []obs.Event
+	// TraceDropped counts events the query's trace ring evicted — when
+	// nonzero, Trace (and the mqr.trace tee) is missing its oldest
+	// entries.
+	TraceDropped int
 }
 
 // Exec compiles (or fetches from the plan cache) and runs one SQL
@@ -393,6 +442,12 @@ func (s *Session) exec(ctx context.Context, src string, opts Options) (*Result, 
 // the garbage collector keeps every version the query can still see.
 func (s *Session) execSelect(ctx context.Context, stmt *sql.SelectStmt, opts Options, tag string) (*Result, error) {
 	m := s.m
+	start := time.Now()
+	var qp *obs.Progress
+	defer func() {
+		m.em.QueryDuration.Observe(time.Since(start).Seconds())
+		s.noteSlow(tag, stmt.SQL(), time.Since(start), opts, qp)
+	}()
 	res, hit, err := s.plan(stmt, opts)
 	if err != nil {
 		return nil, err
@@ -406,21 +461,28 @@ func (s *Session) execSelect(ctx context.Context, stmt *sql.SelectStmt, opts Opt
 	}
 
 	min, max := memmgr.Demands(res.Root)
+	waitStart := time.Now()
 	lease, err := m.broker.Admit(ctx, tag, min, max)
+	m.em.BrokerWait.Observe(time.Since(waitStart).Seconds())
 	if err != nil {
 		return nil, err
 	}
 	defer lease.Release()
 
 	cfg := s.dispatcherConfig(opts, lease, tag)
-	var tr *obs.Trace
+	// The per-query trace is always on and tees into the engine-wide
+	// ring behind mqr.trace; Result.Trace is attached only on request.
+	tr := obs.NewTrace(obs.DefaultTraceCap)
+	tr.SetQuery(tag)
+	tr.SetForward(m.engTrace)
+	cfg.Trace = tr
 	var az *obs.Analyze
-	if opts.Trace {
-		tr = obs.NewTrace(obs.DefaultTraceCap)
-		cfg.Trace = tr
-	}
 	if opts.Explain {
 		az = obs.NewAnalyze()
+	}
+	if !opts.NoProgress {
+		qp = m.prog.Start(tag, s.id, stmt.SQL())
+		defer m.prog.Finish(qp)
 	}
 	d := reopt.New(m.cat, cfg)
 	// Backstop: whatever path the query exits by (error, cancel,
@@ -442,8 +504,12 @@ func (s *Session) execSelect(ctx context.Context, stmt *sql.SelectStmt, opts Opt
 		defer rd.End()
 		snap = rd.Snapshot()
 	}
-	ectx := &exec.Ctx{Context: ctx, Pool: m.pool, Meter: m.meter, Params: params, Trace: tr, Analyze: az, Snap: snap}
+	ectx := &exec.Ctx{Context: ctx, Pool: m.pool, Meter: m.meter, Params: params, Trace: tr, Analyze: az, Snap: snap, Prog: qp}
 	before := m.meter.Snapshot()
+	// The progress cost closure reads the shared meter, so under
+	// concurrency it includes overlapping queries' charges — same caveat
+	// as Result.Cost, and harmless for the fraction/score signals.
+	qp.SetCostFn(func() float64 { return m.meter.Snapshot().Sub(before).Cost() })
 	rows, st, err := d.RunPlan(res, params, ectx)
 	if err != nil {
 		return nil, err
@@ -455,22 +521,46 @@ func (s *Session) execSelect(ctx context.Context, stmt *sql.SelectStmt, opts Opt
 		st.CollectorsInserted, st.Observations, st.MemReallocs,
 		st.ReoptConsidered, st.PlanSwitches)
 	out := &Result{
-		Columns:  cols,
-		Rows:     rows,
-		Stats:    st,
-		Cost:     cost,
-		WallCost: math.Max(0, cost-st.WallSavedCost),
-		Query:    tag,
-		CacheHit: hit,
-		Broker:   lease.Stats(),
+		Columns:      cols,
+		Rows:         rows,
+		Stats:        st,
+		Cost:         cost,
+		WallCost:     math.Max(0, cost-st.WallSavedCost),
+		Query:        tag,
+		CacheHit:     hit,
+		Broker:       lease.Stats(),
+		TraceDropped: tr.Dropped(),
+	}
+	if d := tr.Dropped(); d > 0 {
+		m.em.TraceDropped.Add(float64(d))
 	}
 	if az != nil {
 		out.Plan = az.Render()
 	}
-	if tr != nil {
+	if opts.Trace {
 		out.Trace = tr.Events()
 	}
 	return out, nil
+}
+
+// noteSlow emits the structured slow-query warning when the statement
+// exceeded the effective threshold (per-query override, else the
+// manager-wide setting; 0 disables).
+func (s *Session) noteSlow(tag, sqlText string, dur time.Duration, opts Options, qp *obs.Progress) {
+	thr := opts.SlowQueryThreshold
+	if thr <= 0 {
+		thr = time.Duration(s.m.slowQueryNanos.Load())
+	}
+	if thr <= 0 || dur < thr {
+		return
+	}
+	s.m.log.Warn("slow query",
+		"query", tag,
+		"sql", sqlText,
+		"duration", dur,
+		"switches", qp.Switches(),
+		"spill_bytes", qp.SpillBytes(),
+	)
 }
 
 // execDML plans and runs one write statement. Inside an explicit
@@ -481,14 +571,20 @@ func (s *Session) execSelect(ctx context.Context, stmt *sql.SelectStmt, opts Opt
 // first-writer-wins conflict) is rolled back and closed.
 func (s *Session) execDML(ctx context.Context, stmt sql.Stmt, opts Options, tag string) (*Result, error) {
 	m := s.m
+	start := time.Now()
+	defer func() {
+		m.em.QueryDuration.Observe(time.Since(start).Seconds())
+		s.noteSlow(tag, stmt.SQL(), time.Since(start), opts, nil)
+	}()
 	node, err := plan.PlanDML(m.cat, stmt)
 	if err != nil {
 		return nil, err
 	}
-	var tr *obs.Trace
-	if opts.Trace {
-		tr = obs.NewTrace(obs.DefaultTraceCap)
-	}
+	// DML traces are always on (small ring) and tee into the engine-wide
+	// ring, same as queries; Result.Trace is attached only on request.
+	tr := obs.NewTrace(dmlTraceCap)
+	tr.SetQuery(tag)
+	tr.SetForward(m.engTrace)
 	s.txnMu.Lock()
 	tx := s.txn
 	s.txnMu.Unlock()
@@ -524,12 +620,19 @@ func (s *Session) execDML(ctx context.Context, stmt sql.Stmt, opts Options, tag 
 		}
 	}
 	m.em.Queries.Inc()
-	out := &Result{RowsAffected: n, Query: tag}
-	if tr != nil {
+	out := &Result{RowsAffected: n, Query: tag, TraceDropped: tr.Dropped()}
+	if d := tr.Dropped(); d > 0 {
+		m.em.TraceDropped.Add(float64(d))
+	}
+	if opts.Trace {
 		out.Trace = tr.Events()
 	}
 	return out, nil
 }
+
+// dmlTraceCap sizes the per-statement DML trace ring — writes emit a
+// handful of events, so a small ring keeps the always-on tee cheap.
+const dmlTraceCap = 64
 
 // beginTxn opens the session's explicit transaction.
 func (s *Session) beginTxn(tag string) (*Result, error) {

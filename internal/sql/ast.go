@@ -28,6 +28,23 @@ func (c *ColumnRef) SQL() string {
 	return c.Table + "." + c.Name
 }
 
+// Star is the `*` select item (optionally qualified, `t.*`). The
+// analyzer expands it to the referenced relations' columns before
+// planning; no later stage ever sees one.
+type Star struct {
+	// Table restricts the expansion to one relation's binding; empty
+	// expands every FROM relation in order.
+	Table string
+}
+
+// SQL implements Expr.
+func (s *Star) SQL() string {
+	if s.Table == "" {
+		return "*"
+	}
+	return s.Table + ".*"
+}
+
 // Literal is a constant value.
 type Literal struct {
 	Value types.Value

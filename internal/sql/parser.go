@@ -168,6 +168,13 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 }
 
 func (p *parser) parseSelectItem() (SelectItem, error) {
+	// `*` is only legal as a whole select item, never inside an
+	// expression, so it is claimed here before expression parsing (a
+	// leading `*` in expression position could only be a syntax error).
+	if p.at(tokSymbol, "*") {
+		p.next()
+		return SelectItem{Expr: &Star{}}, nil
+	}
 	e, err := p.parseExpr()
 	if err != nil {
 		return SelectItem{}, err
@@ -190,7 +197,18 @@ func (p *parser) parseTableRef() (TableRef, error) {
 	if err != nil {
 		return TableRef{}, err
 	}
-	ref := TableRef{Name: strings.ToLower(t.text)}
+	name := strings.ToLower(t.text)
+	// Schema-qualified names ("mqr.queries") keep the dot in the
+	// catalog key; the binding for column references is the alias or
+	// the full dotted name.
+	if p.accept(tokSymbol, ".") {
+		part, err := p.expect(tokIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		name += "." + strings.ToLower(part.text)
+	}
+	ref := TableRef{Name: name}
 	if p.at(tokIdent, "") {
 		ref.Alias = strings.ToLower(p.next().text)
 	}
@@ -373,6 +391,9 @@ func (p *parser) parseFactor() (Expr, error) {
 	case tokIdent:
 		p.next()
 		if p.accept(tokSymbol, ".") {
+			if p.accept(tokSymbol, "*") {
+				return &Star{Table: strings.ToLower(t.text)}, nil
+			}
 			name, err := p.expect(tokIdent, "")
 			if err != nil {
 				return nil, err

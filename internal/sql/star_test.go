@@ -1,0 +1,70 @@
+package sql
+
+import "testing"
+
+func TestParseSelectStar(t *testing.T) {
+	stmt := mustParse(t, "select * from r")
+	if len(stmt.Select) != 1 {
+		t.Fatalf("select list len = %d", len(stmt.Select))
+	}
+	star, ok := stmt.Select[0].Expr.(*Star)
+	if !ok || star.Table != "" {
+		t.Fatalf("select item = %#v", stmt.Select[0].Expr)
+	}
+	if stmt.SQL() != "select * from r" {
+		t.Errorf("round trip = %q", stmt.SQL())
+	}
+}
+
+func TestParseQualifiedStar(t *testing.T) {
+	stmt := mustParse(t, "select R.*, s.x from R, s where r.a = s.b")
+	star, ok := stmt.Select[0].Expr.(*Star)
+	if !ok || star.Table != "r" {
+		t.Fatalf("select item = %#v", stmt.Select[0].Expr)
+	}
+	if _, ok := stmt.Select[1].Expr.(*ColumnRef); !ok {
+		t.Fatalf("select[1] = %#v", stmt.Select[1].Expr)
+	}
+}
+
+func TestParseStarWithTrailingItems(t *testing.T) {
+	stmt := mustParse(t, "select *, a from r")
+	if len(stmt.Select) != 2 {
+		t.Fatalf("select list len = %d", len(stmt.Select))
+	}
+	if _, ok := stmt.Select[0].Expr.(*Star); !ok {
+		t.Fatalf("select[0] = %#v", stmt.Select[0].Expr)
+	}
+}
+
+func TestParseDottedTableName(t *testing.T) {
+	stmt := mustParse(t, "select * from mqr.queries")
+	if len(stmt.From) != 1 {
+		t.Fatalf("from len = %d", len(stmt.From))
+	}
+	if stmt.From[0].Name != "mqr.queries" {
+		t.Errorf("from name = %q, want mqr.queries", stmt.From[0].Name)
+	}
+	if stmt.From[0].Alias != "" {
+		t.Errorf("alias = %q", stmt.From[0].Alias)
+	}
+}
+
+func TestParseDottedTableNameWithAlias(t *testing.T) {
+	stmt := mustParse(t, "select q.query from mqr.queries q where q.score > 1")
+	if stmt.From[0].Name != "mqr.queries" || stmt.From[0].Alias != "q" {
+		t.Errorf("from = %+v", stmt.From[0])
+	}
+	col, ok := stmt.Select[0].Expr.(*ColumnRef)
+	if !ok || col.Table != "q" || col.Name != "query" {
+		t.Errorf("select[0] = %#v", stmt.Select[0].Expr)
+	}
+}
+
+func TestStarIsNotValidInWhere(t *testing.T) {
+	// "*" after an operand position parses as multiplication, never as a
+	// Star expression; a bare star where a value is required must error.
+	if _, err := Parse("select a from r where * = 1"); err == nil {
+		t.Fatal("bare * accepted in a predicate")
+	}
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"sort"
 	"sync"
 
 	"repro/internal/types"
@@ -214,6 +215,50 @@ func (m *TxnManager) ActiveWriters() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.active)
+}
+
+// TxnInfo describes one in-flight transaction for introspection
+// (the mqr.txns system table).
+type TxnInfo struct {
+	ID TxnID
+	// Writes is the number of undo records the transaction holds —
+	// row versions it has inserted or delete-stamped so far.
+	Writes int
+	// Reader marks registered read-only snapshots.
+	Reader bool
+}
+
+// ActiveTxns lists in-flight transactions — read-write ones plus
+// registered read-only snapshots — sorted by ID.
+func (m *TxnManager) ActiveTxns() []TxnInfo {
+	m.mu.Lock()
+	txns := make([]*Txn, 0, len(m.active)+len(m.readers))
+	for _, t := range m.active {
+		txns = append(txns, t)
+	}
+	readers := make([]TxnID, 0, len(m.readers))
+	for _, xmin := range m.readers {
+		readers = append(readers, xmin)
+	}
+	m.mu.Unlock()
+
+	out := make([]TxnInfo, 0, len(txns)+len(readers))
+	for _, t := range txns {
+		t.mu.Lock()
+		w := len(t.writes)
+		t.mu.Unlock()
+		out = append(out, TxnInfo{ID: t.id, Writes: w})
+	}
+	for _, xmin := range readers {
+		out = append(out, TxnInfo{ID: xmin, Reader: true})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return !out[i].Reader && out[j].Reader
+	})
+	return out
 }
 
 // InsertTuple appends tup as a new version owned by t and logs it for
