@@ -14,6 +14,7 @@
 //	mqr-bench -fig parallel  # intra-query parallelism sweep
 //	mqr-bench -fig mixed     # concurrent write/read workload
 //	mqr-bench -fig overhead  # live-progress monitoring overhead
+//	mqr-bench -fig qos       # multi-tenant fairness and preemption
 //	mqr-bench -fig all       # everything
 //
 // The mixed figure runs -writers concurrent writer sessions (each
@@ -28,6 +29,16 @@
 // -reps runs, interleaved arms). With -progress-gate X the process
 // exits non-zero if the geometric-mean slowdown exceeds X — the CI
 // regression gate on monitoring cost.
+//
+// The qos figure drives closed-loop multi-tenant load (-qos-workers
+// sessions per tenant, -qos-duration measured after -qos-warmup)
+// against a deliberately small memory pool and reports per-tenant
+// throughput, latency percentiles, preemption counts, and Jain's
+// fairness index in three phases: equal weights, 3:1 weights, and
+// priority preemption. With -qos-jain-gate J the process exits non-zero
+// if the equal-weights Jain index falls below J; with -qos-ratio-tol T
+// it exits non-zero if the weighted phase's measured throughput ratio
+// is outside (1±T)x the configured 3:1 — the CI fairness gates.
 //
 // The parallel figure sweeps exchange-operator degrees 1..N (set N with
 // -parallel, default 4) over the medium and complex queries and reports
@@ -46,7 +57,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -58,6 +71,7 @@ type figure struct {
 	Parallel *bench.ParallelSummary `json:"parallel_summary,omitempty"`
 	Writes   *bench.WriteStats      `json:"writes,omitempty"`
 	Overhead *bench.OverheadSummary `json:"overhead_summary,omitempty"`
+	QoS      *bench.QoSSummary      `json:"qos_summary,omitempty"`
 }
 
 // report is the -json output document.
@@ -80,6 +94,11 @@ func main() {
 		wtxns   = flag.Int("write-txns", 30, "transactions each mixed-workload writer commits")
 		reps    = flag.Int("reps", 3, "measured repetitions per arm for the overhead figure")
 		ovGate  = flag.Float64("progress-gate", 0, "exit non-zero if the overhead geomean wall ratio exceeds this (0 = no gate)")
+		qosWrk  = flag.Int("qos-workers", 64, "closed-loop sessions per tenant for the qos figure")
+		qosWarm = flag.Duration("qos-warmup", 500*time.Millisecond, "unmeasured warmup per qos phase")
+		qosDur  = flag.Duration("qos-duration", 3*time.Second, "measured window per qos phase")
+		qosJain = flag.Float64("qos-jain-gate", 0, "exit non-zero if the equal-weights Jain index is below this (0 = no gate)")
+		qosTol  = flag.Float64("qos-ratio-tol", 0, "exit non-zero if the weighted throughput ratio is outside (1±tol)x the configured 3:1 (0 = no gate)")
 		jsonOut = flag.String("json", "", `write a JSON report to this file ("-" for stdout)`)
 	)
 	flag.Parse()
@@ -214,6 +233,31 @@ func main() {
 				fmt.Printf("progress gate passed: geomean wall ratio %.3f <= %.3f (max %.3f)\n\n",
 					s.GeomeanRatio, *ovGate, s.MaxRatio)
 			}
+		case "qos":
+			res, err := bench.QoS(cfg, *qosWrk, *qosWarm, *qosDur)
+			check(err)
+			fmt.Println(bench.FormatQoS(res))
+			s := res.Summary
+			rep.Figures["qos"] = figure{Rows: res, QoS: &s}
+			if *qosJain > 0 && s.EqualJain < *qosJain {
+				fmt.Fprintf(os.Stderr,
+					"mqr-bench: qos fairness gate failed: equal-weights Jain %.3f < %.3f\n",
+					s.EqualJain, *qosJain)
+				os.Exit(1)
+			}
+			if *qosTol > 0 {
+				lo, hi := s.WeightRatio*(1-*qosTol), s.WeightRatio*(1+*qosTol)
+				if math.IsInf(s.ThroughputRatio, 0) || s.ThroughputRatio < lo || s.ThroughputRatio > hi {
+					fmt.Fprintf(os.Stderr,
+						"mqr-bench: qos ratio gate failed: throughput ratio %.2f outside [%.2f, %.2f]\n",
+						s.ThroughputRatio, lo, hi)
+					os.Exit(1)
+				}
+			}
+			if *qosJain > 0 || *qosTol > 0 {
+				fmt.Printf("qos gates passed: jain=%.3f ratio=%.2f (configured %.0f:1)\n\n",
+					s.EqualJain, s.ThroughputRatio, s.WeightRatio)
+			}
 		case "hist":
 			rows, err := bench.HistFamilies(cfg)
 			check(err)
@@ -231,7 +275,7 @@ func main() {
 	}
 
 	if *fig == "all" {
-		for _, name := range []string{"10", "11", "12", "mu", "sens", "abl", "hist", "hybrid", "parallel", "mixed", "overhead"} {
+		for _, name := range []string{"10", "11", "12", "mu", "sens", "abl", "hist", "hybrid", "parallel", "mixed", "overhead", "qos"} {
 			run(name)
 		}
 	} else {

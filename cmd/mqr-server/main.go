@@ -22,6 +22,12 @@
 //	          individual requests override it with "timeout_ms"
 //	-parallel default intra-query degree of parallelism (0 = serial);
 //	          individual requests override it with "parallel"
+//	-tenants  comma-separated tenant service classes, each
+//	          name:weight[:priority[:quota_bytes[:max_queued]]] —
+//	          e.g. "gold:3:1,batch:1:0:4194304:32". Tenants can also be
+//	          (re)configured at runtime via POST /tenants; unknown
+//	          tenants get weight 1, priority 0, no quota, unbounded
+//	          queue
 //	-seed     data generator seed
 //	-v        verbose (debug-level) logging
 //
@@ -41,11 +47,16 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log/slog"
 	"os"
+	"strconv"
+	"strings"
 
 	midquery "repro"
 	"repro/internal/server"
+	"repro/internal/session"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -60,6 +71,7 @@ func main() {
 		cache   = flag.Int("cache", 256, "plan cache capacity in plans (-1 disables)")
 		qto     = flag.Duration("query-timeout", 0, "default per-query deadline (0 = none)")
 		par     = flag.Int("parallel", 0, "default intra-query degree of parallelism (0 = serial)")
+		tenants = flag.String("tenants", "", "tenant classes: name:weight[:priority[:quota_bytes[:max_queued]]],...")
 		seed    = flag.Int64("seed", 1, "data generator seed")
 		verbose = flag.Bool("v", false, "verbose (debug-level) logging")
 	)
@@ -86,6 +98,12 @@ func main() {
 		MemBudget:     *mem,
 		PlanCacheSize: *cache,
 	})
+	if *tenants != "" {
+		if err := configureTenants(m, *tenants); err != nil {
+			log.Error("bad -tenants", "err", err)
+			os.Exit(2)
+		}
+	}
 	srv := server.New(m)
 	srv.SetLogger(log)
 	srv.SetQueryTimeout(*qto)
@@ -101,4 +119,46 @@ func main() {
 		log.Error("server failed", "err", err)
 		os.Exit(1)
 	}
+}
+
+// configureTenants parses the -tenants flag — comma-separated
+// name:weight[:priority[:quota_bytes[:max_queued]]] entries — and
+// installs each service class on the manager.
+func configureTenants(m *session.Manager, spec string) error {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 5 {
+			return fmt.Errorf("tenant %q: want name:weight[:priority[:quota_bytes[:max_queued]]]", entry)
+		}
+		name := strings.TrimSpace(parts[0])
+		if name == "" {
+			return fmt.Errorf("tenant %q: empty name", entry)
+		}
+		var cfg tenant.Config
+		var err error
+		if cfg.Weight, err = strconv.ParseFloat(parts[1], 64); err != nil {
+			return fmt.Errorf("tenant %s: weight: %w", name, err)
+		}
+		if len(parts) > 2 {
+			if cfg.Priority, err = strconv.Atoi(parts[2]); err != nil {
+				return fmt.Errorf("tenant %s: priority: %w", name, err)
+			}
+		}
+		if len(parts) > 3 {
+			if cfg.QuotaBytes, err = strconv.ParseFloat(parts[3], 64); err != nil {
+				return fmt.Errorf("tenant %s: quota_bytes: %w", name, err)
+			}
+		}
+		if len(parts) > 4 {
+			if cfg.MaxQueued, err = strconv.Atoi(parts[4]); err != nil {
+				return fmt.Errorf("tenant %s: max_queued: %w", name, err)
+			}
+		}
+		m.SetTenantConfig(name, cfg)
+	}
+	return nil
 }

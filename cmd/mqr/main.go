@@ -36,6 +36,12 @@
 //	          statement slower than this many milliseconds (0 = off)
 //	-connect  run as a thin client against a running mqr-server at this
 //	          address (no local data is loaded)
+//	-tenant   with -connect: bill the session's queries to this tenant's
+//	          service class (weighted fair-share admission, memory
+//	          quota, priority; empty = the default class)
+//	-weight   with -connect and -tenant: install this fair-share weight
+//	          for the tenant server-side before querying (0 keeps the
+//	          server's current setting)
 //	-watch    with -connect: instead of running queries, poll the
 //	          server's /status and /progress at this interval and render
 //	          the live queries (fraction, suboptimality score, per-op
@@ -52,6 +58,7 @@ import (
 
 	midquery "repro"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -73,6 +80,8 @@ func main() {
 		slowMS  = flag.Int64("slow-query-ms", 0, "with -server: warn about statements slower than this (0 = off)")
 		connect = flag.String("connect", "", "run queries against a running mqr-server at this address")
 		watch   = flag.Duration("watch", 0, "with -connect: poll live progress at this interval instead of querying")
+		ten     = flag.String("tenant", "", "with -connect: bill queries to this tenant's service class")
+		weight  = flag.Float64("weight", 0, "with -connect and -tenant: set the tenant's fair-share weight (0 = leave as is)")
 	)
 	flag.Parse()
 
@@ -87,7 +96,7 @@ func main() {
 	queries := selectQueries()
 
 	if *connect != "" {
-		os.Exit(runThinClient(*connect, *mode, queries, *maxRows, *analyze, *trace, *timeout))
+		os.Exit(runThinClient(*connect, *mode, *ten, *weight, queries, *maxRows, *analyze, *trace, *timeout))
 	}
 
 	fmt.Printf("loading TPC-D SF %g (stale=%.2f zipf=%.1f) ...\n", *sf, *stale, *zipf)
@@ -183,11 +192,18 @@ func main() {
 
 // runThinClient sends the queries to a running mqr-server and renders
 // the responses; returns the process exit code.
-func runThinClient(addr, mode string, queries []namedQuery, maxRows int, analyze, trace bool, timeout time.Duration) int {
-	c, err := server.Dial(addr)
+func runThinClient(addr, mode, ten string, weight float64, queries []namedQuery, maxRows int, analyze, trace bool, timeout time.Duration) int {
+	c, err := server.DialTenant(addr, ten)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mqr:", err)
 		return 1
+	}
+	if weight > 0 && ten != "" {
+		cfg := tenant.Config{Weight: weight}
+		if err := c.ConfigureTenant(ten, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "mqr:", err)
+			return 1
+		}
 	}
 	failed := 0
 	for _, nq := range queries {

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/reopt"
+	"repro/internal/session"
+	"repro/internal/tenant"
+	"repro/internal/tpcd"
+)
+
+// qosPoolBytes sizes the shared operator-memory pool for the QoS
+// phases: roughly one medium query's demand, so admission — not
+// execution — is the bottleneck and the fair-share queue stays
+// backlogged for the whole measured window. (The medium queries demand
+// 270–450 KiB; see memmgr.Demands.)
+const qosPoolBytes = 512 << 10
+
+// qosWeightRatio is the configured gold:bronze weight ratio the
+// weighted phase measures throughput against.
+const qosWeightRatio = 3.0
+
+// QoSResult is the qos figure: three load-generation phases over one
+// dataset, each a closed-loop run against a saturated broker.
+type QoSResult struct {
+	// Equal drives two identically-provisioned tenants at weight 1:1;
+	// fair-share should split throughput evenly (Jain ~ 1).
+	Equal *loadgen.Report `json:"equal"`
+	// Weighted re-runs the same offered load at weights 3:1; measured
+	// throughput should track the weights.
+	Weighted *loadgen.Report `json:"weighted"`
+	// Priority runs a low-priority tenant of long checkpointing queries
+	// under a high-priority tenant of short ones: the long queries are
+	// suspended at re-optimization checkpoints and resumed, which shows
+	// up as nonzero preemption counts.
+	Priority *loadgen.Report `json:"priority"`
+	Summary  QoSSummary      `json:"summary"`
+}
+
+// QoSSummary is the gateable digest of the three phases.
+type QoSSummary struct {
+	// EqualJain is Jain's fairness index over weight-normalized
+	// throughput in the equal-weights phase (CI gates >= 0.9).
+	EqualJain float64 `json:"equal_jain"`
+	// WeightRatio is the configured weighted-phase ratio (3).
+	WeightRatio float64 `json:"weight_ratio"`
+	// ThroughputRatio is the measured gold/bronze throughput ratio in
+	// the weighted phase (CI gates within +-25% of WeightRatio).
+	ThroughputRatio float64 `json:"throughput_ratio"`
+	// PriorityPreempts counts checkpoint suspensions the priority phase
+	// inflicted on the low-priority tenant.
+	PriorityPreempts int64 `json:"priority_preempts"`
+}
+
+// qosManager builds a fresh session manager over the shared dataset
+// with the deliberately small QoS pool. Each phase gets its own manager
+// so queue state, virtual times, and metrics never bleed across phases.
+func qosManager(env *Env) *session.Manager {
+	return session.NewManager(env.Cat, env.Pool, env.Meter, session.Config{
+		MemPoolBytes:  qosPoolBytes,
+		MemBudget:     env.Cfg.MemBudget,
+		PlanCacheSize: 64,
+	})
+}
+
+// qosMix returns the named tpcd queries as a loadgen mix.
+func qosMix(names ...string) []loadgen.Query {
+	var out []loadgen.Query
+	for _, q := range tpcd.Queries() {
+		for _, n := range names {
+			if q.Name == n {
+				out = append(out, loadgen.Query{Name: q.Name, SQL: q.SQL})
+			}
+		}
+	}
+	return out
+}
+
+// QoS runs the multi-tenant fairness figure: equal-weight, 3:1
+// weighted, and priority-preemption phases, each `workers` closed-loop
+// sessions per tenant for `dur` after `warmup`.
+func QoS(cfg Config, workers int, warmup, dur time.Duration) (*QoSResult, error) {
+	if workers < 1 {
+		workers = 8
+	}
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The fairness phases use the fast simple-class queries so the
+	// measured window holds enough completions for a stable ratio; the
+	// contention is in admission (every worker far exceeds its pool
+	// share), not in the queries themselves.
+	fast := qosMix("Q1", "Q6")
+	long := qosMix("Q5", "Q7", "Q8")
+	opts := loadgen.Options{Warmup: warmup, Duration: dur}
+
+	equal, err := loadgen.Run(qosManager(env), []loadgen.Profile{
+		{Tenant: "alpha", Config: tenant.Config{Weight: 1}, Workers: workers, Queries: fast},
+		{Tenant: "beta", Config: tenant.Config{Weight: 1}, Workers: workers, Queries: fast},
+	}, opts)
+	if err != nil {
+		return nil, fmt.Errorf("qos equal phase: %w", err)
+	}
+
+	weighted, err := loadgen.Run(qosManager(env), []loadgen.Profile{
+		{Tenant: "gold", Config: tenant.Config{Weight: qosWeightRatio}, Workers: workers, Queries: fast},
+		{Tenant: "bronze", Config: tenant.Config{Weight: 1}, Workers: workers, Queries: fast},
+	}, opts)
+	if err != nil {
+		return nil, fmt.Errorf("qos weighted phase: %w", err)
+	}
+
+	// The low-priority tenant saturates the pool with long queries
+	// under full re-optimization so they cross checkpoints while
+	// holding most of it. The high-priority tenant is intermittent
+	// (think time): its queue drains, batch queries get admitted, and
+	// the next prod burst preempts them mid-flight — a strictly
+	// higher-priority tenant with zero think time would simply starve
+	// batch at admission and nothing would ever need preempting.
+	prodWorkers := max(2, workers/16)
+	batchWorkers := max(4, workers/8)
+	priority, err := loadgen.Run(qosManager(env), []loadgen.Profile{
+		{Tenant: "prod", Config: tenant.Config{Weight: 1, Priority: 1}, Workers: prodWorkers,
+			Queries: fast, Think: 150 * time.Millisecond},
+		{Tenant: "batch", Config: tenant.Config{Weight: 1, Priority: 0}, Workers: batchWorkers,
+			Queries: long, Mode: reopt.ModeFull},
+	}, opts)
+	if err != nil {
+		return nil, fmt.Errorf("qos priority phase: %w", err)
+	}
+
+	res := &QoSResult{Equal: equal, Weighted: weighted, Priority: priority}
+	res.Summary = QoSSummary{
+		EqualJain:        equal.Jain,
+		WeightRatio:      qosWeightRatio,
+		ThroughputRatio:  qpsRatio(weighted, "gold", "bronze"),
+		PriorityPreempts: tenantPreempts(priority, "batch"),
+	}
+	return res, nil
+}
+
+// qpsRatio returns tenant a's throughput over tenant b's (Inf when b
+// completed nothing while a did; 0 when neither did).
+func qpsRatio(rep *loadgen.Report, a, b string) float64 {
+	var qa, qb float64
+	for _, t := range rep.Tenants {
+		switch t.Tenant {
+		case a:
+			qa = t.QPS
+		case b:
+			qb = t.QPS
+		}
+	}
+	if qb == 0 {
+		if qa == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return qa / qb
+}
+
+func tenantPreempts(rep *loadgen.Report, name string) int64 {
+	for _, t := range rep.Tenants {
+		if t.Tenant == name {
+			return t.Preempts
+		}
+	}
+	return 0
+}
+
+// FormatQoS renders the three phases as text.
+func FormatQoS(res *QoSResult) string {
+	var b strings.Builder
+	phase := func(name string, rep *loadgen.Report) {
+		fmt.Fprintf(&b, "%s (%.1fs measured):\n", name, rep.WallSeconds)
+		for _, t := range rep.Tenants {
+			fmt.Fprintf(&b, "  %-8s w=%.0f workers=%d  qps=%7.1f  p50=%6.1fms p99=%6.1fms  preempts=%d rejected=%d errors=%d\n",
+				t.Tenant, t.Weight, t.Workers, t.QPS, t.P50Ms, t.P99Ms, t.Preempts, t.Rejected, t.Errors)
+			if t.Err != "" {
+				fmt.Fprintf(&b, "           first error: %s\n", t.Err)
+			}
+		}
+		fmt.Fprintf(&b, "  jain=%.3f\n", rep.Jain)
+	}
+	phase("equal weights 1:1", res.Equal)
+	phase("weighted 3:1", res.Weighted)
+	phase("priority preemption", res.Priority)
+	s := res.Summary
+	fmt.Fprintf(&b, "summary: equal_jain=%.3f  throughput_ratio=%.2f (configured %.0f:1)  priority_preempts=%d\n",
+		s.EqualJain, s.ThroughputRatio, s.WeightRatio, s.PriorityPreempts)
+	return b.String()
+}

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/reopt"
 	"repro/internal/session"
+	"repro/internal/tenant"
 )
 
 // Memory budgets for the matrix: tiny forces aggregate and hash-join
@@ -54,6 +56,13 @@ type RunConfig struct {
 	// (serial runs only).
 	FaultSite  string `json:"fault_site,omitempty"`
 	FaultAfter int    `json:"fault_after,omitempty"`
+	// Preempt runs the query as a low-priority tenant and requests a
+	// checkpoint suspension from its first re-optimization checkpoint:
+	// the lease is released, the query re-admits through the fair-share
+	// queue and re-executes. Answers must still match the reference and
+	// the residue invariants must absorb the extra release/re-admit
+	// cycle.
+	Preempt bool `json:"preempt,omitempty"`
 }
 
 // Matrix returns the static configuration grid every case runs under.
@@ -88,6 +97,8 @@ func Matrix(c Case) []RunConfig {
 		RunConfig{Name: "forced-d4-tiny", Mode: reopt.ModeFull, Degree: 4, Budget: tinyBudget, Forced: true},
 		RunConfig{Name: "forced-restart-d1-tiny", Mode: reopt.ModeRestart, Degree: 1, Budget: tinyBudget, Forced: true},
 		RunConfig{Name: "warm-d1-big", Mode: reopt.ModeFull, Degree: 1, Budget: bigBudget, Warm: true},
+		RunConfig{Name: "preempt-d1-tiny", Mode: reopt.ModeFull, Degree: 1, Budget: tinyBudget, Forced: true, Preempt: true},
+		RunConfig{Name: "preempt-d4-tiny", Mode: reopt.ModeFull, Degree: 4, Budget: tinyBudget, Forced: true, Preempt: true},
 	)
 }
 
@@ -151,6 +162,25 @@ func runOne(env *Env, rc RunConfig) (string, *Failure) {
 		opts.Theta1 = 100
 		opts.Theta2 = 0.001
 	}
+	if rc.Preempt {
+		// Multi-tenant preemption schedule: the query runs as the
+		// low-priority tenant and is suspended from inside its own first
+		// checkpoint — deterministic, unlike racing a real high-priority
+		// admission against it. Small cases may never reach a checkpoint;
+		// then the run degrades to a plain forced run and says so in the
+		// verdict ("ok" instead of "preempted").
+		mgr.SetTenantConfig("batch", tenant.Config{Weight: 1, Priority: 0})
+		mgr.SetTenantConfig("prod", tenant.Config{Weight: 3, Priority: 1})
+		opts.Tenant = "batch"
+		var once sync.Once
+		opts.CheckpointHook = func(int) {
+			once.Do(func() {
+				for _, tag := range mgr.Running() {
+					mgr.Preempt(tag)
+				}
+			})
+		}
+	}
 
 	ctx := context.Background()
 	injected := rc.CancelTick > 0 || rc.FaultSite != ""
@@ -199,6 +229,9 @@ func runOne(env *Env, rc RunConfig) (string, *Failure) {
 			}
 			if rc.Warm && i == 1 && !res.CacheHit {
 				return fail("second run missed the plan cache")
+			}
+			if rc.Preempt && res.Preempted > 0 {
+				outcome = "preempted"
 			}
 		case rc.CancelTick > 0 && errors.Is(err, context.Canceled):
 			outcome = "cancelled"

@@ -1,0 +1,136 @@
+package loadgen_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/histogram"
+	"repro/internal/loadgen"
+	"repro/internal/session"
+	"repro/internal/storage"
+	"repro/internal/tenant"
+	"repro/internal/types"
+)
+
+func TestJain(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{5}, 1},
+		{[]float64{3, 3, 3, 3}, 1},
+		{[]float64{1, 0, 0, 0}, 0.25}, // one active of n -> 1/n
+		{[]float64{4, 2}, 0.9},        // (6^2)/(2*20)
+	}
+	for _, c := range cases {
+		if got := loadgen.Jain(c.xs); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Jain(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func testManager(t *testing.T) *session.Manager {
+	t.Helper()
+	m := storage.NewCostMeter(storage.DefaultCostWeights())
+	pool := storage.NewBufferPool(storage.NewDisk(m), 256)
+	cat := catalog.New(pool)
+	tbl, err := cat.CreateTable("t", types.NewSchema(
+		types.Column{Name: "t_pk", Kind: types.KindInt, Key: true},
+		types.Column{Name: "t_grp", Kind: types.KindInt},
+		types.Column{Name: "t_val", Kind: types.KindFloat},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := tbl.Insert(types.Tuple{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 10)),
+			types.NewFloat(float64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.Analyze("t", catalog.AnalyzeOptions{Family: histogram.MaxDiff}); err != nil {
+		t.Fatal(err)
+	}
+	return session.NewManager(cat, pool, m, session.Config{
+		MemPoolBytes: 1 << 20,
+		MemBudget:    1 << 20,
+	})
+}
+
+// TestRunClosedLoop drives a short two-tenant closed loop against a
+// tiny table and checks the report's accounting: every tenant present,
+// completions counted, latency quantiles ordered, fairness in range,
+// and the broker pool whole afterwards.
+func TestRunClosedLoop(t *testing.T) {
+	mgr := testManager(t)
+	q := []loadgen.Query{{Name: "agg", SQL: "select t_grp, count(*) as c from t group by t_grp"}}
+	rep, err := loadgen.Run(mgr, []loadgen.Profile{
+		{Tenant: "a", Config: tenant.Config{Weight: 1}, Workers: 2, Queries: q},
+		{Tenant: "b", Config: tenant.Config{Weight: 1}, Workers: 2, Queries: q},
+	}, loadgen.Options{Warmup: 50 * time.Millisecond, Duration: 400 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("%d tenant reports, want 2", len(rep.Tenants))
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no completions in the measured window")
+	}
+	var total int64
+	for _, tr := range rep.Tenants {
+		total += tr.Completed
+		if tr.Errors != 0 {
+			t.Fatalf("tenant %s saw %d errors, first: %s", tr.Tenant, tr.Errors, tr.Err)
+		}
+		if tr.Completed > 0 {
+			if tr.QPS <= 0 {
+				t.Errorf("tenant %s: completed %d but qps %v", tr.Tenant, tr.Completed, tr.QPS)
+			}
+			if tr.P50Ms <= 0 || tr.P99Ms < tr.P50Ms {
+				t.Errorf("tenant %s: quantiles out of order p50=%v p99=%v", tr.Tenant, tr.P50Ms, tr.P99Ms)
+			}
+		}
+	}
+	if total != rep.Completed {
+		t.Errorf("tenant completions sum to %d, report says %d", total, rep.Completed)
+	}
+	if rep.Jain <= 0 || rep.Jain > 1 {
+		t.Errorf("Jain index %v outside (0, 1]", rep.Jain)
+	}
+	if rep.WallSeconds <= 0 {
+		t.Errorf("WallSeconds = %v", rep.WallSeconds)
+	}
+	if st := mgr.Broker().Stats(); st.AvailBytes != st.PoolBytes {
+		t.Errorf("broker pool not whole after run: %v of %v", st.AvailBytes, st.PoolBytes)
+	}
+}
+
+// TestRunRejectsAccounting: with a queue bound of 1 and many workers,
+// any admissions turned away at the bound must be counted as
+// rejections (retried by the worker), never surface as errors, and the
+// tenant must still make progress.
+func TestRunRejectsAccounting(t *testing.T) {
+	mgr := testManager(t)
+	q := []loadgen.Query{{Name: "agg", SQL: "select t_grp, count(*) as c from t group by t_grp"}}
+	rep, err := loadgen.Run(mgr, []loadgen.Profile{
+		{Tenant: "lim", Config: tenant.Config{Weight: 1, MaxQueued: 1}, Workers: 8, Queries: q},
+	}, loadgen.Options{Warmup: 50 * time.Millisecond, Duration: 400 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rep.Tenants[0]
+	if tr.Errors != 0 {
+		t.Fatalf("rejections leaked into errors: %d, first: %s", tr.Errors, tr.Err)
+	}
+	if tr.Completed == 0 {
+		t.Fatal("bounded queue starved the tenant entirely")
+	}
+}

@@ -2,12 +2,16 @@ package memmgr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/plan"
+	"repro/internal/tenant"
 )
 
 // Broker generalizes the Memory Manager's fixed per-query budget to a
@@ -16,23 +20,39 @@ import (
 // turns out not to need once run-time statistics arrive) should flow to
 // other queries, not sit idle against a private budget.
 //
-// Admission control is FIFO: a query whose plan minimum does not fit in
-// the free pool waits, and no later arrival may overtake it (so a large
-// query cannot starve behind a stream of small ones). Mid-query, the
-// re-optimizing dispatcher returns surplus grants through Lease.Return —
-// which is what lets a queued query start before the donor finishes —
-// and may opportunistically Grow a lease when improved estimates raise
-// its demands.
+// Admission control is weighted fair-share across tenants and FIFO
+// within a tenant. Each tenant accumulates virtual service time
+// (bytes granted divided by its weight); when memory frees up, the
+// queued head from the highest priority band with the least virtual
+// time runs next. If that head's minimum does not fit, no later waiter
+// overtakes it (so a large query cannot starve behind a stream of
+// small ones — the single-tenant FIFO guarantee, generalized). A
+// tenant blocked only by its own memory quota is skipped, since its
+// own releases are what will unblock it.
+//
+// Mid-query, the re-optimizing dispatcher returns surplus grants
+// through Lease.Return — which is what lets a queued query start before
+// the donor finishes — and may opportunistically Grow a lease when
+// improved estimates raise its demands. A queued high-priority query
+// additionally requests preemption of running lower-priority leases;
+// the dispatcher honors the request at its next re-optimization
+// checkpoint by aborting with ErrPreempted, releasing the lease, and
+// re-admitting the query from the back of its tenant's queue.
 type Broker struct {
-	mu    sync.Mutex
-	pool  float64
-	avail float64
-	queue []*waiter // FIFO; head is the oldest
+	mu      sync.Mutex
+	pool    float64
+	avail   float64
+	tenants *tenant.Registry
+	states  map[string]*tenantState
+	waiting int // total queued waiters across tenants
+	leases  int // outstanding (unreleased) leases across tenants
 
 	admitted  int64
 	waits     int64
 	waitNanos int64 // total wall-clock time queries spent queued
 	cancelled int64 // waiters that gave up before admission
+	rejected  int64 // admissions refused by a tenant's queue bound
+	preempts  int64 // preemption requests issued to running leases
 	returned  float64
 	grown     float64
 
@@ -43,14 +63,48 @@ type Broker struct {
 	trace func(Event)
 }
 
+// ErrQueueFull rejects an admission whose tenant already has MaxQueued
+// waiters parked. The server maps it to HTTP 429.
+var ErrQueueFull = errors.New("memmgr: tenant admission queue full")
+
+// ErrPreempted aborts a running query whose lease was claimed by a
+// higher-priority waiter. The dispatcher surfaces it only at
+// re-optimization checkpoints; the session releases the lease and
+// re-admits the query.
+var ErrPreempted = errors.New("memmgr: lease preempted at checkpoint")
+
+// tenantState is one tenant's scheduling state: its FIFO waiter queue,
+// its virtual service time, and its held-memory and traffic accounting.
+type tenantState struct {
+	name    string
+	waiters []*waiter // FIFO; head is the oldest
+	// vtime is the tenant's virtual service: bytes granted divided by
+	// its weight at grant time. Fair-share admission picks the least
+	// vtime, so a heavier tenant's vtime advances slower and it is
+	// scheduled proportionally more often.
+	vtime float64
+	held  float64             // bytes currently held by the tenant's leases
+	run   map[*Lease]struct{} // outstanding leases, for preemption victim scans
+
+	admitted  int64
+	waits     int64
+	waitNanos int64
+	cancelled int64
+	rejected  int64
+	preempted int64 // leases of this tenant that received a preempt request
+}
+
 // Event is one broker state transition, for tracing and tests.
 type Event struct {
-	// Kind is "admit", "queue", "cancel", "return", "grow", or
-	// "release".
+	// Kind is "admit", "queue", "cancel", "return", "grow", "release",
+	// "reject", or "preempt".
 	Kind string
 	// Query is the query tag the event concerns.
 	Query string
-	// Bytes is the amount admitted, returned, grown, or released.
+	// Tenant is the tenant the query runs under.
+	Tenant string
+	// Bytes is the amount admitted, returned, grown, released, or (for
+	// preempt) held by the victim.
 	Bytes float64
 }
 
@@ -59,19 +113,31 @@ func (e Event) String() string {
 }
 
 type waiter struct {
-	query string
-	min   float64
-	want  float64
-	done  chan *Lease // receives the lease when admitted; closed on cancel
+	tenant   string
+	priority int // band captured at enqueue
+	query    string
+	min      float64
+	want     float64
+	done     chan *Lease // receives the lease when admitted; closed on cancel
 }
 
-// NewBroker returns a broker over a pool of the given size in bytes.
+// NewBroker returns a broker over a pool of the given size in bytes,
+// with its own tenant registry.
 func NewBroker(pool float64) *Broker {
 	if pool <= 0 {
 		pool = 32 << 20
 	}
-	return &Broker{pool: pool, avail: pool}
+	return &Broker{
+		pool:    pool,
+		avail:   pool,
+		tenants: tenant.NewRegistry(),
+		states:  map[string]*tenantState{},
+	}
 }
+
+// Tenants exposes the broker's tenant registry (the server installs
+// weights, priorities, quotas, and queue bounds through it).
+func (b *Broker) Tenants() *tenant.Registry { return b.tenants }
 
 // SetTrace installs an event hook. Install before any Admit; the hook
 // runs under the broker lock and must not call back into the broker.
@@ -81,19 +147,34 @@ func (b *Broker) SetTrace(fn func(Event)) {
 	b.mu.Unlock()
 }
 
-func (b *Broker) emit(kind, query string, bytes float64) {
+func (b *Broker) emit(kind, query, ten string, bytes float64) {
 	if b.trace != nil {
-		b.trace(Event{Kind: kind, Query: query, Bytes: bytes})
+		b.trace(Event{Kind: kind, Query: query, Tenant: ten, Bytes: bytes})
 	}
+}
+
+// state returns (creating if needed) a tenant's scheduling state.
+// Caller holds b.mu.
+func (b *Broker) state(name string) *tenantState {
+	ts, ok := b.states[name]
+	if !ok {
+		ts = &tenantState{name: name, run: map[*Lease]struct{}{}}
+		b.states[name] = ts
+	}
+	return ts
 }
 
 // Lease is one query's reservation against the broker pool. It is not
 // safe for concurrent use by multiple goroutines — a lease belongs to
-// the one dispatcher executing its query.
+// the one dispatcher executing its query. The exception is the preempt
+// flag, which the broker sets from other goroutines and the dispatcher
+// polls at checkpoints.
 type Lease struct {
-	b     *Broker
-	query string
-	held  float64
+	b        *Broker
+	tenant   string
+	priority int
+	query    string
+	held     float64
 
 	admitted float64
 	returns  int
@@ -102,43 +183,96 @@ type Lease struct {
 	grown    float64
 	waited   bool
 	released bool
+
+	// preempt is the cross-goroutine suspension request; exempt
+	// (guarded by b.mu) opts the lease out of victim selection once a
+	// query has been preempted too many times.
+	preempt atomic.Bool
+	exempt  bool
 }
 
-// Admit blocks until at least min bytes are free (FIFO order), then
-// reserves up to want bytes and returns the lease. A min larger than the
-// whole pool is capped at the pool — the query would otherwise never
-// run; it over-commits exactly as the single-query Memory Manager does.
-// The context cancels waiting.
+// Admit blocks until at least min bytes are free, then reserves up to
+// want bytes and returns the lease, under the default tenant. A min
+// larger than the whole pool is capped at the pool — the query would
+// otherwise never run; it over-commits exactly as the single-query
+// Memory Manager does. The context cancels waiting.
 func (b *Broker) Admit(ctx context.Context, query string, min, want float64) (*Lease, error) {
+	return b.AdmitTenant(ctx, "", query, min, want)
+}
+
+// AdmitTenant is Admit under a named tenant: the admission queues
+// fair-share against other tenants (FIFO within the tenant), counts
+// against the tenant's memory quota, and fails fast with ErrQueueFull
+// when the tenant's queue bound is reached.
+func (b *Broker) AdmitTenant(ctx context.Context, ten, query string, min, want float64) (*Lease, error) {
+	ten = tenant.Canonical(ten)
+	cfg := b.tenants.Ensure(ten)
 	min = math.Min(min, b.pool)
 	want = math.Max(math.Min(want, b.pool), min)
 
 	b.mu.Lock()
-	if len(b.queue) == 0 && b.avail >= min {
-		l := b.admitLocked(query, min, want, false)
+	ts := b.state(ten)
+	if b.waiting == 0 && b.leases == 0 {
+		// Quiescent pool: nobody is accumulating service, so clear the
+		// virtual clocks. Without this, a tenant that was busy while the
+		// others idled would re-enter permanently behind their frozen
+		// (lower) virtual times.
+		for _, s := range b.states {
+			s.vtime = 0
+		}
+	}
+	if b.waiting == 0 && b.avail >= min && b.quotaOKLocked(ts, cfg, min) {
+		l := b.admitLocked(ts, query, min, want, false)
 		b.mu.Unlock()
 		return l, nil
 	}
-	w := &waiter{query: query, min: min, want: want, done: make(chan *Lease, 1)}
-	b.queue = append(b.queue, w)
+	if cfg.MaxQueued > 0 && len(ts.waiters) >= cfg.MaxQueued {
+		ts.rejected++
+		b.rejected++
+		b.emit("reject", query, ten, min)
+		b.mu.Unlock()
+		return nil, fmt.Errorf("tenant %q has %d queued admissions: %w", ten, cfg.MaxQueued, ErrQueueFull)
+	}
+	if len(ts.waiters) == 0 {
+		// A tenant rejoining the active set must not spend credit
+		// banked while idle: clamp its virtual time up to the least
+		// among currently active tenants.
+		ts.vtime = math.Max(ts.vtime, b.minActiveVTimeLocked(ts))
+	}
+	w := &waiter{tenant: ten, priority: cfg.Priority, query: query, min: min, want: want, done: make(chan *Lease, 1)}
+	ts.waiters = append(ts.waiters, w)
+	b.waiting++
 	b.waits++
-	b.emit("queue", query, min)
+	ts.waits++
+	b.emit("queue", query, ten, min)
+	// The new waiter may itself be the fair-share pick and fit the free
+	// pool right now — e.g. every earlier head is blocked by its own
+	// tenant quota, which no Release or Return is guaranteed to clear.
+	// Re-run the wake scan; head-blocking still protects earlier picks.
+	b.wakeLocked()
+	if len(w.done) == 0 {
+		b.maybePreemptLocked(w)
+	}
 	b.mu.Unlock()
 
 	start := time.Now()
 	select {
 	case l := <-w.done:
 		b.mu.Lock()
-		b.waitNanos += int64(time.Since(start))
+		d := int64(time.Since(start))
+		b.waitNanos += d
+		ts.waitNanos += d
 		b.mu.Unlock()
 		return l, nil
 	case <-ctx.Done():
 		b.mu.Lock()
-		for i, q := range b.queue {
+		for i, q := range ts.waiters {
 			if q == w {
-				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				ts.waiters = append(ts.waiters[:i], ts.waiters[i+1:]...)
+				b.waiting--
 				b.cancelled++
-				b.emit("cancel", query, min)
+				ts.cancelled++
+				b.emit("cancel", query, ten, min)
 				// The cancelled waiter may have been the head holding
 				// everyone else up: a later waiter with a smaller
 				// minimum could fit the free pool right now, and no
@@ -158,30 +292,184 @@ func (b *Broker) Admit(ctx context.Context, query string, min, want float64) (*L
 	}
 }
 
+// quotaOKLocked reports whether granting min more bytes keeps the
+// tenant inside its quota. A tenant holding nothing is always allowed
+// one query (over-commit, mirroring the pool-wide min cap). Caller
+// holds b.mu.
+func (b *Broker) quotaOKLocked(ts *tenantState, cfg tenant.Config, min float64) bool {
+	if cfg.QuotaBytes <= 0 {
+		return true
+	}
+	return ts.held == 0 || ts.held+min <= cfg.QuotaBytes
+}
+
+// minActiveVTimeLocked returns the least virtual time among tenants
+// with queued or running work, excluding self; +0 if none. Caller
+// holds b.mu.
+func (b *Broker) minActiveVTimeLocked(self *tenantState) float64 {
+	min := math.Inf(1)
+	for _, ts := range b.states {
+		if ts == self {
+			continue
+		}
+		if len(ts.waiters) > 0 || len(ts.run) > 0 {
+			min = math.Min(min, ts.vtime)
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
 // admitLocked reserves memory for one query. Caller holds b.mu.
-func (b *Broker) admitLocked(query string, min, want float64, waited bool) *Lease {
+func (b *Broker) admitLocked(ts *tenantState, query string, min, want float64, waited bool) *Lease {
+	cfg := b.tenants.Get(ts.name)
 	grant := math.Min(want, b.avail)
+	if cfg.QuotaBytes > 0 {
+		// The quota caps the grant but never below the plan minimum:
+		// a query admitted under over-commit still has to run.
+		grant = math.Min(grant, math.Max(cfg.QuotaBytes-ts.held, min))
+	}
 	if grant < min {
 		grant = min // over-commit: min was capped at pool size
 	}
 	b.avail -= grant
 	b.admitted++
-	b.emit("admit", query, grant)
-	return &Lease{b: b, query: query, held: grant, admitted: grant, waited: waited}
+	ts.admitted++
+	ts.held += grant
+	ts.vtime += grant / cfg.Weight
+	l := &Lease{b: b, tenant: ts.name, priority: cfg.Priority, query: query, held: grant, admitted: grant, waited: waited}
+	ts.run[l] = struct{}{}
+	b.leases++
+	b.emit("admit", query, ts.name, grant)
+	return l
 }
 
-// wakeLocked admits queued queries, in order, while the head's minimum
-// fits. Caller holds b.mu. Strict FIFO: if the head does not fit, no
-// later waiter is considered.
+// nextWaiterLocked picks the waiter fair-share admission would run
+// next: the queue head from the highest priority band with the least
+// virtual time (ties broken by tenant name for determinism), skipping
+// tenants blocked only by their own quota. Caller holds b.mu.
+func (b *Broker) nextWaiterLocked() (*waiter, *tenantState) {
+	names := make([]string, 0, len(b.states))
+	for n, ts := range b.states {
+		if len(ts.waiters) > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var best *tenantState
+	for _, n := range names {
+		ts := b.states[n]
+		w := ts.waiters[0]
+		cfg := b.tenants.Get(n)
+		if !b.quotaOKLocked(ts, cfg, w.min) {
+			// Quota-blocked: the tenant's own queue stalls (FIFO within
+			// a tenant) but other tenants must not — its own releases
+			// re-run this scan.
+			continue
+		}
+		if best == nil {
+			best = ts
+			continue
+		}
+		bw := best.waiters[0]
+		if w.priority > bw.priority || (w.priority == bw.priority && ts.vtime < best.vtime) {
+			best = ts
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	return best.waiters[0], best
+}
+
+// wakeLocked admits queued queries while the fair-share head's minimum
+// fits the free pool. Caller holds b.mu. Head-blocking: if the chosen
+// head does not fit, no other waiter is considered — the generalized
+// FIFO no-starvation guarantee.
 func (b *Broker) wakeLocked() {
-	for len(b.queue) > 0 {
-		w := b.queue[0]
-		if b.avail < w.min {
+	for {
+		w, ts := b.nextWaiterLocked()
+		if w == nil || b.avail < w.min {
 			return
 		}
-		b.queue = b.queue[1:]
-		w.done <- b.admitLocked(w.query, w.min, w.want, true)
+		ts.waiters = ts.waiters[1:]
+		b.waiting--
+		w.done <- b.admitLocked(ts, w.query, w.min, w.want, true)
 	}
+}
+
+// maybePreemptLocked requests checkpoint preemption of running
+// lower-priority leases when a newly queued waiter from a higher band
+// cannot be admitted from the free pool alone. Victims are chosen from
+// the lowest band first, largest lease first, until the reclaimable
+// bytes cover the waiter's minimum. The request is advisory: the
+// victim's dispatcher honors it at its next re-optimization checkpoint.
+// Caller holds b.mu.
+func (b *Broker) maybePreemptLocked(w *waiter) {
+	need := w.min - b.avail
+	if need <= 0 {
+		return
+	}
+	var victims []*Lease
+	for _, ts := range b.states {
+		for l := range ts.run {
+			if l.priority < w.priority && !l.exempt && !l.preempt.Load() {
+				victims = append(victims, l)
+			}
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].priority != victims[j].priority {
+			return victims[i].priority < victims[j].priority
+		}
+		if victims[i].held != victims[j].held {
+			return victims[i].held > victims[j].held
+		}
+		return victims[i].query < victims[j].query
+	})
+	for _, v := range victims {
+		if need <= 0 {
+			return
+		}
+		v.preempt.Store(true)
+		b.preempts++
+		b.states[v.tenant].preempted++
+		b.emit("preempt", v.query, v.tenant, v.held)
+		need -= v.held
+	}
+}
+
+// Preempt requests checkpoint preemption of one lease directly (the
+// admin/test path; fair-share admission issues requests itself). It
+// reports whether the request was newly made.
+func (l *Lease) RequestPreempt() bool {
+	b := l.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if l.released || l.exempt || l.preempt.Load() {
+		return false
+	}
+	l.preempt.Store(true)
+	b.preempts++
+	b.state(l.tenant).preempted++
+	b.emit("preempt", l.query, l.tenant, l.held)
+	return true
+}
+
+// PreemptRequested reports whether the broker asked this lease to
+// suspend. The dispatcher polls it at re-optimization checkpoints.
+func (l *Lease) PreemptRequested() bool { return l.preempt.Load() }
+
+// MarkNonPreemptible opts the lease out of future victim selection —
+// the session sets it on a query's final re-admission so repeated
+// preemption cannot livelock a low-priority query forever.
+func (l *Lease) MarkNonPreemptible() {
+	b := l.b
+	b.mu.Lock()
+	l.exempt = true
+	b.mu.Unlock()
 }
 
 // Held returns the lease's current reservation in bytes.
@@ -189,6 +477,9 @@ func (l *Lease) Held() float64 { return l.held }
 
 // Query returns the query tag the lease was admitted under.
 func (l *Lease) Query() string { return l.query }
+
+// Tenant returns the tenant the lease was admitted under.
+func (l *Lease) Tenant() string { return l.tenant }
 
 // Waited reports whether admission had to queue.
 func (l *Lease) Waited() bool { return l.waited }
@@ -215,15 +506,16 @@ func (l *Lease) Return(bytes float64) float64 {
 	l.returned += bytes
 	b.avail += bytes
 	b.returned += bytes
-	b.emit("return", l.query, bytes)
+	b.state(l.tenant).held -= bytes
+	b.emit("return", l.query, l.tenant, bytes)
 	b.wakeLocked()
 	b.mu.Unlock()
 	return bytes
 }
 
 // Grow tries to reserve up to bytes more from the free pool without
-// blocking and without overtaking queued queries. Returns the amount
-// actually obtained.
+// blocking and without overtaking queued queries or the tenant's quota.
+// Returns the amount actually obtained.
 func (l *Lease) Grow(bytes float64) float64 {
 	if bytes <= 0 {
 		return 0
@@ -234,20 +526,27 @@ func (l *Lease) Grow(bytes float64) float64 {
 		b.mu.Unlock()
 		return 0
 	}
-	if len(b.queue) > 0 {
+	if b.waiting > 0 {
 		// Queued queries have priority over incumbents' top-ups; a
 		// growing query taking the last free bytes could starve them.
 		b.mu.Unlock()
 		return 0
 	}
+	ts := b.state(l.tenant)
+	cfg := b.tenants.Get(l.tenant)
 	got := math.Min(bytes, b.avail)
+	if cfg.QuotaBytes > 0 {
+		got = math.Min(got, math.Max(0, cfg.QuotaBytes-ts.held))
+	}
 	if got > 0 {
 		b.avail -= got
 		l.held += got
 		l.growths++
 		l.grown += got
 		b.grown += got
-		b.emit("grow", l.query, got)
+		ts.held += got
+		ts.vtime += got / cfg.Weight
+		b.emit("grow", l.query, l.tenant, got)
 	}
 	b.mu.Unlock()
 	return got
@@ -264,7 +563,11 @@ func (l *Lease) Release() {
 	}
 	l.released = true
 	b.avail += l.held
-	b.emit("release", l.query, l.held)
+	ts := b.state(l.tenant)
+	ts.held -= l.held
+	delete(ts.run, l)
+	b.leases--
+	b.emit("release", l.query, l.tenant, l.held)
 	l.held = 0
 	b.wakeLocked()
 	b.mu.Unlock()
@@ -272,12 +575,13 @@ func (l *Lease) Release() {
 
 // LeaseStats reports one query's traffic against the broker.
 type LeaseStats struct {
-	Admitted      float64 // bytes granted at admission
-	Waited        bool    // admission had to queue
-	Returns       int     // mid-query surplus returns
-	ReturnedBytes float64
-	Growths       int // mid-query top-ups
-	GrownBytes    float64
+	Tenant        string  `json:"tenant,omitempty"`
+	Admitted      float64 `json:"admitted"` // bytes granted at admission
+	Waited        bool    `json:"waited"`   // admission had to queue
+	Returns       int     `json:"returns"`  // mid-query surplus returns
+	ReturnedBytes float64 `json:"returned_bytes"`
+	Growths       int     `json:"growths"` // mid-query top-ups
+	GrownBytes    float64 `json:"grown_bytes"`
 }
 
 // Stats returns the lease's per-query accounting.
@@ -285,6 +589,7 @@ func (l *Lease) Stats() LeaseStats {
 	l.b.mu.Lock()
 	defer l.b.mu.Unlock()
 	return LeaseStats{
+		Tenant:        l.tenant,
 		Admitted:      l.admitted,
 		Waited:        l.waited,
 		Returns:       l.returns,
@@ -303,6 +608,8 @@ type BrokerStats struct {
 	Waits      int64 // admissions that had to queue
 	WaitNanos  int64 // total wall-clock time spent queued
 	Cancelled  int64 // waiters that gave up before admission
+	Rejected   int64 // admissions refused by a tenant queue bound
+	Preempts   int64 // preemption requests issued
 	Returned   float64
 	Grown      float64
 }
@@ -314,14 +621,76 @@ func (b *Broker) Stats() BrokerStats {
 	return BrokerStats{
 		PoolBytes:  b.pool,
 		AvailBytes: b.avail,
-		Waiting:    len(b.queue),
+		Waiting:    b.waiting,
 		Admitted:   b.admitted,
 		Waits:      b.waits,
 		WaitNanos:  b.waitNanos,
 		Cancelled:  b.cancelled,
+		Rejected:   b.rejected,
+		Preempts:   b.preempts,
 		Returned:   b.returned,
 		Grown:      b.grown,
 	}
+}
+
+// TenantStats is one tenant's view of the pool: its service class plus
+// its live scheduling state and traffic counters.
+type TenantStats struct {
+	Tenant     string  `json:"tenant"`
+	Weight     float64 `json:"weight"`
+	Priority   int     `json:"priority"`
+	QuotaBytes float64 `json:"quota_bytes,omitempty"`
+	HeldBytes  float64 `json:"held_bytes"`
+	Queued     int     `json:"queued"`
+	Running    int     `json:"running"`
+	VTime      float64 `json:"vtime"`
+	Admitted   int64   `json:"admitted"`
+	Waits      int64   `json:"waits"`
+	WaitNanos  int64   `json:"wait_nanos"`
+	Cancelled  int64   `json:"cancelled"`
+	Rejected   int64   `json:"rejected"`
+	Preempted  int64   `json:"preempted"`
+}
+
+// TenantStats snapshots every tenant the broker has served, sorted by
+// name.
+func (b *Broker) TenantStats() []TenantStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]TenantStats, 0, len(b.states))
+	for name, ts := range b.states {
+		cfg := b.tenants.Get(name)
+		out = append(out, TenantStats{
+			Tenant:     name,
+			Weight:     cfg.Weight,
+			Priority:   cfg.Priority,
+			QuotaBytes: cfg.QuotaBytes,
+			HeldBytes:  ts.held,
+			Queued:     len(ts.waiters),
+			Running:    len(ts.run),
+			VTime:      ts.vtime,
+			Admitted:   ts.admitted,
+			Waits:      ts.waits,
+			WaitNanos:  ts.waitNanos,
+			Cancelled:  ts.cancelled,
+			Rejected:   ts.rejected,
+			Preempted:  ts.preempted,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// QueueDepths reports how many admissions each tenant has queued right
+// now, for the per-tenant queue-depth gauge.
+func (b *Broker) QueueDepths() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int, len(b.states))
+	for name, ts := range b.states {
+		out[name] = len(ts.waiters)
+	}
+	return out
 }
 
 // Demands sums a plan's memory requirements: the least memory its

@@ -177,3 +177,117 @@ func TestGrowAfterReleaseIsNoOp(t *testing.T) {
 		t.Fatalf("pool corrupted: avail %v of %v", st.AvailBytes, st.PoolBytes)
 	}
 }
+
+// admitTenantCtxAsync is admitAsync with a tenant attached.
+func admitTenantCtxAsync(b *Broker, ctx context.Context, ten, query string, min, want float64) (<-chan *Lease, <-chan error) {
+	lc := make(chan *Lease, 1)
+	ec := make(chan error, 1)
+	go func() {
+		l, err := b.AdmitTenant(ctx, ten, query, min, want)
+		lc <- l
+		ec <- err
+	}()
+	return lc, ec
+}
+
+// TestCancelQueuedUnderFairShare is the fair-share variant of the
+// cancelled-head regression: with two tenant queues backed up behind a
+// full pool, cancelling tenant one's head (which needs more than will
+// ever be free) must stall neither tenant one's own later waiter nor
+// tenant two's — and no Release or Return happens to re-trigger the
+// scan besides the blocker's.
+func TestCancelQueuedUnderFairShare(t *testing.T) {
+	b := NewBroker(100)
+	blocker, err := b.Admit(context.Background(), "blocker", 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bctx, cancelB := context.WithCancel(context.Background())
+	_, berr := admitTenantCtxAsync(b, bctx, "one", "B", 90, 90)
+	waitQueued(t, b, 1)
+	dl, derr := admitTenantCtxAsync(b, context.Background(), "one", "D", 30, 30)
+	waitQueued(t, b, 2)
+	cl, cerr := admitTenantCtxAsync(b, context.Background(), "two", "C", 40, 40)
+	waitQueued(t, b, 3)
+
+	// B is the fair-share head and needs 90 > 60 free: head-blocking
+	// (the generalized no-starvation rule) holds D and C behind it even
+	// though both fit. Cancelling B must promptly admit D — tenant one's
+	// own later waiter — with no Release or Return to re-run the scan.
+	cancelB()
+	if err := <-berr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("B's Admit = %v, want context.Canceled", err)
+	}
+	select {
+	case l := <-dl:
+		if l == nil {
+			t.Fatalf("D admission failed: %v", <-derr)
+		}
+		defer l.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("tenant one's later waiter stalled behind its cancelled head")
+	}
+
+	// C (40) now head-blocks on the 30 still free; the blocker's release
+	// must let tenant two through — the cancel left its queue intact.
+	blocker.Release()
+	select {
+	case l := <-cl:
+		if l == nil {
+			t.Fatalf("C admission failed: %v", <-cerr)
+		}
+		l.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("tenant two stalled after tenant one's head was cancelled")
+	}
+	if st := b.Stats(); st.Cancelled != 1 {
+		t.Fatalf("Stats.Cancelled = %d, want 1", st.Cancelled)
+	}
+}
+
+// TestCancelWholeTenantQueue cancels every queued waiter of one tenant
+// at once and checks the other tenant's backlog drains completely and
+// the pool balances.
+func TestCancelWholeTenantQueue(t *testing.T) {
+	b := NewBroker(100)
+	blocker, err := b.Admit(context.Background(), "blocker", 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gctx, cancelGone := context.WithCancel(context.Background())
+	var goneErrs []<-chan error
+	for i := 0; i < 4; i++ {
+		_, ec := admitTenantCtxAsync(b, gctx, "gone", "g", 25, 25)
+		goneErrs = append(goneErrs, ec)
+		waitQueued(t, b, i+1)
+	}
+	var stay []<-chan *Lease
+	for i := 0; i < 4; i++ {
+		lc, _ := admitTenantCtxAsync(b, context.Background(), "stay", "s", 25, 25)
+		stay = append(stay, lc)
+		waitQueued(t, b, 5+i)
+	}
+
+	cancelGone()
+	for _, ec := range goneErrs {
+		if err := <-ec; !errors.Is(err, context.Canceled) {
+			t.Fatalf("gone waiter = %v, want context.Canceled", err)
+		}
+	}
+	blocker.Release()
+	for i, lc := range stay {
+		select {
+		case l := <-lc:
+			if l == nil {
+				t.Fatalf("stay waiter %d failed", i)
+			}
+			l.Release()
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stay waiter %d never admitted after mass cancel", i)
+		}
+	}
+	if st := b.Stats(); st.AvailBytes != st.PoolBytes || st.Waiting != 0 {
+		t.Fatalf("pool not restored after mass cancel: %+v", st)
+	}
+}

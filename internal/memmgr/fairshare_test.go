@@ -1,0 +1,306 @@
+package memmgr
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/tenant"
+)
+
+// admitTenantAsync runs AdmitTenant on its own goroutine, pushing the
+// admitted lease (tagged with its tenant) to the shared channel.
+func admitTenantAsync(b *Broker, ten, query string, min, want float64, admitted chan<- *Lease) <-chan error {
+	ec := make(chan error, 1)
+	go func() {
+		l, err := b.AdmitTenant(context.Background(), ten, query, min, want)
+		if l != nil {
+			admitted <- l
+		}
+		ec <- err
+	}()
+	return ec
+}
+
+// TestWeightedFairShare saturates the broker with full-pool requests
+// from two backlogged tenants at weights 3:1 and checks the admission
+// stream honors the weights: six gold to two bronze over any eight
+// serialized admissions.
+func TestWeightedFairShare(t *testing.T) {
+	b := NewBroker(100)
+	b.Tenants().Set("gold", tenant.Config{Weight: 3})
+	b.Tenants().Set("bronze", tenant.Config{Weight: 1})
+
+	blocker, err := b.Admit(context.Background(), "blocker", 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every waiter wants the whole pool, so admissions are strictly
+	// one at a time and the fair-share choice is visible in the order.
+	admitted := make(chan *Lease, 16)
+	for i := 0; i < 8; i++ {
+		admitTenantAsync(b, "gold", "g", 100, 100, admitted)
+		waitQueued(t, b, 2*i+1)
+		admitTenantAsync(b, "bronze", "b", 100, 100, admitted)
+		waitQueued(t, b, 2*i+2)
+	}
+	blocker.Release()
+
+	counts := map[string]int{}
+	for i := 0; i < 8; i++ {
+		select {
+		case l := <-admitted:
+			counts[l.Tenant()]++
+			l.Release()
+		case <-time.After(5 * time.Second):
+			t.Fatalf("admission stream stalled after %d admissions", i)
+		}
+	}
+	if counts["gold"] != 6 || counts["bronze"] != 2 {
+		t.Fatalf("first 8 admissions = %v, want gold:6 bronze:2", counts)
+	}
+	// Drain the rest so the pool is whole again.
+	for i := 0; i < 8; i++ {
+		l := <-admitted
+		l.Release()
+	}
+	if st := b.Stats(); st.AvailBytes != st.PoolBytes {
+		t.Fatalf("pool not restored: avail %v of %v", st.AvailBytes, st.PoolBytes)
+	}
+}
+
+// TestTenantQuotaBlocksOnlyItself pins the quota semantics: a tenant at
+// its memory quota queues even though the pool has room, other tenants
+// are not blocked behind it, and the tenant's own release unblocks it.
+func TestTenantQuotaBlocksOnlyItself(t *testing.T) {
+	b := NewBroker(100)
+	b.Tenants().Set("capped", tenant.Config{Weight: 1, QuotaBytes: 40})
+
+	first, err := b.AdmitTenant(context.Background(), "capped", "c1", 30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// held 30 + min 30 > quota 40: must queue despite 70 free bytes.
+	admitted := make(chan *Lease, 1)
+	admitTenantAsync(b, "capped", "c2", 30, 30, admitted)
+	waitQueued(t, b, 1)
+	select {
+	case <-admitted:
+		t.Fatal("second admission exceeded the tenant quota")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Another tenant sails past the quota-blocked head.
+	free, err := b.AdmitTenant(context.Background(), "free", "f", 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free.Release()
+
+	// The capped tenant's own release is what unblocks its queue.
+	first.Release()
+	select {
+	case l := <-admitted:
+		l.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("quota-blocked waiter never admitted after tenant release")
+	}
+	if st := b.Stats(); st.AvailBytes != st.PoolBytes {
+		t.Fatalf("pool not restored: avail %v of %v", st.AvailBytes, st.PoolBytes)
+	}
+}
+
+// TestQuotaAdmitsOneOversizedQuery: a tenant whose first query alone
+// exceeds its quota still runs it (quota over-commit mirrors the
+// pool-cap rule), so a tight quota cannot wedge a tenant forever.
+func TestQuotaAdmitsOneOversizedQuery(t *testing.T) {
+	b := NewBroker(100)
+	b.Tenants().Set("tiny", tenant.Config{Weight: 1, QuotaBytes: 10})
+	l, err := b.AdmitTenant(context.Background(), "tiny", "q", 50, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The grant is clamped to the quota-capped floor: min, not want.
+	if l.Held() != 50 {
+		t.Fatalf("oversized first query held %v, want its min 50", l.Held())
+	}
+	l.Release()
+}
+
+// TestQueueBoundRejects verifies the bounded admission queue: the
+// MaxQueued+1'th concurrent admission fails fast with ErrQueueFull
+// instead of parking forever.
+func TestQueueBoundRejects(t *testing.T) {
+	b := NewBroker(100)
+	b.Tenants().Set("lim", tenant.Config{Weight: 1, MaxQueued: 2})
+	blocker, err := b.Admit(context.Background(), "blocker", 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan *Lease, 4)
+	e1 := admitTenantAsync(b, "lim", "q1", 10, 10, admitted)
+	waitQueued(t, b, 1)
+	e2 := admitTenantAsync(b, "lim", "q2", 10, 10, admitted)
+	waitQueued(t, b, 2)
+
+	if _, err := b.AdmitTenant(context.Background(), "lim", "q3", 10, 10); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third queued admission = %v, want ErrQueueFull", err)
+	}
+	// The bound is per tenant: another tenant still queues fine.
+	e4 := admitTenantAsync(b, "other", "q4", 10, 10, admitted)
+	waitQueued(t, b, 3)
+
+	if st := b.Stats(); st.Rejected != 1 {
+		t.Fatalf("Stats.Rejected = %d, want 1", st.Rejected)
+	}
+	var limStats *TenantStats
+	for _, ts := range b.TenantStats() {
+		if ts.Tenant == "lim" {
+			limStats = &ts
+			break
+		}
+	}
+	if limStats == nil || limStats.Rejected != 1 || limStats.Queued != 2 {
+		t.Fatalf("lim tenant stats = %+v, want rejected 1 queued 2", limStats)
+	}
+
+	blocker.Release()
+	for _, ec := range []<-chan error{e1, e2, e4} {
+		if err := <-ec; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		(<-admitted).Release()
+	}
+	if st := b.Stats(); st.AvailBytes != st.PoolBytes {
+		t.Fatalf("pool not restored: avail %v of %v", st.AvailBytes, st.PoolBytes)
+	}
+}
+
+// TestPreemptVictimSelection: a queued higher-priority request flags
+// the largest lowest-priority lease — and only as many leases as cover
+// the shortfall.
+func TestPreemptVictimSelection(t *testing.T) {
+	b := NewBroker(100)
+	b.Tenants().Set("hi", tenant.Config{Weight: 1, Priority: 1})
+	big, err := b.AdmitTenant(context.Background(), "low", "big", 60, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := b.AdmitTenant(context.Background(), "low", "small", 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	admitted := make(chan *Lease, 1)
+	admitTenantAsync(b, "hi", "urgent", 50, 50, admitted)
+	waitQueued(t, b, 1)
+
+	if !big.PreemptRequested() {
+		t.Fatal("largest low-priority lease not flagged for preemption")
+	}
+	if small.PreemptRequested() {
+		t.Fatal("small lease flagged although the big one alone covers the shortfall")
+	}
+
+	// The dispatcher honors the flag at its checkpoint by releasing.
+	big.Release()
+	select {
+	case l := <-admitted:
+		if l.Held() != 50 {
+			t.Fatalf("urgent admitted with %v, want 50", l.Held())
+		}
+		l.Release()
+	case <-time.After(5 * time.Second):
+		t.Fatal("high-priority waiter never admitted after victim release")
+	}
+	small.Release()
+	if st := b.Stats(); st.Preempts != 1 {
+		t.Fatalf("Stats.Preempts = %d, want 1", st.Preempts)
+	}
+}
+
+// TestNonPreemptibleLeaseIsSkipped: a lease past the resume cap is
+// exempt from victim selection, so a high-priority arrival cannot park
+// it forever.
+func TestNonPreemptibleLeaseIsSkipped(t *testing.T) {
+	b := NewBroker(100)
+	b.Tenants().Set("hi", tenant.Config{Weight: 1, Priority: 1})
+	l, err := b.AdmitTenant(context.Background(), "low", "shielded", 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.MarkNonPreemptible()
+	if l.RequestPreempt() {
+		t.Fatal("RequestPreempt succeeded on a non-preemptible lease")
+	}
+
+	admitted := make(chan *Lease, 1)
+	admitTenantAsync(b, "hi", "urgent", 50, 50, admitted)
+	waitQueued(t, b, 1)
+	if l.PreemptRequested() {
+		t.Fatal("victim selection flagged a non-preemptible lease")
+	}
+	l.Release()
+	(<-admitted).Release()
+}
+
+// TestIdleTenantVTimeClamp: a tenant that sat idle while others
+// accumulated virtual time must not replay its deficit as a burst — on
+// rejoining, its vtime is clamped up to the active minimum, so
+// admissions immediately interleave instead of draining the returnee
+// first for many turns.
+func TestIdleTenantVTimeClamp(t *testing.T) {
+	b := NewBroker(100)
+	b.Tenants().Set("busy", tenant.Config{Weight: 1})
+	b.Tenants().Set("idle", tenant.Config{Weight: 1})
+
+	// busy accumulates service while idle is absent. Keep one lease
+	// held throughout so the broker never goes quiescent (which would
+	// legitimately reset all vtimes).
+	anchor, err := b.AdmitTenant(context.Background(), "busy", "anchor", 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		l, err := b.AdmitTenant(context.Background(), "busy", "warm", 80, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Release()
+	}
+
+	// Saturate, then queue alternating requests from both tenants.
+	blocker, err := b.AdmitTenant(context.Background(), "busy", "blocker", 90, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan *Lease, 8)
+	for i := 0; i < 4; i++ {
+		admitTenantAsync(b, "idle", "i", 90, 90, admitted)
+		waitQueued(t, b, 2*i+1)
+		admitTenantAsync(b, "busy", "bz", 90, 90, admitted)
+		waitQueued(t, b, 2*i+2)
+	}
+	blocker.Release()
+
+	var order []string
+	for i := 0; i < 8; i++ {
+		select {
+		case l := <-admitted:
+			order = append(order, l.Tenant())
+			l.Release()
+		case <-time.After(5 * time.Second):
+			t.Fatalf("admission stream stalled at %d (order %v)", i, order)
+		}
+	}
+	anchor.Release()
+	// Without the clamp, idle's huge vtime deficit would admit all four
+	// of its requests before any busy one. With it, the first two
+	// admissions must include one of each.
+	if order[0] == order[1] {
+		t.Fatalf("rejoining idle tenant monopolized admissions: %v", order)
+	}
+}

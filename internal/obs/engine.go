@@ -32,9 +32,16 @@ type EngineMetrics struct {
 	// QueryDuration and BrokerWait are real wall-clock latency
 	// histograms (seconds): p99 end-to-end latency and the admission
 	// queue's contribution to it, which the cost-unit metrics above
-	// cannot show.
-	QueryDuration *Histogram
-	BrokerWait    *Histogram
+	// cannot show. BrokerWaitTenant splits the admission wait by
+	// tenant, so one tenant's queueing is attributable under QoS load.
+	QueryDuration    *Histogram
+	BrokerWait       *Histogram
+	BrokerWaitTenant *HistogramVec
+
+	// Preemptions counts checkpoint preemptions honored: a running
+	// query released its lease at a re-optimization checkpoint so a
+	// higher-priority waiter could run, then re-queued.
+	Preemptions *Counter
 
 	// TraceDropped counts lifecycle events the per-query trace rings
 	// overwrote — nonzero means trace dumps are truncated.
@@ -74,6 +81,12 @@ func NewEngineMetrics(r *Registry) *EngineMetrics {
 			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}),
 		BrokerWait: r.NewHistogram("mqr_broker_wait_seconds", "Wall-clock time spent queued for memory admission",
 			[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}),
+		BrokerWaitTenant: r.NewHistogramVec("mqr_broker_wait_tenant_seconds",
+			"Wall-clock time spent queued for memory admission, by tenant", "tenant",
+			[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}),
+
+		Preemptions: r.NewCounter("mqr_preemptions_total",
+			"Queries suspended at a re-optimization checkpoint by priority preemption"),
 
 		TraceDropped: r.NewCounter("mqr_trace_dropped_total", "Trace events overwritten by full ring buffers"),
 

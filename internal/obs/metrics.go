@@ -216,8 +216,14 @@ func (r *Registry) register(m metric) metric {
 		r.metrics[m.name()] = m
 		return m
 	}
-	_, oldFunc := old.(*FuncMetric)
-	_, newFunc := m.(*FuncMetric)
+	isFunc := func(x metric) bool {
+		switch x.(type) {
+		case *FuncMetric, *FuncVec:
+			return true
+		}
+		return false
+	}
+	oldFunc, newFunc := isFunc(old), isFunc(m)
 	if old.typ() != m.typ() || old.help() != m.help() || oldFunc != newFunc {
 		panic("obs: duplicate metric " + m.name())
 	}
@@ -298,6 +304,28 @@ func (r *Registry) Samples() []Sample {
 			out = append(out,
 				Sample{Name: h.name() + "_sum", Type: "histogram", Value: h.Sum()},
 				Sample{Name: h.name() + "_count", Type: "histogram", Value: float64(h.Count())})
+			continue
+		}
+		if v, ok := m.(*HistogramVec); ok {
+			for _, k := range v.labelValues() {
+				h := v.With(k)
+				pair := "{" + labelPair(v.label, k) + "}"
+				out = append(out,
+					Sample{Name: v.name() + "_sum" + pair, Type: "histogram", Value: h.Sum()},
+					Sample{Name: v.name() + "_count" + pair, Type: "histogram", Value: float64(h.Count())})
+			}
+			continue
+		}
+		if f, ok := m.(*FuncVec); ok {
+			vals := f.Values()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				out = append(out, Sample{Name: f.name() + "{" + labelPair(f.label, k) + "}", Type: f.typ(), Value: vals[k]})
+			}
 			continue
 		}
 		type valuer interface{ Value() float64 }

@@ -21,12 +21,18 @@ import (
 // A nil *Progress is the disabled instance: every method is a no-op or
 // returns a zero value, mirroring Trace and Analyze.
 type Progress struct {
-	// Tag is the engine-unique query tag ("s3_q17"); Session and SQL
-	// identify the query for system-table rows. Immutable after Start.
+	// Tag is the engine-unique query tag ("s3_q17"); Session, Tenant,
+	// and SQL identify the query for system-table rows. Immutable
+	// after Start.
 	Tag     string
 	Session int64
+	Tenant  string
 	SQL     string
 	Started time.Time
+
+	// preempts counts checkpoint preemptions this query survived
+	// (each one re-queued it for admission).
+	preempts atomic.Int64
 
 	// estCost is the optimizer's total cost estimate for the first plan
 	// (Stats.EstimatedCost); the denominator of both the progress
@@ -261,6 +267,23 @@ func (p *Progress) RecordSwitch() {
 	p.switches.Add(1)
 }
 
+// RecordPreempt notes one checkpoint preemption. Safe on nil.
+func (p *Progress) RecordPreempt() {
+	if p == nil {
+		return
+	}
+	p.preempts.Add(1)
+}
+
+// Preempts returns the checkpoint preemptions recorded so far. Safe on
+// nil.
+func (p *Progress) Preempts() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.preempts.Load()
+}
+
 // Finish marks the query complete, freezing its cost and elapsed time.
 // Safe on nil.
 func (p *Progress) Finish() {
@@ -386,6 +409,7 @@ type OpSnapshot struct {
 type ProgressSnapshot struct {
 	Query       string       `json:"query"`
 	Session     int64        `json:"session"`
+	Tenant      string       `json:"tenant,omitempty"`
 	SQL         string       `json:"sql"`
 	State       string       `json:"state"`
 	ElapsedMS   int64        `json:"elapsed_ms"`
@@ -395,6 +419,7 @@ type ProgressSnapshot struct {
 	Score       float64      `json:"score"`
 	Checkpoints int64        `json:"checkpoints"`
 	Switches    int64        `json:"switches"`
+	Preempts    int64        `json:"preempts,omitempty"`
 	SpillBytes  float64      `json:"spill_bytes"`
 	Operators   []OpSnapshot `json:"operators,omitempty"`
 }
@@ -415,6 +440,7 @@ func (p *Progress) Snapshot(withOps bool) ProgressSnapshot {
 	s := ProgressSnapshot{
 		Query:       p.Tag,
 		Session:     p.Session,
+		Tenant:      p.Tenant,
 		SQL:         p.SQL,
 		State:       state,
 		ElapsedMS:   elapsed.Milliseconds(),
@@ -424,6 +450,7 @@ func (p *Progress) Snapshot(withOps bool) ProgressSnapshot {
 		Score:       p.Score(),
 		Checkpoints: p.checkpoints.Load(),
 		Switches:    p.switches.Load(),
+		Preempts:    p.preempts.Load(),
 		SpillBytes:  p.SpillBytes(),
 	}
 	if !withOps {
@@ -467,9 +494,17 @@ func NewProgressRegistry() *ProgressRegistry {
 	return &ProgressRegistry{running: map[string]*Progress{}}
 }
 
-// Start registers a new query and returns its Progress.
+// Start registers a new query under the default tenant and returns its
+// Progress.
 func (r *ProgressRegistry) Start(tag string, session int64, sql string) *Progress {
+	return r.StartTenant(tag, session, sql, "")
+}
+
+// StartTenant registers a new query under a tenant and returns its
+// Progress.
+func (r *ProgressRegistry) StartTenant(tag string, session int64, sql, tenant string) *Progress {
 	p := NewProgress(tag, session, sql)
+	p.Tenant = tenant
 	r.mu.Lock()
 	r.running[tag] = p
 	r.mu.Unlock()

@@ -74,6 +74,16 @@ func (d *Dispatcher) dispatchWith(res *optimizer.Result, params plan.Params, ctx
 		if err := ctx.Err(); err != nil {
 			return abort(err)
 		}
+		// Checkpoint preemption lands here too: a higher-priority
+		// waiter claimed this query's lease, and the segment boundary
+		// is the one place the remainder is cleanly restartable — the
+		// session releases the lease and re-admits the query.
+		if l := d.Cfg.Lease; l != nil && l.PreemptRequested() {
+			if d.Cfg.Trace.Enabled() {
+				d.Cfg.Trace.Emit("preempt", "lease preempted at checkpoint", "step", i)
+			}
+			return abort(memmgr.ErrPreempted)
+		}
 		if err := faultinject.Hit("reopt.step"); err != nil {
 			return abort(err)
 		}
@@ -136,6 +146,15 @@ func (d *Dispatcher) dispatchWith(res *optimizer.Result, params plan.Params, ctx
 		cur = topOp
 	}
 
+	// The boundary between the join chain and the top operators is the
+	// final checkpoint-shaped abort point (for a zero- or one-join plan
+	// it is the only one); past here the query runs to completion.
+	if l := d.Cfg.Lease; l != nil && l.PreemptRequested() {
+		if d.Cfg.Trace.Enabled() {
+			d.Cfg.Trace.Emit("preempt", "lease preempted at checkpoint", "step", len(dec.steps))
+		}
+		return abort(memmgr.ErrPreempted)
+	}
 	top := cur
 	for k := len(dec.tops) - 1; k >= 0; k-- {
 		wrapped, err := exec.BuildStep(dec.tops[k], top, ctx)

@@ -10,7 +10,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/memmgr"
 	"repro/internal/obs"
+	"repro/internal/tenant"
 )
 
 // Client is a thin client for a running mqr-server. Each client owns
@@ -20,21 +22,27 @@ type Client struct {
 	base    string
 	hc      *http.Client
 	session int64
+	tenant  string
 }
 
 // Dial opens a session on the server at addr ("host:port" or a full
-// http:// URL).
-func Dial(addr string) (*Client, error) {
+// http:// URL) under the default tenant.
+func Dial(addr string) (*Client, error) { return DialTenant(addr, "") }
+
+// DialTenant opens a session bound to a tenant: every query the client
+// submits is billed to that tenant's service class for fair-share
+// admission. An empty tenant is the default class.
+func DialTenant(addr, tenant string) (*Client, error) {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
 	base = strings.TrimRight(base, "/")
-	c := &Client{base: base, hc: &http.Client{Timeout: 10 * time.Minute}}
+	c := &Client{base: base, hc: &http.Client{Timeout: 10 * time.Minute}, tenant: tenant}
 	var out struct {
 		Session int64 `json:"session"`
 	}
-	if err := c.post("/session", struct{}{}, &out); err != nil {
+	if err := c.post("/session", SessionRequest{Tenant: tenant}, &out); err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
 	c.session = out.Session
@@ -43,6 +51,30 @@ func Dial(addr string) (*Client, error) {
 
 // Session returns the server-side session id.
 func (c *Client) Session() int64 { return c.session }
+
+// Tenant returns the tenant the client's session is bound to ("" =
+// default).
+func (c *Client) Tenant() string { return c.tenant }
+
+// ConfigureTenant installs a tenant's service class server-side
+// (weight, priority, memory quota, admission queue bound).
+func (c *Client) ConfigureTenant(name string, cfg tenant.Config) error {
+	return c.post("/tenants", TenantRequest{Tenant: name, Config: cfg}, &tenant.Config{})
+}
+
+// Tenants snapshots every tenant's scheduling state and traffic.
+func (c *Client) Tenants() ([]memmgr.TenantStats, error) {
+	resp, err := c.hc.Get(c.base + "/tenants")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out []memmgr.TenantStats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 // Exec submits one query. A QueryResponse with a non-empty Error field
 // is returned as (response, error) so callers can inspect both.

@@ -6,7 +6,9 @@
 //
 // Endpoints:
 //
-//	POST /session          -> {"session": id}
+//	POST /session          SessionRequest -> {"session": id}
+//	POST /tenants          TenantRequest -> tenant.Config
+//	GET  /tenants          -> []memmgr.TenantStats
 //	POST /query            QueryRequest -> QueryResponse
 //	POST /cancel           CancelRequest -> CancelResponse
 //	POST /analyze          AnalyzeRequest -> {}
@@ -22,6 +24,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -38,6 +41,7 @@ import (
 	"repro/internal/plancache"
 	"repro/internal/reopt"
 	"repro/internal/session"
+	"repro/internal/tenant"
 	"repro/internal/types"
 )
 
@@ -47,6 +51,10 @@ type QueryRequest struct {
 	// 0 uses the server's shared default session.
 	Session int64  `json:"session,omitempty"`
 	SQL     string `json:"sql"`
+	// Tenant bills this query to a service class for fair-share
+	// admission (weight, quota, priority). Empty inherits the session's
+	// tenant (set at POST /session), which itself defaults to "default".
+	Tenant string `json:"tenant,omitempty"`
 	// Mode is "off", "memory", "plan", "full", or "restart"
 	// (default "off").
 	Mode string `json:"mode,omitempty"`
@@ -71,6 +79,22 @@ type QueryRequest struct {
 	Parallel int `json:"parallel,omitempty"`
 }
 
+// SessionRequest opens a session, optionally bound to a tenant: every
+// query on the session is billed to that tenant's service class unless
+// the query request overrides it. An empty body keeps the default
+// tenant.
+type SessionRequest struct {
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// TenantRequest configures one tenant's service class (POST /tenants).
+// Zero-valued fields take the defaults: weight 1, priority 0, no
+// quota, unbounded queue.
+type TenantRequest struct {
+	Tenant string        `json:"tenant"`
+	Config tenant.Config `json:"config"`
+}
+
 // CancelRequest aborts a running query by its engine tag (the "query"
 // field of QueryResponse / the tags in StatusResponse.Running).
 type CancelRequest struct {
@@ -93,8 +117,12 @@ type QueryResponse struct {
 	Cost         float64           `json:"cost"`
 	WallCost     float64           `json:"wall_cost"`
 	Query        string            `json:"query"`
-	CacheHit     bool              `json:"cache_hit"`
-	Stats        *reopt.Stats      `json:"stats,omitempty"`
+	Tenant       string            `json:"tenant,omitempty"`
+	// Preempted counts how many times this query was suspended at a
+	// re-optimization checkpoint and re-queued before finishing.
+	Preempted int          `json:"preempted,omitempty"`
+	CacheHit  bool         `json:"cache_hit"`
+	Stats     *reopt.Stats `json:"stats,omitempty"`
 	Broker       memmgr.LeaseStats `json:"broker"`
 	Plan         string            `json:"plan,omitempty"`
 	Trace        []obs.Event       `json:"trace,omitempty"`
@@ -125,6 +153,9 @@ type StatusResponse struct {
 	// suboptimality score, spill) without per-operator detail; GET
 	// /progress returns the full operator breakdown.
 	Progress []obs.ProgressSnapshot `json:"progress,omitempty"`
+	// Tenants snapshots each tenant's service class and scheduling
+	// state: queue depth, held memory, virtual time, preemptions.
+	Tenants []memmgr.TenantStats `json:"tenants,omitempty"`
 }
 
 // Server serves one session.Manager over HTTP.
@@ -181,6 +212,7 @@ func (s *Server) SetSlowQueryThreshold(d time.Duration) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/session", s.handleSession)
+	mux.HandleFunc("/tenants", s.handleTenants)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/cancel", s.handleCancel)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
@@ -210,11 +242,50 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// The body is optional (legacy clients POST an empty object or
+	// nothing at all); a tenant binding is the only field today.
+	var req SessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
 	sess := s.m.Session()
+	if req.Tenant != "" {
+		sess.SetTenant(req.Tenant)
+	}
 	s.mu.Lock()
 	s.sessions[sess.ID()] = sess
 	s.mu.Unlock()
 	writeJSON(w, map[string]int64{"session": sess.ID()})
+}
+
+// handleTenants configures a tenant's service class (POST) or lists
+// every tenant's scheduling state (GET) — the same rows /status embeds.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, s.m.TenantStats())
+	case http.MethodPost:
+		var req TenantRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
+			return
+		}
+		if req.Tenant == "" {
+			httpError(w, http.StatusBadRequest, "missing tenant name")
+			return
+		}
+		s.m.SetTenantConfig(req.Tenant, req.Config)
+		s.log.Info("tenant configured",
+			"tenant", req.Tenant,
+			"weight", req.Config.Weight,
+			"priority", req.Config.Priority,
+			"quota_bytes", req.Config.QuotaBytes,
+			"max_queued", req.Config.MaxQueued)
+		writeJSON(w, s.m.TenantConfig(req.Tenant))
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
 }
 
 func (s *Server) session(id int64) (*session.Session, error) {
@@ -263,6 +334,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			"session", req.Session,
 			"duration", time.Since(start),
 			"err", err)
+		// A full tenant admission queue is back-pressure, not a query
+		// error: 429 tells well-behaved clients to retry after a beat
+		// instead of hammering the queue bound.
+		if errors.Is(err, memmgr.ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			writeJSON(w, QueryResponse{Error: err.Error()})
+			return
+		}
 		// A query error is a well-formed response, not a transport
 		// failure: clients distinguish "your SQL is wrong" from "the
 		// server is down".
@@ -298,6 +378,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Cost:         res.Cost,
 		WallCost:     res.WallCost,
 		Query:        res.Query,
+		Tenant:       res.Tenant,
+		Preempted:    res.Preempted,
 		CacheHit:     res.CacheHit,
 		Stats:        res.Stats,
 		Broker:       res.Broker,
@@ -363,6 +445,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: s.m.Uptime().Seconds(),
 		Running:       s.m.Running(),
 		Progress:      s.m.ProgressSnapshots(false, false),
+		Tenants:       s.m.TenantStats(),
 	})
 }
 
@@ -399,6 +482,7 @@ func execOptions(req QueryRequest) (session.Options, error) {
 	}
 	return session.Options{
 		Mode:             mode,
+		Tenant:           req.Tenant,
 		Params:           params,
 		SpliceSwitch:     req.Splice,
 		DisableIndexJoin: req.DisableIndexJoin,

@@ -26,20 +26,23 @@ func (m *Manager) registerIntrospection() {
 
 	mustVirtual(m, "mqr.queries",
 		types.NewSchema(
-			str("query"), cnt("session"), str("sql"), str("state"),
+			str("query"), cnt("session"), str("tenant"), str("sql"), str("state"),
 			cnt("elapsed_ms"), num("est_cost"), num("cost"), num("fraction"),
-			num("score"), cnt("checkpoints"), cnt("switches"), num("spill_bytes")),
+			num("score"), cnt("checkpoints"), cnt("switches"), num("spill_bytes"),
+			cnt("preempts")),
 		func() []types.Tuple {
 			var out []types.Tuple
 			for _, p := range append(m.prog.Running(), m.prog.Recent()...) {
 				s := p.Snapshot(false)
 				out = append(out, types.Tuple{
 					types.NewString(s.Query), types.NewInt(s.Session),
+					types.NewString(s.Tenant),
 					types.NewString(s.SQL), types.NewString(s.State),
 					types.NewInt(s.ElapsedMS), types.NewFloat(s.EstCost),
 					types.NewFloat(s.Cost), types.NewFloat(s.Fraction),
 					types.NewFloat(s.Score), types.NewInt(s.Checkpoints),
 					types.NewInt(s.Switches), types.NewFloat(s.SpillBytes),
+					types.NewInt(s.Preempts),
 				})
 			}
 			return out

@@ -38,8 +38,13 @@ import (
 	"repro/internal/reopt"
 	"repro/internal/sql"
 	"repro/internal/storage"
+	"repro/internal/tenant"
 	"repro/internal/types"
 )
+
+// maxPreemptResumes caps how many times one query may be suspended at
+// a checkpoint before its lease opts out of victim selection.
+const maxPreemptResumes = 8
 
 // Config sizes the shared multi-query resources.
 type Config struct {
@@ -71,12 +76,13 @@ type Manager struct {
 	// alternative is per-table latching through every operator.
 	schemaMu sync.RWMutex
 
-	// running maps each in-flight query's tag to the cancel function of
-	// its per-query context, so Cancel can abort it by name (the POST
-	// /cancel path). Guarded by runningMu, not schemaMu: cancels must
-	// land while queries hold the schema lock.
+	// running maps each in-flight query's tag to its cancel function
+	// and (once admitted) its broker lease, so Cancel can abort it by
+	// name (the POST /cancel path) and Preempt can request a
+	// checkpoint suspension. Guarded by runningMu, not schemaMu:
+	// cancels must land while queries hold the schema lock.
 	runningMu sync.Mutex
-	running   map[string]context.CancelFunc
+	running   map[string]*runningQuery
 
 	sessions atomic.Int64
 	queries  atomic.Int64
@@ -116,7 +122,7 @@ func NewManager(cat *catalog.Catalog, pool *storage.BufferPool, meter *storage.C
 		broker:   memmgr.NewBroker(cfg.MemPoolBytes),
 		cfg:      cfg,
 		reg:      obs.NewRegistry(),
-		running:  make(map[string]context.CancelFunc),
+		running:  make(map[string]*runningQuery),
 		start:    time.Now(),
 		prog:     obs.NewProgressRegistry(),
 		engTrace: obs.NewTrace(1024),
@@ -185,6 +191,31 @@ func (m *Manager) registerResourceMetrics() {
 	m.reg.NewCounterFunc("broker_grown_bytes_total",
 		"Operator memory added to running leases mid-query.",
 		func() float64 { return m.broker.Stats().Grown })
+	m.reg.NewCounterFunc("broker_rejected_total",
+		"Admissions refused because a tenant's queue bound was reached.",
+		func() float64 { return float64(m.broker.Stats().Rejected) })
+	m.reg.NewCounterFunc("broker_preempts_total",
+		"Checkpoint-preemption requests issued to running leases.",
+		func() float64 { return float64(m.broker.Stats().Preempts) })
+	m.reg.NewGaugeFuncVec("mqr_broker_queue_depth",
+		"Queries queued for memory admission right now, by tenant.", "tenant",
+		func() map[string]float64 {
+			depths := m.broker.QueueDepths()
+			out := make(map[string]float64, len(depths))
+			for ten, n := range depths {
+				out[ten] = float64(n)
+			}
+			return out
+		})
+	m.reg.NewGaugeFuncVec("mqr_broker_held_bytes",
+		"Operator memory held by running leases right now, by tenant.", "tenant",
+		func() map[string]float64 {
+			out := map[string]float64{}
+			for _, ts := range m.broker.TenantStats() {
+				out[ts.Tenant] = ts.HeldBytes
+			}
+			return out
+		})
 	m.reg.NewCounterFunc("plancache_hits_total",
 		"Plan-cache lookups served from the cache.",
 		func() float64 { return float64(m.CacheStats().Hits) })
@@ -205,18 +236,62 @@ func (m *Manager) registerResourceMetrics() {
 // Broker exposes the shared memory broker (status endpoints, tests).
 func (m *Manager) Broker() *memmgr.Broker { return m.broker }
 
+// SetTenantConfig installs one tenant's service class (weight,
+// priority, quota, queue bound) on the broker's registry.
+func (m *Manager) SetTenantConfig(name string, cfg tenant.Config) {
+	m.broker.Tenants().Set(name, cfg)
+}
+
+// TenantConfig returns one tenant's service class.
+func (m *Manager) TenantConfig(name string) tenant.Config {
+	return m.broker.Tenants().Get(name)
+}
+
+// TenantStats snapshots every tenant's scheduling state and traffic.
+func (m *Manager) TenantStats() []memmgr.TenantStats {
+	return m.broker.TenantStats()
+}
+
+// runningQuery is one in-flight query's control handles: the cancel
+// function of its per-query context and, between admission and release,
+// its broker lease.
+type runningQuery struct {
+	cancel context.CancelFunc
+	lease  *memmgr.Lease
+}
+
 // Cancel aborts the running query with the given tag (Result.Query /
 // the tags listed by Running). It returns whether a query by that tag
 // was in flight; the query itself unwinds asynchronously and reports
 // context.Canceled to its own caller.
 func (m *Manager) Cancel(tag string) bool {
 	m.runningMu.Lock()
-	cancel, ok := m.running[tag]
+	rq, ok := m.running[tag]
 	m.runningMu.Unlock()
 	if ok {
-		cancel()
+		rq.cancel()
 	}
 	return ok
+}
+
+// Preempt requests a checkpoint suspension of the running query with
+// the given tag: its dispatcher aborts at the next re-optimization
+// checkpoint, releases the brokered lease, and re-admits the query
+// through the fair-share queue. Returns whether a request was newly
+// made (false if the tag is unknown, the query is not yet admitted, or
+// a request is already pending).
+func (m *Manager) Preempt(tag string) bool {
+	m.runningMu.Lock()
+	rq, ok := m.running[tag]
+	var lease *memmgr.Lease
+	if ok {
+		lease = rq.lease
+	}
+	m.runningMu.Unlock()
+	if lease == nil {
+		return false
+	}
+	return lease.RequestPreempt()
 }
 
 // Running lists the tags of queries currently in flight, sorted.
@@ -233,7 +308,18 @@ func (m *Manager) Running() []string {
 
 func (m *Manager) trackRunning(tag string, cancel context.CancelFunc) {
 	m.runningMu.Lock()
-	m.running[tag] = cancel
+	m.running[tag] = &runningQuery{cancel: cancel}
+	m.runningMu.Unlock()
+}
+
+// setRunningLease publishes (or clears) the query's current broker
+// lease so Preempt can find it. Called once per admission — a
+// preempted query re-admits under a fresh lease.
+func (m *Manager) setRunningLease(tag string, lease *memmgr.Lease) {
+	m.runningMu.Lock()
+	if rq, ok := m.running[tag]; ok {
+		rq.lease = lease
+	}
 	m.runningMu.Unlock()
 }
 
@@ -273,6 +359,12 @@ type Session struct {
 	m  *Manager
 	id int64
 
+	// tenant is the session's default service class; Options.Tenant
+	// overrides it per query. Set it before the session's first Exec
+	// (the server does so at /session creation) — it is not
+	// synchronized against concurrent queries.
+	tenant string
+
 	// txnMu guards txn. Concurrent Execs on one session are legal for
 	// reads; interleaving writes inside one explicit transaction from
 	// multiple goroutines is the caller's own hazard, but the session
@@ -289,12 +381,24 @@ func (m *Manager) Session() *Session {
 // ID returns the session's engine-unique id.
 func (s *Session) ID() int64 { return s.id }
 
+// SetTenant installs the session's default tenant. Call before the
+// session's first Exec.
+func (s *Session) SetTenant(name string) { s.tenant = name }
+
+// Tenant returns the session's default tenant name (canonicalized).
+func (s *Session) Tenant() string { return tenant.Canonical(s.tenant) }
+
 // Options tunes one query execution (mirrors the top-level ExecOptions,
 // minus the fixed MemBudget — memory comes from the broker).
 type Options struct {
 	Mode               reopt.Mode
 	Params             map[string]types.Value
 	Mu, Theta1, Theta2 float64
+	// Tenant names the service class the query's memory admission
+	// queues under (weights, quotas, priorities are configured on the
+	// broker's tenant registry). Empty defers to the session's default
+	// tenant, then to tenant.Default.
+	Tenant string
 	HistFamily         histogram.Family
 	SpliceSwitch       bool
 	DisableIndexJoin   bool
@@ -347,6 +451,12 @@ type Result struct {
 	// Query is the engine-unique tag ("s3_q17") the query ran under —
 	// the same tag appears in broker traces and temp-table names.
 	Query string
+	// Tenant is the service class the query's admission ran under.
+	Tenant string
+	// Preempted counts checkpoint preemptions the query survived: each
+	// one released its lease at a re-optimization checkpoint, re-queued
+	// it for admission, and re-executed under the same snapshot.
+	Preempted int
 	// RowsAffected is the number of rows a DML statement wrote (for
 	// COMMIT, the whole transaction's count). Zero for queries.
 	RowsAffected int64
@@ -442,6 +552,10 @@ func (s *Session) exec(ctx context.Context, src string, opts Options) (*Result, 
 // the garbage collector keeps every version the query can still see.
 func (s *Session) execSelect(ctx context.Context, stmt *sql.SelectStmt, opts Options, tag string) (*Result, error) {
 	m := s.m
+	ten := tenant.Canonical(opts.Tenant)
+	if opts.Tenant == "" {
+		ten = s.Tenant()
+	}
 	start := time.Now()
 	var qp *obs.Progress
 	defer func() {
@@ -460,39 +574,27 @@ func (s *Session) execSelect(ctx context.Context, stmt *sql.SelectStmt, opts Opt
 		cols[i] = c.Name
 	}
 
-	min, max := memmgr.Demands(res.Root)
-	waitStart := time.Now()
-	lease, err := m.broker.Admit(ctx, tag, min, max)
-	m.em.BrokerWait.Observe(time.Since(waitStart).Seconds())
-	if err != nil {
-		return nil, err
-	}
-	defer lease.Release()
-
-	cfg := s.dispatcherConfig(opts, lease, tag)
 	// The per-query trace is always on and tees into the engine-wide
 	// ring behind mqr.trace; Result.Trace is attached only on request.
 	tr := obs.NewTrace(obs.DefaultTraceCap)
 	tr.SetQuery(tag)
 	tr.SetForward(m.engTrace)
-	cfg.Trace = tr
 	var az *obs.Analyze
 	if opts.Explain {
 		az = obs.NewAnalyze()
 	}
 	if !opts.NoProgress {
-		qp = m.prog.Start(tag, s.id, stmt.SQL())
+		qp = m.prog.StartTenant(tag, s.id, stmt.SQL(), ten)
 		defer m.prog.Finish(qp)
 	}
-	d := reopt.New(m.cat, cfg)
-	// Backstop: whatever path the query exits by (error, cancel,
-	// panic unwinding to Exec's recover), every temp table the
-	// dispatcher registered is dropped before the lease is released.
-	defer d.Cleanup()
 	params := plan.Params{}
 	for k, v := range opts.Params {
 		params[k] = v
 	}
+	// The snapshot is acquired once, before the first admission, and
+	// survives checkpoint preemption: a preempted-then-resumed query
+	// re-reads the same versions, so its answer is byte-identical to an
+	// uninterrupted run no matter what commits while it was parked.
 	s.txnMu.Lock()
 	tx := s.txn
 	s.txnMu.Unlock()
@@ -504,20 +606,87 @@ func (s *Session) execSelect(ctx context.Context, stmt *sql.SelectStmt, opts Opt
 		defer rd.End()
 		snap = rd.Snapshot()
 	}
-	ectx := &exec.Ctx{Context: ctx, Pool: m.pool, Meter: m.meter, Params: params, Trace: tr, Analyze: az, Snap: snap, Prog: qp}
 	before := m.meter.Snapshot()
 	// The progress cost closure reads the shared meter, so under
 	// concurrency it includes overlapping queries' charges — same caveat
 	// as Result.Cost, and harmless for the fraction/score signals.
 	qp.SetCostFn(func() float64 { return m.meter.Snapshot().Sub(before).Cost() })
-	rows, st, err := d.RunPlan(res, params, ectx)
-	if err != nil {
-		return nil, err
+
+	// Backstop for every exit path (error, cancel, panic unwinding to
+	// Exec's recover): the current attempt's temp tables are dropped
+	// before its lease is released.
+	var lease *memmgr.Lease
+	var d *reopt.Dispatcher
+	defer func() {
+		if d != nil {
+			d.Cleanup()
+		}
+		if lease != nil {
+			lease.Release()
+		}
+	}()
+
+	preempted := 0
+	var rows []types.Tuple
+	var st *reopt.Stats
+	var mu float64
+	for {
+		min, max := memmgr.Demands(res.Root)
+		waitStart := time.Now()
+		lease, err = m.broker.AdmitTenant(ctx, ten, tag, min, max)
+		wait := time.Since(waitStart).Seconds()
+		m.em.BrokerWait.Observe(wait)
+		m.em.BrokerWaitTenant.Observe(ten, wait)
+		if err != nil {
+			return nil, err
+		}
+		if preempted >= maxPreemptResumes {
+			// A query can only be parked so many times; past the cap
+			// its lease stops being a preemption victim so it is
+			// guaranteed to finish.
+			lease.MarkNonPreemptible()
+		}
+		m.setRunningLease(tag, lease)
+		cfg := s.dispatcherConfig(opts, lease, tag)
+		cfg.Trace = tr
+		mu = cfg.Mu
+		d = reopt.New(m.cat, cfg)
+		ectx := &exec.Ctx{Context: ctx, Pool: m.pool, Meter: m.meter, Params: params, Trace: tr, Analyze: az, Snap: snap, Prog: qp}
+		rows, st, err = d.RunPlan(res, params, ectx)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, memmgr.ErrPreempted) {
+			return nil, err
+		}
+		// Checkpoint preemption: the dispatcher stopped at a segment
+		// boundary because a higher-priority waiter claimed this
+		// query's memory. Drop everything the attempt built — temp
+		// tables first, then the whole lease (zero residue, fully
+		// repaid broker) — then park in the fair-share admission queue
+		// by re-admitting, and re-execute from a fresh plan under the
+		// same snapshot.
+		preempted++
+		d.Cleanup()
+		d = nil
+		m.setRunningLease(tag, nil)
+		lease.Release()
+		lease = nil
+		m.em.Preemptions.Inc()
+		qp.RecordPreempt()
+		if tr.Enabled() {
+			tr.Emit("preempt", "suspended at checkpoint, re-queueing for admission",
+				"tenant", ten, "resume", preempted)
+		}
+		res, _, err = s.plan(stmt, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
 	delta := m.meter.Snapshot().Sub(before)
 	cost := delta.Cost()
 	statCost := float64(delta.StatCPU) * delta.Weights.StatCPU
-	m.em.RecordQuery(cost, statCost, cfg.Mu,
+	m.em.RecordQuery(cost, statCost, mu,
 		st.CollectorsInserted, st.Observations, st.MemReallocs,
 		st.ReoptConsidered, st.PlanSwitches)
 	out := &Result{
@@ -527,6 +696,8 @@ func (s *Session) execSelect(ctx context.Context, stmt *sql.SelectStmt, opts Opt
 		Cost:         cost,
 		WallCost:     math.Max(0, cost-st.WallSavedCost),
 		Query:        tag,
+		Tenant:       ten,
+		Preempted:    preempted,
 		CacheHit:     hit,
 		Broker:       lease.Stats(),
 		TraceDropped: tr.Dropped(),

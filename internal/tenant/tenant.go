@@ -1,0 +1,119 @@
+// Package tenant defines the workload-management identities the
+// multi-tenant scheduler serves. A tenant is a named service class — a
+// fair-share weight, a scheduling priority, a memory quota, and an
+// admission-queue bound — that the memory broker consults when
+// deciding which queued query runs next and which running query to
+// preempt at its next re-optimization checkpoint.
+//
+// The package is a leaf: the broker (internal/memmgr) imports it for
+// admission decisions and the server threads tenant names down from
+// the wire, but tenant itself depends on nothing in the engine.
+package tenant
+
+import (
+	"sort"
+	"sync"
+)
+
+// Default is the canonical name requests without a tenant run under.
+const Default = "default"
+
+// Canonical maps the empty tenant name to Default so every layer keys
+// maps and metric labels the same way.
+func Canonical(name string) string {
+	if name == "" {
+		return Default
+	}
+	return name
+}
+
+// Config is one tenant's service class.
+type Config struct {
+	// Weight is the fair-share weight (default 1). Under saturation a
+	// tenant's admission share is proportional to its weight.
+	Weight float64 `json:"weight"`
+	// Priority is the scheduling band (default 0; higher wins).
+	// Admission always prefers a higher band, and a queued query in a
+	// higher band may preempt a running lower-band query at its next
+	// re-optimization checkpoint.
+	Priority int `json:"priority"`
+	// QuotaBytes caps the broker memory the tenant's running queries
+	// may hold at once; 0 means unlimited. A single query whose
+	// minimum exceeds the quota still runs alone (over-commit, same as
+	// the pool-wide cap).
+	QuotaBytes float64 `json:"quota_bytes,omitempty"`
+	// MaxQueued bounds the tenant's admission queue; 0 means
+	// unlimited. An admission beyond the bound fails immediately with
+	// memmgr.ErrQueueFull, which the server maps to HTTP 429.
+	MaxQueued int `json:"max_queued,omitempty"`
+}
+
+// normalized floors the weight at a usable value so fair-share division
+// never sees zero.
+func (c Config) normalized() Config {
+	if c.Weight <= 0 {
+		c.Weight = 1
+	}
+	return c
+}
+
+// Registry is the concurrent tenant table. Unknown tenants spring into
+// existence with default config on first use, so single-tenant callers
+// never have to register anything.
+type Registry struct {
+	mu   sync.RWMutex
+	cfgs map[string]Config
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{cfgs: map[string]Config{}}
+}
+
+// Get returns the tenant's config, defaulting an unknown name without
+// registering it.
+func (r *Registry) Get(name string) Config {
+	name = Canonical(name)
+	r.mu.RLock()
+	cfg, ok := r.cfgs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return Config{}.normalized()
+	}
+	return cfg
+}
+
+// Ensure registers the tenant with default config if absent and returns
+// its (normalized) config.
+func (r *Registry) Ensure(name string) Config {
+	name = Canonical(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cfg, ok := r.cfgs[name]
+	if !ok {
+		cfg = Config{}.normalized()
+		r.cfgs[name] = cfg
+	}
+	return cfg
+}
+
+// Set installs a tenant's config (normalized), replacing any previous
+// one.
+func (r *Registry) Set(name string, cfg Config) {
+	name = Canonical(name)
+	r.mu.Lock()
+	r.cfgs[name] = cfg.normalized()
+	r.mu.Unlock()
+}
+
+// Names lists registered tenants, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.cfgs))
+	for n := range r.cfgs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

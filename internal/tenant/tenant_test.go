@@ -1,0 +1,80 @@
+package tenant
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCanonical(t *testing.T) {
+	if got := Canonical(""); got != Default {
+		t.Errorf("Canonical(\"\") = %q, want %q", got, Default)
+	}
+	if got := Canonical("gold"); got != "gold" {
+		t.Errorf("Canonical(gold) = %q", got)
+	}
+}
+
+func TestRegistryDefaultsAndNormalization(t *testing.T) {
+	r := NewRegistry()
+
+	// Unknown names default to weight 1 without being registered.
+	if cfg := r.Get("ghost"); cfg.Weight != 1 || cfg.Priority != 0 || cfg.QuotaBytes != 0 || cfg.MaxQueued != 0 {
+		t.Errorf("Get(ghost) = %+v, want default", cfg)
+	}
+	if names := r.Names(); len(names) != 0 {
+		t.Errorf("Get registered a tenant: %v", names)
+	}
+
+	// Ensure registers; empty name canonicalizes.
+	if cfg := r.Ensure(""); cfg.Weight != 1 {
+		t.Errorf("Ensure(\"\") = %+v", cfg)
+	}
+	if names := r.Names(); !reflect.DeepEqual(names, []string{Default}) {
+		t.Errorf("Names = %v, want [%s]", names, Default)
+	}
+
+	// Set normalizes a non-positive weight so fair-share division never
+	// sees zero; other fields pass through.
+	r.Set("batch", Config{Weight: -3, Priority: 2, QuotaBytes: 64, MaxQueued: 5})
+	got := r.Get("batch")
+	want := Config{Weight: 1, Priority: 2, QuotaBytes: 64, MaxQueued: 5}
+	if got != want {
+		t.Errorf("Set/Get = %+v, want %+v", got, want)
+	}
+
+	// Set replaces; Ensure afterwards must not reset it.
+	r.Set("batch", Config{Weight: 4})
+	r.Ensure("batch")
+	if got := r.Get("batch"); got.Weight != 4 {
+		t.Errorf("Ensure clobbered an installed config: %+v", got)
+	}
+
+	if names := r.Names(); !reflect.DeepEqual(names, []string{"batch", Default}) {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+// TestRegistryConcurrent exercises the registry from many goroutines —
+// the broker reads configs on every admission decision while the server
+// installs them at runtime — under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(w float64) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Set("hot", Config{Weight: w})
+				_ = r.Get("hot")
+				_ = r.Ensure("cold")
+				_ = r.Names()
+			}
+		}(float64(i + 1))
+	}
+	wg.Wait()
+	if cfg := r.Get("hot"); cfg.Weight < 1 || cfg.Weight > 8 {
+		t.Errorf("hot weight = %v after concurrent sets", cfg.Weight)
+	}
+}
